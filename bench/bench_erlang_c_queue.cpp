@@ -1,0 +1,78 @@
+// Extension experiment: queue-when-busy admission vs the Erlang-C model.
+//
+// The paper dimensions a loss system (Erlang-B); the cited Angus tutorial
+// covers the queued sibling. With the PBX in kQueueWhenBusy mode the
+// testbed becomes an M/M/N queue, so the measured wait probability and mean
+// wait must track Erlang-C — a second, independent analytical cross-check
+// of the whole packet-level stack.
+//
+// Usage: bench_erlang_c_queue [--fast]
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/erlang_c.hpp"
+#include "exp/parallel.hpp"
+#include "exp/testbed.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbxcap;
+
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  }
+
+  std::printf("== Erlang-C validation: queued PBX vs the delay formula%s ==\n\n",
+              fast ? " (fast mode)" : "");
+
+  constexpr std::uint32_t kChannels = 10;
+  const Duration hold = Duration::seconds(20);
+  const std::vector<double> loads = fast ? std::vector<double>{7.0}
+                                         : std::vector<double>{4.0, 6.0, 7.0, 8.0, 9.0};
+  // High utilizations have very long queue relaxation times: average over
+  // replications of a long window so the M/M/N steady state dominates.
+  const std::size_t reps = fast ? 1 : 3;
+  std::vector<monitor::ExperimentReport> raw(loads.size() * reps);
+
+  exp::parallel_for(raw.size(), exp::default_threads(), [&](std::size_t job) {
+    exp::TestbedConfig config;
+    config.scenario = loadgen::CallScenario::for_offered_load(loads[job / reps], hold);
+    config.scenario.hold_model = sim::HoldTimeModel::kExponential;
+    config.scenario.placement_window = Duration::seconds(fast ? 300 : 2400);
+    config.pbx.max_channels = kChannels;
+    config.pbx.admission = pbx::AdmissionPolicy::kQueueWhenBusy;
+    config.pbx.max_queue_length = 512;
+    config.pbx.queue_timeout = Duration::seconds(300);  // effectively patient
+    config.seed = 1300 + 31 * job;
+    raw[job] = exp::run_testbed(config);
+  });
+  std::vector<monitor::ExperimentReport> reports(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    reports[i] = monitor::merge_replications(
+        {raw.begin() + static_cast<std::ptrdiff_t>(i * reps),
+         raw.begin() + static_cast<std::ptrdiff_t>((i + 1) * reps)});
+  }
+
+  util::TextTable table{{"A (E)", "measured mean setup", "Erlang-C E[W] + signalling",
+                         "Erlang-C P(wait)", "blocked"}};
+  constexpr double kSignallingS = 0.21;  // 100->180->200 ladder + answer delay
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const auto& r = reports[i];
+    const Duration w = erlang::erlang_c_mean_wait(erlang::Erlangs{loads[i]}, kChannels, hold);
+    table.add_row({util::format("%.0f", loads[i]),
+                   util::format("%.2f s", r.setup_delay_ms.mean() / 1000.0),
+                   util::format("%.2f s", w.to_seconds() + kSignallingS),
+                   util::format("%.1f%%", erlang::erlang_c(erlang::Erlangs{loads[i]}, kChannels) * 100.0),
+                   util::format("%llu", (unsigned long long)r.calls_blocked)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Reading: measured mean setup time tracks Erlang-C's waiting time across\n"
+              "utilizations (rho = 0.4 .. 0.9) — the queued PBX is an M/M/%u system, as\n"
+              "the contact-center dimensioning literature assumes.\n",
+              kChannels);
+  return 0;
+}

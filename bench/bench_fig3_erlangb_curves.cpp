@@ -1,0 +1,39 @@
+// Figure 3 reproduction: Erlang-B blocking probability vs number of channels
+// N for workloads of 20..240 Erlangs, plus the §IV busy-hour headline.
+//
+// Paper reference (Fig. 3): for each load A the curve falls steeply once
+// N approaches A; larger workloads need proportionally more channels for the
+// same blocking.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/dimensioning.hpp"
+#include "core/erlang_b.hpp"
+#include "exp/paper.hpp"
+
+int main() {
+  using namespace pbxcap;
+
+  std::printf("== Figure 3: Erlang-B analytical model with varying workload ==\n\n");
+  const std::vector<double> loads{20,  40,  60,  80,  100, 120,
+                                  140, 160, 180, 200, 220, 240};
+  const auto table = exp::fig3_erlang_b_curves(loads, 10, 280, 10);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Channels needed for P_b <= 5%% (knee of each Fig. 3 curve):\n");
+  for (const double a : loads) {
+    std::printf("  A = %3.0f E : N = %u\n", a,
+                erlang::channels_for_blocking(erlang::Erlangs{a}, 0.05));
+  }
+
+  std::printf("\n== §IV headline: 3,000 calls/h x 3 min on the measured server ==\n");
+  const auto headline = erlang::evaluate_capacity({3000.0, Duration::minutes(3)}, 165);
+  std::printf("A = %.0f E on N = 165 -> P_b = %.2f%%  (paper: 1.8%%)\n\n",
+              headline.offered.value(), headline.blocking_probability * 100.0);
+  std::printf("%s\n",
+              exp::busy_hour_summary(3000.0, Duration::minutes(3), {150, 155, 160, 165, 170, 180})
+                  .to_string()
+                  .c_str());
+  return 0;
+}

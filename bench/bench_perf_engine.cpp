@@ -1,0 +1,128 @@
+// Engine microbenchmarks: DES event throughput, Erlang-B evaluation, SIP
+// codec, RTP receive pipeline. These quantify the simulator itself (not the
+// paper), so regressions in the substrate are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/erlang_b.hpp"
+#include "rtp/stream.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sip/parse.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    const auto n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      simulator.schedule_in(Duration::micros(i), [&fired] { ++fired; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(1'000)->Arg(100'000);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  // The RTP-sender pattern: each event schedules its successor.
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    const auto n = static_cast<std::int64_t>(state.range(0));
+    std::int64_t remaining = n;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) simulator.schedule_in(Duration::micros(20), tick);
+    };
+    simulator.schedule_in(Duration::micros(20), tick);
+    simulator.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorSelfScheduling)->Arg(100'000);
+
+void BM_ErlangB(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += erlang::erlang_b(erlang::Erlangs{static_cast<double>(n) * 0.97}, n);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ErlangB)->Arg(165)->Arg(1'000)->Arg(10'000);
+
+void BM_ChannelsForBlocking(benchmark::State& state) {
+  std::uint32_t acc = 0;
+  for (auto _ : state) {
+    acc += erlang::channels_for_blocking(erlang::Erlangs{150.0}, 0.01);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ChannelsForBlocking);
+
+const std::string kInviteWire = [] {
+  sip::Message invite =
+      sip::Message::request(sip::Method::kInvite, sip::Uri{"recv-1", "pbx.unb.br"});
+  invite.vias().push_back({"client.unb.br", "z9hG4bK-bench-1"});
+  invite.from() = {sip::Uri{"caller-1", "client.unb.br"}, "tag-a"};
+  invite.to() = {sip::Uri{"recv-1", "pbx.unb.br"}, ""};
+  invite.set_call_id("call-1@client.unb.br");
+  invite.set_cseq({1, sip::Method::kInvite});
+  invite.set_contact(sip::Uri{"caller-1", "client.unb.br"});
+  invite.set_body("v=0\r\no=pbxcap 0 0 IN IP4 client\r\ns=x\r\nc=IN IP4 client\r\nt=0 0\r\n"
+                  "m=audio 30000 RTP/AVP 0\r\na=ssrc:7 cname:x\r\n",
+                  "application/sdp");
+  return sip::serialize(invite);
+}();
+
+void BM_SipParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = sip::parse_message(kInviteWire);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(kInviteWire.size()));
+}
+BENCHMARK(BM_SipParse);
+
+void BM_SipSerialize(benchmark::State& state) {
+  const auto parsed = sip::parse_message(kInviteWire);
+  for (auto _ : state) {
+    auto wire = sip::serialize(*parsed.message);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_SipSerialize);
+
+void BM_RtpReceiverPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    rtp::RtpReceiverStats rx{8000};
+    TimePoint t = TimePoint::origin();
+    rtp::RtpHeader h;
+    h.ssrc = 1;
+    for (int i = 0; i < 6000; ++i) {  // one 120 s G.711 direction
+      h.sequence = static_cast<std::uint16_t>(i);
+      h.timestamp = static_cast<std::uint32_t>(i) * 160;
+      rx.on_packet(h, t);
+      t = t + Duration::millis(20);
+    }
+    benchmark::DoNotOptimize(rx.jitter());
+  }
+  state.SetItemsProcessed(state.iterations() * 6000);
+}
+BENCHMARK(BM_RtpReceiverPipeline);
+
+void BM_RandomExponential(benchmark::State& state) {
+  sim::Random rng{1};
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.exponential(1.0);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RandomExponential);
+
+}  // namespace

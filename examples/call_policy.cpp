@@ -1,0 +1,66 @@
+// Call-policy exploration: §IV closes by noting that serving all ~50,000
+// UnB users on one PBX requires "effective call policy that would impose
+// limits to the number of calls a user may place". This example quantifies
+// that tradeoff with the analytical models:
+//
+//   * Fig. 7 reproduction: blocking vs calling fraction of an 8,000-user
+//     population for 2.0 / 2.5 / 3.0 minute calls on 165 channels;
+//   * the maximum population fraction serviceable at 5% blocking;
+//   * per-user call-duration caps that keep a target population serviceable.
+//
+// Run: ./call_policy
+
+#include <cstdio>
+#include <vector>
+
+#include "core/dimensioning.hpp"
+#include "core/erlang_b.hpp"
+#include "exp/paper.hpp"
+
+int main() {
+  using namespace pbxcap;
+  using erlang::Erlangs;
+
+  constexpr std::uint32_t kChannels = 165;
+
+  std::printf("== Fig. 7: blocking vs calling population (8,000 users, N = %u) ==\n\n",
+              kChannels);
+  std::vector<double> fractions;
+  for (int i = 2; i <= 20; ++i) fractions.push_back(static_cast<double>(i) / 20.0);
+  const auto fig7 = exp::fig7_population_blocking(
+      8000, fractions,
+      {Duration::seconds(120), Duration::seconds(150), Duration::seconds(180)}, kChannels);
+  std::printf("%s\n", fig7.to_string().c_str());
+
+  // Maximum serviceable fraction at 5% blocking, per duration.
+  std::printf("Max fraction of 8,000 users serviceable at P_b <= 5%%:\n");
+  for (const auto duration :
+       {Duration::seconds(120), Duration::seconds(150), Duration::seconds(180)}) {
+    const Erlangs a_max = erlang::offered_load_for_blocking(kChannels, 0.05);
+    const double calls_per_hour = erlang::calls_per_hour_for(a_max, duration.to_minutes());
+    std::printf("  %.1f-min calls: A_max = %.1f E -> %.0f calls/h -> %.1f%% of population\n",
+                duration.to_minutes(), a_max.value(), calls_per_hour,
+                100.0 * calls_per_hour / 8000.0);
+  }
+
+  // Policy view: to serve the whole 50,000-user campus on one server, how
+  // short must the per-user busy-hour talk budget be?
+  std::printf("\nPer-user busy-hour talk budget to serve a whole population at P_b <= 5%%\n");
+  std::printf("(every user places one call in the busy hour, N = %u):\n", kChannels);
+  const Erlangs a_max = erlang::offered_load_for_blocking(kChannels, 0.05);
+  for (const std::uint32_t population : {8'000u, 20'000u, 50'000u}) {
+    const double max_minutes = a_max.value() * 60.0 / population;
+    std::printf("  %6u users : at most %.2f min (%.0f s) per call\n", population, max_minutes,
+                max_minutes * 60.0);
+  }
+
+  // Or: how many PBX servers of this capacity would the full campus need
+  // with unconstrained 3-minute calls and 60% participation?
+  std::printf("\nServers needed for 50,000 users, 60%% calling, 3-min calls, P_b <= 5%%:\n");
+  const double offered = 50'000 * 0.60 * 3.0 / 60.0;  // Erlangs
+  std::uint32_t servers = 1;
+  while (erlang::erlang_b(Erlangs{offered / servers}, kChannels) > 0.05) ++servers;
+  std::printf("  offered %.0f E total -> %u servers of %u channels each\n", offered, servers,
+              kChannels);
+  return 0;
+}

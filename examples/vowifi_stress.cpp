@@ -1,0 +1,70 @@
+// VoWiFi stress test: one Table-I-style experiment at a chosen offered load,
+// optionally with Wi-Fi-like impairments on the client access link.
+//
+// Run: ./vowifi_stress [erlangs] [--wifi]
+//   erlangs : offered load (default 160, the paper's saturation onset)
+//   --wifi  : add 0.5% radio loss + 2 ms mean access jitter on the client
+//             link, approximating the VoWiFi access segment of Fig. 1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "exp/testbed.hpp"
+#include "monitor/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbxcap;
+
+  double erlangs = 160.0;
+  bool wifi = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wifi") == 0) {
+      wifi = true;
+    } else {
+      erlangs = std::atof(argv[i]);
+    }
+  }
+  if (erlangs <= 0.0) {
+    std::fprintf(stderr, "usage: %s [erlangs] [--wifi]\n", argv[0]);
+    return 2;
+  }
+
+  exp::TestbedConfig config;
+  config.scenario = loadgen::CallScenario::for_offered_load(erlangs);
+  config.seed = 7;
+  if (wifi) {
+    config.client_link.loss_probability = 0.005;
+    config.client_link.jitter_mean = Duration::millis(2);
+    config.client_link.jitter_stddev = Duration::millis(1);
+  }
+
+  std::printf("offered load A = %.0f Erlangs (lambda = %.3f calls/s, h = %.0f s)%s\n",
+              erlangs, config.scenario.arrival_rate_per_s,
+              config.scenario.hold_time.to_seconds(), wifi ? " [Wi-Fi access]" : "");
+  std::printf("running packet-level simulation...\n");
+
+  const monitor::ExperimentReport r = exp::run_testbed(config);
+
+  std::printf("\n-- results --\n");
+  std::printf("attempted %llu | completed %llu | blocked %llu (%.1f%%) | failed %llu\n",
+              (unsigned long long)r.calls_attempted, (unsigned long long)r.calls_completed,
+              (unsigned long long)r.calls_blocked, r.blocking_probability * 100.0,
+              (unsigned long long)r.calls_failed);
+  std::printf("peak channels: %u / %u configured\n", r.channels_peak, r.channels_configured);
+  std::printf("CPU: %s (mean %.0f%%)\n", r.cpu_range_string().c_str(),
+              r.cpu_utilization.mean() * 100.0);
+  std::printf("MOS: mean %.2f (min %.2f) over completed calls\n", r.mos.mean(), r.mos.min());
+  std::printf("effective loss: %.3f%% | jitter: %.2f ms | setup: %.1f ms\n",
+              r.effective_loss.mean() * 100.0, r.jitter_ms.mean(), r.setup_delay_ms.mean());
+  std::printf("RTP at PBX: %llu packets | relayed %llu\n",
+              (unsigned long long)r.rtp_packets_at_pbx, (unsigned long long)r.rtp_relayed);
+  std::printf("SIP: total %llu (INVITE %llu, 100 %llu, 180 %llu, 200 %llu, ACK %llu, "
+              "BYE %llu, errors %llu, retransmissions %llu)\n",
+              (unsigned long long)r.sip_total, (unsigned long long)r.sip_invite,
+              (unsigned long long)r.sip_100, (unsigned long long)r.sip_180,
+              (unsigned long long)r.sip_200, (unsigned long long)r.sip_ack,
+              (unsigned long long)r.sip_bye, (unsigned long long)r.sip_errors,
+              (unsigned long long)r.sip_retransmissions);
+  return 0;
+}

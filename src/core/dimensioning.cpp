@@ -1,0 +1,52 @@
+#include "core/dimensioning.hpp"
+
+#include <stdexcept>
+
+#include "core/erlang_b.hpp"
+
+namespace pbxcap::erlang {
+
+CapacityPoint evaluate_capacity(const Workload& workload, std::uint32_t channels) {
+  CapacityPoint point;
+  point.workload = workload;
+  point.offered = workload.offered_traffic();
+  point.channels = channels;
+  point.blocking_probability = erlang_b(point.offered, channels);
+  point.carried_erlangs = carried_traffic(point.offered, channels);
+  return point;
+}
+
+std::uint32_t dimension_channels(const Workload& workload, double target_pb) {
+  return channels_for_blocking(workload.offered_traffic(), target_pb);
+}
+
+double max_calls_per_hour(std::uint32_t channels, Duration mean_hold, double target_pb) {
+  if (mean_hold <= Duration::zero()) {
+    throw std::invalid_argument{"max_calls_per_hour: hold time must be positive"};
+  }
+  const Erlangs a = offered_load_for_blocking(channels, target_pb);
+  return a.value() * 3600.0 / mean_hold.to_seconds();
+}
+
+CapacityPoint evaluate_population(const PopulationScenario& scenario) {
+  if (scenario.fraction < 0.0 || scenario.fraction > 1.0) {
+    throw std::invalid_argument{"evaluate_population: fraction must be in [0,1]"};
+  }
+  Workload w;
+  w.calls_per_hour = static_cast<double>(scenario.population) * scenario.fraction;
+  w.mean_hold_time = scenario.mean_hold;
+  return evaluate_capacity(w, scenario.channels);
+}
+
+std::vector<CapacityPoint> population_sweep(std::uint32_t population,
+                                            const std::vector<double>& fractions,
+                                            Duration mean_hold, std::uint32_t channels) {
+  std::vector<CapacityPoint> out;
+  out.reserve(fractions.size());
+  for (const double f : fractions) {
+    out.push_back(evaluate_population({population, f, mean_hold, channels}));
+  }
+  return out;
+}
+
+}  // namespace pbxcap::erlang

@@ -1,0 +1,56 @@
+// Busy-hour capacity planning (paper §IV): the Erlang-B toolkit applied to
+// the UnB VoWiFi deployment questions.
+//
+//  * "3,000 calls in the busy hour, 3-minute mean duration, N = 165
+//     channels => P_b = 1.8 %" (paper §IV).
+//  * Fig. 7: population of 8,000, x % of users each placing one call of mean
+//    duration d minutes in the busy hour => blocking on N = 165 channels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::erlang {
+
+/// A dimensioning answer for one (workload, channels) point.
+struct CapacityPoint {
+  Workload workload;
+  Erlangs offered{};
+  std::uint32_t channels{0};
+  double blocking_probability{0.0};
+  double carried_erlangs{0.0};
+};
+
+/// Evaluates blocking for a given busy-hour workload on `channels` channels.
+[[nodiscard]] CapacityPoint evaluate_capacity(const Workload& workload, std::uint32_t channels);
+
+/// Channels needed so the workload sees blocking <= `target_pb`.
+[[nodiscard]] std::uint32_t dimension_channels(const Workload& workload, double target_pb);
+
+/// Maximum busy-hour call volume (calls/h) sustainable on `channels` channels
+/// at blocking <= target_pb, for a given mean duration.
+[[nodiscard]] double max_calls_per_hour(std::uint32_t channels, Duration mean_hold,
+                                        double target_pb);
+
+/// Fig. 7 scenario: `population` users; `fraction` of them each place one
+/// call of mean duration `mean_hold` during the busy hour. Returns the
+/// resulting Erlang-B blocking on `channels` channels.
+struct PopulationScenario {
+  std::uint32_t population{8'000};
+  double fraction{0.0};          // in [0, 1]
+  Duration mean_hold{};          // mean call duration
+  std::uint32_t channels{165};
+};
+
+[[nodiscard]] CapacityPoint evaluate_population(const PopulationScenario& scenario);
+
+/// Sweep helper for Fig. 7: blocking across fractions for one duration.
+[[nodiscard]] std::vector<CapacityPoint> population_sweep(std::uint32_t population,
+                                                          const std::vector<double>& fractions,
+                                                          Duration mean_hold,
+                                                          std::uint32_t channels);
+
+}  // namespace pbxcap::erlang

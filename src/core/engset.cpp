@@ -1,0 +1,54 @@
+#include "core/engset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/erlang_b.hpp"
+
+namespace pbxcap::erlang {
+namespace {
+
+// Time-congestion recurrence: B(0) = 1, and for j = 1..n
+//   B(j) = (M - j + 1) a B(j-1) / (j + (M - j + 1) a B(j-1))
+// where a is the offered intensity per idle source.
+double engset_time_congestion(std::uint32_t sources, double alpha, std::uint32_t n) {
+  if (n >= sources) return 0.0;  // every source can hold a channel: no blocking
+  double b = 1.0;
+  for (std::uint32_t j = 1; j <= n; ++j) {
+    const double m = static_cast<double>(sources - j + 1);
+    b = m * alpha * b / (static_cast<double>(j) + m * alpha * b);
+  }
+  return b;
+}
+
+}  // namespace
+
+double engset_blocking(std::uint32_t sources, double per_source_erlangs, std::uint32_t n) {
+  if (sources == 0) return 0.0;
+  if (per_source_erlangs < 0.0 || !std::isfinite(per_source_erlangs)) {
+    throw std::invalid_argument{"engset_blocking: per-source traffic must be non-negative"};
+  }
+  if (per_source_erlangs == 0.0) return 0.0;
+  if (n == 0) return 1.0;
+  // Call congestion (blocking experienced by an arriving call) equals time
+  // congestion computed over the remaining M-1 sources.
+  return engset_time_congestion(sources - 1, per_source_erlangs, n);
+}
+
+double engset_blocking_total(Erlangs a, std::uint32_t sources, std::uint32_t n) {
+  const double load = a.value();
+  if (load < 0.0 || !std::isfinite(load)) {
+    throw std::invalid_argument{"engset_blocking_total: invalid offered traffic"};
+  }
+  if (load == 0.0) return 0.0;
+  if (static_cast<double>(sources) <= load) {
+    throw std::invalid_argument{
+        "engset_blocking_total: population must exceed offered traffic in Erlangs"};
+  }
+  // Split A over M sources: per-idle-source intensity alpha with
+  // M * alpha / (1 + alpha) = A  =>  alpha = A / (M - A).
+  const double alpha = load / (static_cast<double>(sources) - load);
+  return engset_blocking(sources, alpha, n);
+}
+
+}  // namespace pbxcap::erlang

@@ -1,0 +1,33 @@
+// Engset loss model: blocking with a finite caller population.
+//
+// Erlang-B assumes Poisson arrivals from an infinite population. The paper's
+// Fig. 7 reasons about a finite campus population (8,000 candidate callers);
+// for small populations relative to N the Engset model is the correct finite-
+// source refinement, and it converges to Erlang-B as the population grows.
+// We provide it so the Fig. 7 analysis can be validated against the proper
+// finite-source model (ablation A3 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "core/traffic.hpp"
+
+namespace pbxcap::erlang {
+
+/// Time-blocking probability for `sources` independent callers, each idle-to-
+/// offered ratio `alpha` = per-source offered intensity / (1 - intensity),
+/// on `n` channels. Computed with the stable Engset recurrence.
+///
+/// `per_source_erlangs` is the traffic one free source would offer
+/// (lambda_i * h in Erlangs, must be < 1). Returns the *call* blocking
+/// probability (blocking seen by arriving calls, i.e. with M-1 sources),
+/// which is the quantity comparable to Erlang-B's P_b.
+[[nodiscard]] double engset_blocking(std::uint32_t sources, double per_source_erlangs,
+                                     std::uint32_t n);
+
+/// Engset blocking parameterized like Erlang-B: total offered traffic
+/// `a` split evenly across `sources` callers. Converges to erlang_b(a, n)
+/// as sources -> infinity.
+[[nodiscard]] double engset_blocking_total(Erlangs a, std::uint32_t sources, std::uint32_t n);
+
+}  // namespace pbxcap::erlang

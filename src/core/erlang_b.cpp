@@ -1,0 +1,81 @@
+#include "core/erlang_b.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pbxcap::erlang {
+
+double erlang_b(Erlangs a, std::uint32_t n) {
+  const double load = a.value();
+  if (load < 0.0 || !std::isfinite(load)) {
+    throw std::invalid_argument{"erlang_b: offered traffic must be finite and non-negative"};
+  }
+  if (load == 0.0) return 0.0;
+  double b = 1.0;  // B(0, A)
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    b = load * b / (static_cast<double>(i) + load * b);
+  }
+  return b;
+}
+
+std::uint32_t channels_for_blocking(Erlangs a, double target_pb) {
+  if (!(target_pb > 0.0 && target_pb <= 1.0)) {
+    throw std::invalid_argument{"channels_for_blocking: target_pb must be in (0,1]"};
+  }
+  const double load = a.value();
+  if (load < 0.0 || !std::isfinite(load)) {
+    throw std::invalid_argument{"channels_for_blocking: invalid offered traffic"};
+  }
+  if (load == 0.0) return 0;
+  double b = 1.0;
+  std::uint32_t n = 0;
+  while (b > target_pb) {
+    ++n;
+    b = load * b / (static_cast<double>(n) + load * b);
+    // The recurrence shrinks b toward 0 strictly once n exceeds A, so this
+    // loop always terminates; the guard is a defensive backstop.
+    if (n > 10'000'000) throw std::runtime_error{"channels_for_blocking: did not converge"};
+  }
+  return n;
+}
+
+Erlangs offered_load_for_blocking(std::uint32_t n, double target_pb, double tolerance) {
+  if (!(target_pb > 0.0 && target_pb < 1.0)) {
+    throw std::invalid_argument{"offered_load_for_blocking: target_pb must be in (0,1)"};
+  }
+  if (n == 0) return Erlangs{0.0};
+  double lo = 0.0;
+  double hi = static_cast<double>(n);
+  while (erlang_b(Erlangs{hi}, n) < target_pb) hi *= 2.0;
+  while (hi - lo > tolerance * (1.0 + hi)) {
+    const double mid = 0.5 * (lo + hi);
+    if (erlang_b(Erlangs{mid}, n) < target_pb) lo = mid;
+    else hi = mid;
+  }
+  return Erlangs{0.5 * (lo + hi)};
+}
+
+double carried_traffic(Erlangs a, std::uint32_t n) {
+  return a.value() * (1.0 - erlang_b(a, n));
+}
+
+double extended_erlang_b(Erlangs a, std::uint32_t n, double recall_factor, double tolerance) {
+  if (!(recall_factor >= 0.0 && recall_factor < 1.0)) {
+    throw std::invalid_argument{"extended_erlang_b: recall_factor must be in [0,1)"};
+  }
+  double offered = a.value();
+  double pb = erlang_b(Erlangs{offered}, n);
+  for (int iter = 0; iter < 10'000; ++iter) {
+    // Blocked * recall_factor re-enters the offered stream.
+    const double next_offered = a.value() / (1.0 - recall_factor * pb);
+    const double next_pb = erlang_b(Erlangs{next_offered}, n);
+    const bool converged = std::fabs(next_pb - pb) < tolerance &&
+                           std::fabs(next_offered - offered) < tolerance * (1.0 + offered);
+    offered = next_offered;
+    pb = next_pb;
+    if (converged) return pb;
+  }
+  return pb;  // fixed point is a contraction for recall_factor < 1; best effort
+}
+
+}  // namespace pbxcap::erlang

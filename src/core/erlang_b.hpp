@@ -1,0 +1,49 @@
+// Erlang-B loss model (paper §III-B, Equation (2)).
+//
+//   P_b = (A^N / N!) / sum_{i=0..N} A^i / i!
+//
+// Direct evaluation overflows for the paper's ranges (A up to 240, N up to
+// 300), so blocking is computed with the standard numerically stable
+// recurrence
+//
+//   B(0, A) = 1
+//   B(n, A) = A * B(n-1, A) / (n + A * B(n-1, A))
+//
+// which is exact (it is Equation (2) rewritten) and runs in O(N).
+#pragma once
+
+#include <cstdint>
+
+#include "core/traffic.hpp"
+
+namespace pbxcap::erlang {
+
+/// Blocking probability for offered traffic `a` on `n` channels.
+/// Domain: a >= 0. n = 0 yields 1 (every call blocked).
+[[nodiscard]] double erlang_b(Erlangs a, std::uint32_t n);
+
+/// Convenience overload on a raw Erlang value.
+[[nodiscard]] inline double erlang_b(double a, std::uint32_t n) {
+  return erlang_b(Erlangs{a}, n);
+}
+
+/// Smallest channel count N with erlang_b(a, N) <= target_pb.
+/// target_pb must be in (0, 1]. Runs the recurrence once, O(N_answer).
+[[nodiscard]] std::uint32_t channels_for_blocking(Erlangs a, double target_pb);
+
+/// Largest offered traffic A with erlang_b(A, n) <= target_pb, via bisection
+/// (erlang_b is strictly increasing in A for fixed n >= 1).
+[[nodiscard]] Erlangs offered_load_for_blocking(std::uint32_t n, double target_pb,
+                                                double tolerance = 1e-9);
+
+/// Carried traffic A * (1 - P_b): the load the server actually serves.
+[[nodiscard]] double carried_traffic(Erlangs a, std::uint32_t n);
+
+/// Extended Erlang-B: a fraction `recall_factor` in [0,1) of blocked callers
+/// immediately retries, inflating the offered load. Solved by fixed-point
+/// iteration; models the "redial on busy" behaviour classic Erlang-B ignores.
+/// Returns the blocking probability seen by attempts at the fixed point.
+[[nodiscard]] double extended_erlang_b(Erlangs a, std::uint32_t n, double recall_factor,
+                                       double tolerance = 1e-10);
+
+}  // namespace pbxcap::erlang

@@ -1,0 +1,55 @@
+#include "core/erlang_c.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/erlang_b.hpp"
+
+namespace pbxcap::erlang {
+
+double erlang_c(Erlangs a, std::uint32_t n) {
+  const double load = a.value();
+  if (load < 0.0 || !std::isfinite(load)) {
+    throw std::invalid_argument{"erlang_c: offered traffic must be finite and non-negative"};
+  }
+  if (load == 0.0) return 0.0;
+  if (static_cast<double>(n) <= load) return 1.0;  // unstable queue: every call waits
+  // Standard identity: C = N*B / (N - A*(1-B)) with B the Erlang-B blocking.
+  const double b = erlang_b(a, n);
+  const double nn = static_cast<double>(n);
+  return nn * b / (nn - load * (1.0 - b));
+}
+
+Duration erlang_c_mean_wait(Erlangs a, std::uint32_t n, Duration mean_hold) {
+  const double load = a.value();
+  if (static_cast<double>(n) <= load) return Duration::max();
+  const double c = erlang_c(a, n);
+  const double w = c * mean_hold.to_seconds() / (static_cast<double>(n) - load);
+  return Duration::from_seconds(w);
+}
+
+double erlang_c_service_level(Erlangs a, std::uint32_t n, Duration mean_hold,
+                              Duration target_wait) {
+  const double load = a.value();
+  if (static_cast<double>(n) <= load) return 0.0;
+  const double c = erlang_c(a, n);
+  const double exponent =
+      -(static_cast<double>(n) - load) * target_wait.to_seconds() / mean_hold.to_seconds();
+  return 1.0 - c * std::exp(exponent);
+}
+
+std::uint32_t agents_for_wait_probability(Erlangs a, double target) {
+  if (!(target > 0.0 && target <= 1.0)) {
+    throw std::invalid_argument{"agents_for_wait_probability: target must be in (0,1]"};
+  }
+  // Stability alone demands n > a; start there and walk up. erlang_c is
+  // strictly decreasing in n in the stable region.
+  auto n = static_cast<std::uint32_t>(std::floor(a.value())) + 1;
+  while (erlang_c(a, n) > target) {
+    ++n;
+    if (n > 10'000'000) throw std::runtime_error{"agents_for_wait_probability: did not converge"};
+  }
+  return n;
+}
+
+}  // namespace pbxcap::erlang

@@ -1,0 +1,31 @@
+// Erlang-C delay model (M/M/N queue, infinite waiting room).
+//
+// The paper's Asterisk deployment blocks on channel exhaustion (Erlang-B),
+// but contact-center dimensioning — the model family the paper cites via
+// Angus's "An introduction to Erlang B and Erlang C" — also needs the queued
+// variant. Provided as part of the dimensioning toolkit.
+#pragma once
+
+#include <cstdint>
+
+#include "core/traffic.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::erlang {
+
+/// Probability an arriving call waits (finds all N servers busy).
+/// Requires a < n for a stable queue; returns 1.0 when a >= n.
+[[nodiscard]] double erlang_c(Erlangs a, std::uint32_t n);
+
+/// Mean wait over all calls: W = C(a,n) * h / (n - a).
+[[nodiscard]] Duration erlang_c_mean_wait(Erlangs a, std::uint32_t n, Duration mean_hold);
+
+/// Service level: fraction of calls answered within `target_wait`.
+///   SL = 1 - C(a,n) * exp(-(n - a) * t / h)
+[[nodiscard]] double erlang_c_service_level(Erlangs a, std::uint32_t n, Duration mean_hold,
+                                            Duration target_wait);
+
+/// Smallest N achieving wait probability <= target (requires target in (0,1]).
+[[nodiscard]] std::uint32_t agents_for_wait_probability(Erlangs a, double target);
+
+}  // namespace pbxcap::erlang

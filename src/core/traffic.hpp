@@ -1,0 +1,75 @@
+// Telephone-traffic units and workload characterization (paper §III-A).
+//
+// One Erlang is one voice channel in continuous use for one hour. The paper's
+// Equation (1):
+//
+//     Erlang = calls/h * duration(minutes) / 60
+//
+// is the product of call arrival rate and mean holding time expressed on a
+// common time base (Little's law applied to the busy hour).
+#pragma once
+
+#include "util/time.hpp"
+
+namespace pbxcap::erlang {
+
+/// Strong type for offered/carried traffic intensity in Erlangs.
+class Erlangs {
+ public:
+  constexpr Erlangs() noexcept = default;
+  explicit constexpr Erlangs(double value) noexcept : value_{value} {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  constexpr auto operator<=>(const Erlangs&) const noexcept = default;
+
+  friend constexpr Erlangs operator+(Erlangs a, Erlangs b) noexcept {
+    return Erlangs{a.value_ + b.value_};
+  }
+  friend constexpr Erlangs operator-(Erlangs a, Erlangs b) noexcept {
+    return Erlangs{a.value_ - b.value_};
+  }
+  friend constexpr Erlangs operator*(Erlangs a, double k) noexcept {
+    return Erlangs{a.value_ * k};
+  }
+  friend constexpr Erlangs operator*(double k, Erlangs a) noexcept { return a * k; }
+
+ private:
+  double value_{0.0};
+};
+
+/// Busy-hour workload description: arrival volume and mean holding time.
+struct Workload {
+  double calls_per_hour{0.0};
+  Duration mean_hold_time{};
+
+  /// Equation (1): offered traffic in Erlangs.
+  [[nodiscard]] Erlangs offered_traffic() const noexcept {
+    return Erlangs{calls_per_hour * mean_hold_time.to_seconds() / 3600.0};
+  }
+
+  /// Mean call arrival rate in calls per second.
+  [[nodiscard]] double arrival_rate_per_second() const noexcept {
+    return calls_per_hour / 3600.0;
+  }
+};
+
+/// Equation (1) in its paper form (duration given in minutes).
+[[nodiscard]] constexpr Erlangs erlangs_from_calls(double calls_per_hour,
+                                                   double duration_minutes) noexcept {
+  return Erlangs{calls_per_hour * duration_minutes / 60.0};
+}
+
+/// Inverse of Equation (1): arrival volume sustaining traffic A at the given
+/// mean duration.
+[[nodiscard]] constexpr double calls_per_hour_for(Erlangs a, double duration_minutes) noexcept {
+  return duration_minutes <= 0.0 ? 0.0 : a.value() * 60.0 / duration_minutes;
+}
+
+/// Offered traffic from an arrival rate (calls/s) and hold time — the form
+/// used by the empirical method (§III-C): A = lambda * h.
+[[nodiscard]] inline Erlangs erlangs_from_rate(double calls_per_second, Duration hold) noexcept {
+  return Erlangs{calls_per_second * hold.to_seconds()};
+}
+
+}  // namespace pbxcap::erlang

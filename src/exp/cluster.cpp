@@ -1,0 +1,102 @@
+#include "exp/cluster.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "loadgen/caller.hpp"
+#include "loadgen/receiver.hpp"
+#include "monitor/capture.hpp"
+#include "net/network.hpp"
+#include "net/switch_node.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::exp {
+
+ClusterResult run_cluster(const ClusterConfig& config) {
+  if (config.servers == 0) throw std::invalid_argument{"run_cluster: need at least one server"};
+
+  sim::Simulator simulator;
+  sim::Random master{config.seed};
+  sim::Random impairment_rng = master.fork();
+  sim::Random arrival_rng = master.fork();
+
+  net::Network network{simulator, impairment_rng};
+  sip::HostResolver resolver;
+  rtp::SsrcAllocator ssrcs;
+
+  net::SwitchNode lan_switch{"switch"};
+  network.attach(lan_switch);
+
+  std::vector<std::unique_ptr<pbx::AsteriskPbx>> pbxs;
+  std::vector<std::string> pbx_hosts;
+  for (std::uint32_t i = 0; i < config.servers; ++i) {
+    pbx::PbxConfig pbx_config;
+    pbx_config.host = util::format("pbx%u.unb.br", i);
+    pbx_config.max_channels = config.channels_per_server;
+    pbxs.push_back(std::make_unique<pbx::AsteriskPbx>(pbx_config, simulator, resolver));
+    pbx_hosts.push_back(pbx_config.host);
+  }
+
+  loadgen::SipCaller caller{"sipp-client.unb.br", pbx_hosts, simulator, resolver, ssrcs,
+                            config.scenario, arrival_rng};
+  loadgen::SipReceiver receiver{"sipp-server.unb.br", simulator, resolver, ssrcs,
+                                config.scenario};
+
+  network.attach(caller);
+  network.attach(receiver);
+  network.connect(caller, lan_switch, {});
+  network.connect(receiver, lan_switch, {});
+  caller.bind();
+  receiver.bind();
+  for (auto& pbx : pbxs) {
+    network.attach(*pbx);
+    network.connect(*pbx, lan_switch, {});
+    pbx->bind();
+    pbx->dialplan().add("recv-", receiver.sip_host());
+  }
+
+  caller.start();
+  const double hold_tail =
+      config.scenario.hold_model == sim::HoldTimeModel::kDeterministic ? 1.0 : 4.0;
+  const Duration horizon =
+      config.scenario.placement_window +
+      Duration::from_seconds(config.scenario.hold_time.to_seconds() * hold_tail) + config.drain;
+  simulator.run_until(TimePoint::at(horizon));
+  caller.finalize_remaining();
+
+  for (auto& record : caller.log().records_mutable()) {
+    if (const auto* q = receiver.finished(record.call_index)) {
+      record.mos_callee_heard = q->mos;
+      record.loss_callee_heard = q->effective_loss;
+      record.jitter_callee_heard = q->jitter;
+      record.rtp_received_callee = q->rtp_received;
+    }
+  }
+
+  const monitor::CallLog& log = caller.log();
+  ClusterResult result;
+  result.report.offered_erlangs = config.scenario.offered_erlangs();
+  result.report.arrival_rate_per_s = config.scenario.arrival_rate_per_s;
+  result.report.hold_time = config.scenario.hold_time;
+  result.report.seed = config.seed;
+  result.report.calls_attempted = log.attempted();
+  result.report.calls_completed = log.completed();
+  result.report.calls_blocked = log.blocked();
+  result.report.calls_failed = log.failed();
+  result.report.blocking_probability = log.blocking_probability();
+  result.report.mos = log.mos_summary();
+  result.report.setup_delay_ms = log.setup_delay_summary();
+  result.report.channels_configured = config.channels_per_server * config.servers;
+
+  std::uint32_t peak_total = 0;
+  for (auto& pbx : pbxs) {
+    result.peak_channels_per_server.push_back(pbx->channels().peak());
+    result.congestion_per_server.push_back(pbx->cdrs().count(pbx::Disposition::kCongestion));
+    peak_total += pbx->channels().peak();
+  }
+  result.report.channels_peak = peak_total;
+  return result;
+}
+
+}  // namespace pbxcap::exp

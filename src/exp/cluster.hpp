@@ -1,0 +1,36 @@
+// Multi-server scaling experiment (paper §IV conclusion: "increasing the
+// number of servers ... are also a possible alternative").
+//
+// Builds the Fig. 4 testbed with k Asterisk PBXs behind the switch and a
+// caller bank that spreads calls round-robin across them (DNS-rotation
+// front end). With even splitting, each server sees A/k Erlangs on its own
+// N channels, so the cluster's blocking follows Erlang-B(A/k, N) — much
+// better than one server with k*N channels would need to be provisioned
+// piecewise, and directly comparable to the analytical prediction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/testbed.hpp"
+#include "monitor/report.hpp"
+
+namespace pbxcap::exp {
+
+struct ClusterConfig {
+  loadgen::CallScenario scenario;
+  std::uint32_t servers{2};
+  std::uint32_t channels_per_server{165};
+  std::uint64_t seed{1};
+  Duration drain{Duration::seconds(30)};
+};
+
+struct ClusterResult {
+  monitor::ExperimentReport report;       // aggregate over the whole cluster
+  std::vector<std::uint32_t> peak_channels_per_server;
+  std::vector<std::uint64_t> congestion_per_server;  // CDR CONGESTION counts
+};
+
+[[nodiscard]] ClusterResult run_cluster(const ClusterConfig& config);
+
+}  // namespace pbxcap::exp

@@ -1,0 +1,77 @@
+#include "exp/paper.hpp"
+
+#include "core/dimensioning.hpp"
+#include "core/erlang_b.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::exp {
+
+using erlang::Erlangs;
+
+util::TextTable fig3_erlang_b_curves(const std::vector<double>& erlangs, std::uint32_t n_lo,
+                                     std::uint32_t n_hi, std::uint32_t n_step) {
+  std::vector<std::string> header{"N"};
+  for (const double a : erlangs) header.push_back(util::format("%.0f E", a));
+  util::TextTable table{std::move(header)};
+  for (std::uint32_t n = n_lo; n <= n_hi; n += n_step) {
+    std::vector<std::string> row{util::format("%u", n)};
+    for (const double a : erlangs) {
+      row.push_back(util::format("%.4f%%", erlang::erlang_b(Erlangs{a}, n) * 100.0));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::TextTable fig6_empirical_vs_model(const std::vector<SweepPoint>& sweep,
+                                        const std::vector<std::uint32_t>& overlay_n) {
+  std::vector<std::string> header{"A (Erlangs)", "Empirical Pb", "Pb 95% CI"};
+  for (const auto n : overlay_n) header.push_back(util::format("Erlang-B N=%u", n));
+  util::TextTable table{std::move(header)};
+  for (const auto& point : sweep) {
+    const auto ci = point.blocking_ci();
+    std::vector<std::string> row{
+        util::format("%.0f", point.offered_erlangs),
+        util::format("%.2f%%", point.blocking_mean() * 100.0),
+        util::format("[%.2f%%, %.2f%%]", std::max(0.0, ci.lo) * 100.0, ci.hi * 100.0)};
+    for (const auto n : overlay_n) {
+      row.push_back(
+          util::format("%.2f%%", erlang::erlang_b(Erlangs{point.offered_erlangs}, n) * 100.0));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::TextTable fig7_population_blocking(std::uint32_t population,
+                                         const std::vector<double>& fractions,
+                                         const std::vector<Duration>& durations,
+                                         std::uint32_t channels) {
+  std::vector<std::string> header{"Population %"};
+  for (const auto d : durations) header.push_back(util::format("%.1f min", d.to_minutes()));
+  util::TextTable table{std::move(header)};
+  for (const double f : fractions) {
+    std::vector<std::string> row{util::format("%.0f%%", f * 100.0)};
+    for (const auto d : durations) {
+      const auto point = erlang::evaluate_population({population, f, d, channels});
+      row.push_back(util::format("%.2f%%", point.blocking_probability * 100.0));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::TextTable busy_hour_summary(double calls_per_hour, Duration mean_hold,
+                                  const std::vector<std::uint32_t>& channel_options) {
+  util::TextTable table{{"N (channels)", "offered (E)", "P_b", "carried (E)"}};
+  const erlang::Workload workload{calls_per_hour, mean_hold};
+  for (const auto n : channel_options) {
+    const auto point = erlang::evaluate_capacity(workload, n);
+    table.add_row({util::format("%u", n), util::format("%.1f", point.offered.value()),
+                   util::format("%.2f%%", point.blocking_probability * 100.0),
+                   util::format("%.1f", point.carried_erlangs)});
+  }
+  return table;
+}
+
+}  // namespace pbxcap::exp

@@ -1,0 +1,37 @@
+// Paper-figure formatters: each function regenerates one table/figure of
+// the evaluation section as a TextTable (and CSV via TextTable::to_csv).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::exp {
+
+/// Fig. 3: Erlang-B blocking vs channel count for a family of loads.
+/// One row per channel count in [n_lo, n_hi] step `n_step`; one column per
+/// load in `erlangs`.
+[[nodiscard]] util::TextTable fig3_erlang_b_curves(const std::vector<double>& erlangs,
+                                                   std::uint32_t n_lo, std::uint32_t n_hi,
+                                                   std::uint32_t n_step);
+
+/// Fig. 6: measured blocking vs offered load, with Erlang-B overlays at the
+/// given channel counts.
+[[nodiscard]] util::TextTable fig6_empirical_vs_model(const std::vector<SweepPoint>& sweep,
+                                                      const std::vector<std::uint32_t>& overlay_n);
+
+/// Fig. 7: blocking vs calling fraction of a finite population, one column
+/// per mean call duration.
+[[nodiscard]] util::TextTable fig7_population_blocking(std::uint32_t population,
+                                                       const std::vector<double>& fractions,
+                                                       const std::vector<Duration>& durations,
+                                                       std::uint32_t channels);
+
+/// §IV headline: busy-hour dimensioning summary for a calls/hour volume.
+[[nodiscard]] util::TextTable busy_hour_summary(double calls_per_hour, Duration mean_hold,
+                                                const std::vector<std::uint32_t>& channel_options);
+
+}  // namespace pbxcap::exp

@@ -1,0 +1,64 @@
+// Parallel replication runner.
+//
+// Each simulation run is strictly single-threaded and self-contained, so
+// replications and sweep points parallelize embarrassingly: a small worker
+// pool pulls indices from an atomic counter (CP.* guidance: share nothing
+// mutable between threads except the counter and the preallocated results).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pbxcap::exp {
+
+/// Number of workers to use by default: the hardware concurrency, at least 1.
+[[nodiscard]] inline unsigned default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs fn(i) for i in [0, n) across `threads` workers. fn must write only
+/// to per-index state. The first exception thrown by any worker is rethrown
+/// on the calling thread after all workers join.
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          const std::scoped_lock lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pbxcap::exp

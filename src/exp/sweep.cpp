@@ -1,0 +1,41 @@
+#include "exp/sweep.hpp"
+
+#include "exp/parallel.hpp"
+
+namespace pbxcap::exp {
+
+std::vector<SweepPoint> run_blocking_sweep(const SweepConfig& config) {
+  const std::size_t points = config.erlangs.size();
+  const std::size_t reps = config.replications;
+  const std::size_t jobs = points * reps;
+  std::vector<monitor::ExperimentReport> reports(jobs);
+
+  const unsigned threads = config.threads == 0 ? default_threads() : config.threads;
+  parallel_for(jobs, threads, [&](std::size_t job) {
+    const std::size_t point = job / reps;
+    TestbedConfig tb = config.base;
+    const Duration hold = tb.scenario.hold_time;
+    tb.scenario.arrival_rate_per_s = config.erlangs[point] / hold.to_seconds();
+    // Spread seeds so replications and points are independent streams.
+    tb.seed = config.base.seed + 0x9e3779b9ULL * (job + 1);
+    reports[job] = run_testbed(tb);
+  });
+
+  std::vector<SweepPoint> out(points);
+  for (std::size_t point = 0; point < points; ++point) {
+    SweepPoint& sp = out[point];
+    sp.offered_erlangs = config.erlangs[point];
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto& report = reports[point * reps + rep];
+      sp.blocking.add(report.blocking_probability);
+      if (!report.mos.empty()) sp.mos.add(report.mos.mean());
+      if (!report.cpu_utilization.empty()) sp.cpu_mean.add(report.cpu_utilization.mean());
+      sp.calls_attempted += report.calls_attempted;
+      sp.calls_blocked += report.calls_blocked;
+      sp.replications.push_back(report);
+    }
+  }
+  return out;
+}
+
+}  // namespace pbxcap::exp

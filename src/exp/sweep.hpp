@@ -1,0 +1,41 @@
+// Parameter sweeps with replications — the machinery behind Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/testbed.hpp"
+#include "monitor/report.hpp"
+#include "stats/confidence.hpp"
+#include "stats/summary.hpp"
+
+namespace pbxcap::exp {
+
+/// Aggregate of all replications at one offered-load point.
+struct SweepPoint {
+  double offered_erlangs{0.0};
+  stats::Summary blocking;      // one sample per replication
+  stats::Summary mos;           // pooled per-replication means
+  stats::Summary cpu_mean;      // per-replication mean CPU
+  std::uint64_t calls_attempted{0};
+  std::uint64_t calls_blocked{0};
+  std::vector<monitor::ExperimentReport> replications;
+
+  [[nodiscard]] double blocking_mean() const noexcept { return blocking.mean(); }
+  [[nodiscard]] stats::Interval blocking_ci(double conf = 0.95) const {
+    return stats::mean_confidence(blocking, conf);
+  }
+};
+
+struct SweepConfig {
+  TestbedConfig base;              // scenario.arrival_rate is overwritten per point
+  std::vector<double> erlangs;     // offered loads to visit
+  std::uint32_t replications{3};
+  unsigned threads{0};             // 0 = default_threads()
+};
+
+/// Runs the full factorial (loads x replications), parallelized. Seeds are
+/// derived deterministically from base.seed, point and replication indices.
+[[nodiscard]] std::vector<SweepPoint> run_blocking_sweep(const SweepConfig& config);
+
+}  // namespace pbxcap::exp

@@ -1,0 +1,153 @@
+#include "exp/testbed.hpp"
+
+#include <algorithm>
+
+#include "loadgen/caller.hpp"
+#include "loadgen/receiver.hpp"
+#include "monitor/capture.hpp"
+#include "net/network.hpp"
+#include "net/switch_node.hpp"
+#include "sim/simulator.hpp"
+
+namespace pbxcap::exp {
+
+monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservations* wifi_out) {
+  sim::Simulator simulator;
+  sim::Random master{config.seed};
+  sim::Random impairment_rng = master.fork();
+  sim::Random arrival_rng = master.fork();
+
+  net::Network network{simulator, impairment_rng};
+  sip::HostResolver resolver;
+  rtp::SsrcAllocator ssrcs;
+
+  net::SwitchNode lan_switch{"switch"};
+  pbx::AsteriskPbx pbx{config.pbx, simulator, resolver};
+  loadgen::SipCaller caller{"sipp-client.unb.br", config.pbx.host, simulator, resolver, ssrcs,
+                            config.scenario, arrival_rng};
+  loadgen::SipReceiver receiver{"sipp-server.unb.br", simulator, resolver, ssrcs,
+                                config.scenario};
+
+  net::WifiCell wifi_cell{"ap", config.wifi_cell.value_or(net::WifiCellConfig{})};
+
+  network.attach(lan_switch);
+  network.attach(pbx);
+  network.attach(caller);
+  network.attach(receiver);
+  if (config.wifi_cell) {
+    // VoWiFi access: caller -> AP (radio) -> switch (wired uplink).
+    network.attach(wifi_cell);
+    network.connect(caller, wifi_cell, config.client_link);
+    net::Link& uplink = network.connect(wifi_cell, lan_switch, {});
+    wifi_cell.set_uplink(uplink);
+    lan_switch.add_route(caller.id(), uplink);
+  } else {
+    network.connect(caller, lan_switch, config.client_link);
+  }
+  network.connect(receiver, lan_switch, config.server_link);
+  network.connect(pbx, lan_switch, config.pbx_link);
+  pbx.bind();
+  caller.bind();
+  receiver.bind();
+
+  // Dialplan: every recv-* extension terminates on the SIP server host.
+  pbx.dialplan().add("recv-", receiver.sip_host());
+  pbx.directory().allow_prefix("caller-");
+
+  monitor::SipCapture sip_capture{pbx.id()};
+  monitor::RtpCapture rtp_capture{pbx.id()};
+  sip_capture.attach(network);
+  rtp_capture.attach(network);
+  if (config.trace != nullptr) config.trace->attach(network);
+
+  caller.start();
+  // Hold tail: deterministic holds end exactly at window + h; stochastic
+  // models need slack for the distribution's tail before the drain cutoff.
+  const double hold_tail_factor =
+      config.scenario.hold_model == sim::HoldTimeModel::kDeterministic ? 1.0 : 4.0;
+  const Duration horizon_d =
+      config.scenario.placement_window +
+      Duration::from_seconds(config.scenario.hold_time.to_seconds() * hold_tail_factor) +
+      config.drain;
+  simulator.run_until(TimePoint::at(horizon_d));
+  caller.finalize_remaining();
+
+  // Merge receiver-side heard quality into the caller's per-call records.
+  for (auto& record : caller.log().records_mutable()) {
+    if (const auto* q = receiver.finished(record.call_index)) {
+      record.mos_callee_heard = q->mos;
+      record.loss_callee_heard = q->effective_loss;
+      record.jitter_callee_heard = q->jitter;
+      record.rtp_received_callee = q->rtp_received;
+    }
+  }
+
+  const monitor::CallLog& log = caller.log();
+  monitor::ExperimentReport report;
+  report.offered_erlangs = config.scenario.offered_erlangs();
+  report.arrival_rate_per_s = config.scenario.arrival_rate_per_s;
+  report.hold_time = config.scenario.hold_time;
+  report.seed = config.seed;
+
+  report.calls_attempted = log.attempted();
+  report.calls_completed = log.completed();
+  report.calls_blocked = log.blocked();
+  report.calls_failed = log.failed();
+  report.blocking_probability = log.blocking_probability();
+  const TimePoint steady_from =
+      TimePoint::at(std::min(config.scenario.hold_time, config.scenario.placement_window));
+  report.blocking_probability_steady = log.blocking_probability_since(steady_from);
+  report.calls_attempted_steady = log.attempted_since(steady_from);
+
+  report.channels_configured = pbx.channels().capacity();
+  report.channels_peak = pbx.channels().peak();
+  // CPU over the loaded steady interval: after the ramp (one hold time),
+  // until the placement window closes. When holds outlast the window (short
+  // smoke runs), fall back to the second half of the window so the interval
+  // is never empty.
+  Duration cpu_from_d = std::min(config.scenario.hold_time, config.scenario.placement_window);
+  if (cpu_from_d >= config.scenario.placement_window) {
+    cpu_from_d = Duration::nanos(config.scenario.placement_window.ns() / 2);
+  }
+  const TimePoint cpu_from = TimePoint::at(cpu_from_d);
+  const TimePoint cpu_to = TimePoint::at(config.scenario.placement_window);
+  report.cpu_utilization = pbx.cpu().utilization(cpu_from, cpu_to);
+  report.rtp_packets_at_pbx = rtp_capture.packets_in();
+  report.rtp_relayed = pbx.rtp_relayed();
+
+  report.mos = log.mos_summary();
+  report.setup_delay_ms = log.setup_delay_summary();
+  report.effective_loss = log.loss_summary();
+  report.jitter_ms = log.jitter_summary();
+
+  report.sip_total = sip_capture.total();
+  report.sip_invite = sip_capture.invites();
+  report.sip_100 = sip_capture.trying_100();
+  report.sip_180 = sip_capture.ringing_180();
+  report.sip_200 = sip_capture.ok_200();
+  report.sip_ack = sip_capture.acks();
+  report.sip_bye = sip_capture.byes();
+  report.sip_errors = sip_capture.errors();
+  report.sip_retransmissions = pbx.transactions().total_retransmissions() +
+                               caller.transactions().total_retransmissions() +
+                               receiver.transactions().total_retransmissions();
+
+  if (wifi_out != nullptr && config.wifi_cell) {
+    wifi_out->medium_utilization = wifi_cell.medium_utilization(simulator.now());
+    wifi_out->frames_forwarded = wifi_cell.frames_forwarded();
+    wifi_out->frames_dropped_queue = wifi_cell.frames_dropped_queue();
+    wifi_out->frames_dropped_radio = wifi_cell.frames_dropped_radio();
+  }
+  return report;
+}
+
+monitor::ExperimentReport run_offered_load(double erlangs, std::uint64_t seed,
+                                           std::uint32_t max_channels) {
+  TestbedConfig config;
+  config.scenario = loadgen::CallScenario::for_offered_load(erlangs);
+  config.pbx.max_channels = max_channels;
+  config.seed = seed;
+  return run_testbed(config);
+}
+
+}  // namespace pbxcap::exp

@@ -1,0 +1,286 @@
+#include "loadgen/caller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "loadgen/receiver.hpp"  // call_index_of_user
+#include "media/emodel.hpp"
+#include "sip/sdp.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::loadgen {
+
+using sip::Message;
+using sip::Method;
+using sip::Sdp;
+
+SipCaller::SipCaller(std::string host, std::string pbx_host, sim::Simulator& simulator,
+                     sip::HostResolver& resolver, rtp::SsrcAllocator& ssrcs,
+                     CallScenario scenario, sim::Random rng)
+    : SipCaller{std::move(host), std::vector<std::string>{std::move(pbx_host)}, simulator,
+                resolver, ssrcs, scenario, rng} {}
+
+SipCaller::SipCaller(std::string host, std::vector<std::string> pbx_hosts,
+                     sim::Simulator& simulator, sip::HostResolver& resolver,
+                     rtp::SsrcAllocator& ssrcs, CallScenario scenario, sim::Random rng)
+    : sip::SipEndpoint{"sipp-client", std::move(host), simulator, resolver},
+      pbx_hosts_{std::move(pbx_hosts)},
+      ssrcs_{ssrcs},
+      scenario_{scenario},
+      rng_{rng} {
+  if (pbx_hosts_.empty()) throw std::invalid_argument{"SipCaller: need at least one PBX host"};
+  transactions().on_request = [](const Message&, sip::ServerTransaction& txn) {
+    // The caller never expects requests (the PBX tears down via leg B BYEs
+    // only when the callee hangs up first, which this generator never does).
+    (void)txn;
+  };
+  transactions().on_ack = [](const Message&) {};
+}
+
+void SipCaller::start() {
+  if (started_) return;
+  started_ = true;
+  if (scenario_.finite_population > 0) {
+    idle_users_ = scenario_.finite_population;
+  }
+  schedule_next_arrival();
+}
+
+void SipCaller::schedule_next_arrival() {
+  const TimePoint now = network()->simulator().now();
+  const TimePoint window_end = TimePoint::at(scenario_.placement_window);
+  if (now >= window_end || window_closed_) {
+    window_closed_ = true;
+    return;
+  }
+  if (scenario_.max_calls != 0 && next_call_index_ >= scenario_.max_calls) return;
+
+  double rate = scenario_.arrival_rate_per_s;
+  if (scenario_.finite_population > 0) {
+    rate = scenario_.per_user_rate_per_s * static_cast<double>(idle_users_);
+    if (rate <= 0.0) return;  // every user busy; resumes on user_became_idle()
+  }
+  const Duration gap = Duration::from_seconds(rng_.exponential(1.0 / rate));
+  arrival_timer_ = network()->simulator().schedule_in(gap, [this] {
+    if (network()->simulator().now() < TimePoint::at(scenario_.placement_window)) {
+      place_call();
+    }
+    schedule_next_arrival();
+  });
+}
+
+void SipCaller::user_became_idle() {
+  ++idle_users_;
+  // Re-arm the arrival process: the aggregate rate just changed. Cancelling
+  // and redrawing is valid because the exponential is memoryless.
+  if (started_ && !window_closed_ && arrival_timer_ != 0) {
+    network()->simulator().cancel(arrival_timer_);
+    arrival_timer_ = 0;
+    schedule_next_arrival();
+  }
+}
+
+void SipCaller::place_call() {
+  if (scenario_.finite_population > 0) {
+    if (idle_users_ == 0) return;
+    --idle_users_;
+  }
+
+  const std::uint64_t index = next_call_index_++;
+  auto call = std::make_unique<Call>();
+  call->index = index;
+  call->pbx_host = pbx_hosts_[static_cast<std::size_t>(index) % pbx_hosts_.size()];
+  call->offered_at = network()->simulator().now();
+  call->hold = draw_hold_time(rng_, scenario_.hold_model, scenario_.hold_time, scenario_.hold_cv);
+  call->codec = scenario_.codec;
+  call->local_ssrc = ssrcs_.allocate();
+  call->rx = rtp::RtpReceiverStats{scenario_.codec.sample_rate_hz};
+  call->jbuf = rtp::JitterBuffer{scenario_.codec, scenario_.jitter_buffer};
+
+  const std::string caller_user = util::format("caller-%llu", static_cast<unsigned long long>(index));
+  const std::string callee_user = util::format("recv-%llu", static_cast<unsigned long long>(index));
+
+  Message invite = Message::request(Method::kInvite, sip::Uri{callee_user, call->pbx_host});
+  invite.from() = sip::NameAddr{sip::Uri{caller_user, sip_host()}, new_tag()};
+  invite.to() = sip::NameAddr{sip::Uri{callee_user, call->pbx_host}, ""};
+  invite.set_call_id(util::format("call-%llu@%s", static_cast<unsigned long long>(index),
+                                  sip_host().c_str()));
+  invite.set_cseq({1, Method::kInvite});
+  invite.set_contact(sip::Uri{caller_user, sip_host()});
+
+  Sdp offer;
+  offer.connection_host = sip_host();
+  offer.audio.rtp_port = static_cast<std::uint16_t>(30'000 + (index * 2) % 20'000);
+  offer.audio.payload_types = {scenario_.codec.payload_type};
+  offer.audio.ssrc = call->local_ssrc;
+  invite.set_body(offer.to_string(), "application/sdp");
+
+  call->invite = invite;
+  const std::string pbx_host = call->pbx_host;
+  calls_.emplace(index, std::move(call));
+
+  send_request_to(
+      std::move(invite), pbx_host,
+      [this, index](const Message& resp) { on_invite_response(index, resp); },
+      [this, index] { on_invite_timeout(index); });
+}
+
+SipCaller::Call* SipCaller::find(std::uint64_t index) {
+  const auto it = calls_.find(index);
+  return it == calls_.end() ? nullptr : it->second.get();
+}
+
+void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
+  Call* call = find(index);
+  if (call == nullptr) return;
+  const int code = resp.status_code();
+  if (sip::is_provisional(code)) return;  // 100 / 180: ladder progress only
+
+  if (sip::is_success(code)) {
+    call->answered = true;
+    call->answered_at = network()->simulator().now();
+    call->dialog = sip::Dialog::from_uac(call->invite, resp);
+    send_stateless_to(call->dialog.make_ack(), call->pbx_host);
+    if (const auto answer = Sdp::parse(resp.body())) {
+      call->remote_ssrc = answer->audio.ssrc;
+      if (call->remote_ssrc != 0) by_remote_ssrc_[call->remote_ssrc] = call;
+    }
+    start_media(*call);
+    call->bye_timer =
+        network()->simulator().schedule_in(call->hold, [this, index] { send_bye(index); });
+    return;
+  }
+
+  // Final error. 486/503/600 are the admission-control outcomes = blocked.
+  const bool blocked = code == sip::status::kBusyHere ||
+                       code == sip::status::kServiceUnavailable || code == 600;
+  finish(index, blocked ? monitor::CallOutcome::kBlocked : monitor::CallOutcome::kFailed);
+}
+
+void SipCaller::on_invite_timeout(std::uint64_t index) {
+  finish(index, monitor::CallOutcome::kFailed);
+}
+
+void SipCaller::start_media(Call& call) {
+  const net::NodeId pbx_node = resolver().resolve(call.pbx_host);
+  call.sender = std::make_unique<rtp::RtpSender>(
+      network()->simulator(), call.codec, call.local_ssrc,
+      [this, pbx_node](const rtp::RtpHeader& header, std::uint32_t bytes) {
+        net::Packet pkt;
+        pkt.dst = pbx_node;
+        pkt.kind = net::PacketKind::kRtp;
+        pkt.size_bytes = bytes;
+        pkt.payload = std::make_shared<rtp::RtpPayload>(header, network()->simulator().now());
+        send(std::move(pkt));
+      });
+  call.sender->start();
+  if (scenario_.rtcp) {
+    call.rtcp = std::make_unique<rtp::RtcpSession>(
+        network()->simulator(), rng_.fork(), call.local_ssrc, call.codec.sample_rate_hz,
+        [this, pbx_node](const rtp::RtcpPayload& payload, std::uint32_t bytes) {
+          ++rtcp_sent_;
+          net::Packet pkt;
+          pkt.dst = pbx_node;
+          pkt.kind = net::PacketKind::kRtcp;
+          pkt.size_bytes = bytes;
+          pkt.payload = std::make_shared<rtp::RtcpPayload>(payload);
+          send(std::move(pkt));
+        });
+    call.rtcp->start(call.sender.get(), &call.rx);
+  }
+}
+
+void SipCaller::send_bye(std::uint64_t index) {
+  Call* call = find(index);
+  if (call == nullptr) return;
+  if (call->sender != nullptr) call->sender->stop();
+  Message bye = call->dialog.make_request(Method::kBye);
+  send_request_to(
+      bye, call->pbx_host,
+      [this, index](const Message& resp) {
+        if (sip::is_final(resp.status_code())) {
+          finish(index, monitor::CallOutcome::kCompleted);
+        }
+      },
+      [this, index] { finish(index, monitor::CallOutcome::kCompleted); });
+}
+
+void SipCaller::finish(std::uint64_t index, monitor::CallOutcome outcome) {
+  const auto it = calls_.find(index);
+  if (it == calls_.end()) return;
+  Call& call = *it->second;
+
+  monitor::CallRecord record;
+  record.call_index = index;
+  record.offered_at = call.offered_at;
+  record.outcome = outcome;
+  if (call.answered) {
+    record.setup_delay = call.answered_at - call.offered_at;
+    record.talk_time = network()->simulator().now() - call.answered_at;
+    // Caller-heard quality (media from the callee, relayed by the PBX).
+    const std::uint64_t expected = call.rx.expected();
+    const std::uint64_t missing = call.rx.lost() + call.jbuf.discarded_late();
+    record.loss_caller_heard =
+        expected == 0
+            ? 0.0
+            : std::min(1.0, static_cast<double>(missing) / static_cast<double>(expected));
+    record.jitter_caller_heard = call.rx.jitter();
+    record.rtp_received_caller = call.rx.received();
+    const auto inputs = media::inputs_for_codec(
+        call.codec, Duration::from_seconds(call.transit_s.mean()), call.jbuf.playout_delay(),
+        record.loss_caller_heard);
+    record.mos_caller_heard = media::estimate_mos(inputs);
+  }
+  log_.add(std::move(record));
+
+  if (call.bye_timer != 0) network()->simulator().cancel(call.bye_timer);
+  if (call.remote_ssrc != 0) by_remote_ssrc_.erase(call.remote_ssrc);
+  if (call.sender != nullptr) call.sender->stop();
+  if (call.rtcp != nullptr) {
+    call.rtcp->stop();
+    if (call.rtcp->rtt() > Duration::zero()) rtcp_rtt_ms_.add(call.rtcp->rtt().to_millis());
+  }
+  calls_.erase(it);
+
+  if (scenario_.finite_population > 0) user_became_idle();
+}
+
+void SipCaller::finalize_remaining() {
+  std::vector<std::uint64_t> open;
+  open.reserve(calls_.size());
+  for (const auto& [index, call] : calls_) open.push_back(index);
+  for (const std::uint64_t index : open) finish(index, monitor::CallOutcome::kAbandoned);
+}
+
+void SipCaller::handle_rtp(const net::Packet& pkt) {
+  const auto* rtp = pkt.payload_as<rtp::RtpPayload>();
+  if (rtp == nullptr) return;
+  const auto it = by_remote_ssrc_.find(rtp->header.ssrc);
+  if (it == by_remote_ssrc_.end()) return;
+  Call& call = *it->second;
+  const TimePoint now = network()->simulator().now();
+  call.rx.on_packet(rtp->header, now);
+  call.jbuf.on_packet(rtp->header, now);
+  call.transit_s.add((now - rtp->originated_at).to_seconds());
+}
+
+void SipCaller::on_receive(const net::Packet& pkt) {
+  if (pkt.kind == net::PacketKind::kRtp) {
+    handle_rtp(pkt);
+    return;
+  }
+  if (pkt.kind == net::PacketKind::kRtcp) {
+    if (const auto* rtcp = pkt.payload_as<rtp::RtcpPayload>()) {
+      const auto it = by_remote_ssrc_.find(rtcp->routing_ssrc());
+      if (it != by_remote_ssrc_.end() && it->second->rtcp != nullptr) {
+        ++rtcp_received_;
+        it->second->rtcp->on_report(*rtcp, network()->simulator().now());
+      }
+    }
+    return;
+  }
+  sip::SipEndpoint::on_receive(pkt);
+}
+
+}  // namespace pbxcap::loadgen

@@ -1,0 +1,109 @@
+// SIP call generator — the SIPp UAC host of Fig. 4.
+//
+// Offers calls to the PBX at rate lambda (Poisson arrivals, or finite-source
+// arrivals in Engset mode), runs the Fig. 2 caller-side ladder, streams RTP
+// for the drawn hold time, and records every attempt's outcome and heard
+// quality in a monitor::CallLog.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "loadgen/scenario.hpp"
+#include "monitor/call_log.hpp"
+#include "rtp/jitter_buffer.hpp"
+#include "rtp/packet.hpp"
+#include "rtp/rtcp.hpp"
+#include "rtp/stream.hpp"
+#include "sim/random.hpp"
+#include "sip/dialog.hpp"
+#include "sip/endpoint.hpp"
+#include "stats/summary.hpp"
+
+namespace pbxcap::loadgen {
+
+class SipCaller final : public sip::SipEndpoint {
+ public:
+  SipCaller(std::string host, std::string pbx_host, sim::Simulator& simulator,
+            sip::HostResolver& resolver, rtp::SsrcAllocator& ssrcs, CallScenario scenario,
+            sim::Random rng);
+
+  /// Cluster variant: calls are spread round-robin over several PBX hosts
+  /// (the paper's "increasing the number of servers" alternative, fronted
+  /// by DNS-style rotation).
+  SipCaller(std::string host, std::vector<std::string> pbx_hosts, sim::Simulator& simulator,
+            sip::HostResolver& resolver, rtp::SsrcAllocator& ssrcs, CallScenario scenario,
+            sim::Random rng);
+
+  /// Begins offering calls at t = now.
+  void start();
+
+  void on_receive(const net::Packet& pkt) override;
+
+  /// Marks still-open calls as abandoned; call at the experiment horizon.
+  void finalize_remaining();
+
+  [[nodiscard]] monitor::CallLog& log() noexcept { return log_; }
+  [[nodiscard]] const monitor::CallLog& log() const noexcept { return log_; }
+  [[nodiscard]] std::uint64_t rtcp_reports_sent() const noexcept { return rtcp_sent_; }
+  [[nodiscard]] std::uint64_t rtcp_reports_received() const noexcept { return rtcp_received_; }
+  /// Mean smoothed RTCP round-trip across finished calls (zero without RTCP).
+  [[nodiscard]] const stats::Summary& rtcp_rtt_ms() const noexcept { return rtcp_rtt_ms_; }
+  [[nodiscard]] std::uint64_t calls_offered() const noexcept { return next_call_index_; }
+  [[nodiscard]] std::size_t active_calls() const noexcept { return calls_.size(); }
+
+ private:
+  struct Call {
+    std::uint64_t index{0};
+    std::string pbx_host;  // which server carries this call
+    TimePoint offered_at{};
+    TimePoint answered_at{};
+    Duration hold{};
+    rtp::Codec codec;
+    std::uint32_t local_ssrc{0};
+    std::uint32_t remote_ssrc{0};
+    sip::Message invite;
+    sip::Dialog dialog;
+    std::unique_ptr<rtp::RtpSender> sender;
+    std::unique_ptr<rtp::RtcpSession> rtcp;
+    rtp::RtpReceiverStats rx;
+    rtp::JitterBuffer jbuf{rtp::g711_ulaw(), {}};  // re-made per call codec
+    stats::Summary transit_s;
+    bool answered{false};
+    sim::EventId bye_timer{0};
+    std::uint32_t population_user{0};  // finite mode: which user placed it
+  };
+
+  void schedule_next_arrival();
+  void place_call();
+  void on_invite_response(std::uint64_t index, const sip::Message& resp);
+  void on_invite_timeout(std::uint64_t index);
+  void start_media(Call& call);
+  void send_bye(std::uint64_t index);
+  void finish(std::uint64_t index, monitor::CallOutcome outcome);
+  void handle_rtp(const net::Packet& pkt);
+  [[nodiscard]] Call* find(std::uint64_t index);
+
+  // Finite-population bookkeeping (Engset mode).
+  void user_became_idle();
+
+  std::vector<std::string> pbx_hosts_;
+  rtp::SsrcAllocator& ssrcs_;
+  CallScenario scenario_;
+  sim::Random rng_;
+  monitor::CallLog log_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Call>> calls_;  // by index
+  std::unordered_map<std::uint32_t, Call*> by_remote_ssrc_;
+  std::uint64_t next_call_index_{0};
+  std::uint64_t rtcp_sent_{0};
+  std::uint64_t rtcp_received_{0};
+  stats::Summary rtcp_rtt_ms_;
+  std::uint32_t idle_users_{0};  // finite mode
+  sim::EventId arrival_timer_{0};
+  bool started_{false};
+  bool window_closed_{false};
+};
+
+}  // namespace pbxcap::loadgen

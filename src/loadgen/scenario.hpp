@@ -1,0 +1,59 @@
+// Traffic scenario description — the knobs of the paper's empirical method.
+//
+// §III-C: "The SIP Client generates calls with an arrival rate of lambda;
+// the SIP Server answers the calls; both exchange RTP packets for h seconds."
+// Offered traffic A = lambda * h Erlangs. The paper uses a 180 s placement
+// window and h = 120 s deterministic hold time.
+#pragma once
+
+#include <cstdint>
+
+#include "rtp/codec.hpp"
+#include "rtp/jitter_buffer.hpp"
+#include "sim/random.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::loadgen {
+
+struct CallScenario {
+  /// Mean call arrival rate (calls per second). For a target offered load A
+  /// in Erlangs: lambda = A / h.
+  double arrival_rate_per_s{1.0};
+  /// Calls are offered during [0, placement_window).
+  Duration placement_window{Duration::seconds(180)};
+  /// Mean call duration h.
+  Duration hold_time{Duration::seconds(120)};
+  sim::HoldTimeModel hold_model{sim::HoldTimeModel::kDeterministic};
+  double hold_cv{1.0};  // lognormal only
+  /// Voice codec for the media streams (paper: G.711 ulaw).
+  rtp::Codec codec{rtp::g711_ulaw()};
+  /// Callee behaviour: delay between 180 Ringing and 200 OK.
+  Duration answer_delay{Duration::millis(200)};
+  /// Receiver-side playout buffer.
+  rtp::JitterBufferConfig jitter_buffer{};
+  /// Exchange RTCP sender/receiver reports alongside the media (off by
+  /// default to keep Table I's RTP census identical to the paper's).
+  bool rtcp{false};
+  /// 0 = infinite population (Poisson). Otherwise an Engset-style finite
+  /// source model: `finite_population` users, each idle user re-attempting
+  /// at `per_user_rate_per_s`; `arrival_rate_per_s` is ignored.
+  std::uint32_t finite_population{0};
+  double per_user_rate_per_s{0.0};
+  /// Hard cap on total attempts (0 = unlimited).
+  std::uint64_t max_calls{0};
+
+  [[nodiscard]] double offered_erlangs() const noexcept {
+    return arrival_rate_per_s * hold_time.to_seconds();
+  }
+
+  /// Scenario for a target offered load (the usual way to build one).
+  [[nodiscard]] static CallScenario for_offered_load(double erlangs,
+                                                     Duration hold = Duration::seconds(120)) {
+    CallScenario s;
+    s.hold_time = hold;
+    s.arrival_rate_per_s = erlangs / hold.to_seconds();
+    return s;
+  }
+};
+
+}  // namespace pbxcap::loadgen

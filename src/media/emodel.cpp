@@ -1,0 +1,83 @@
+#include "media/emodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pbxcap::media {
+namespace {
+
+/// Default (Ro - Is): the G.107 rating with all transmission-side defaults.
+constexpr double kBaseR = 93.2;
+
+}  // namespace
+
+double delay_impairment(Duration one_way_delay) {
+  const double d_ms = one_way_delay.to_millis();
+  if (d_ms < 0.0) throw std::invalid_argument{"delay_impairment: negative delay"};
+  double id = 0.024 * d_ms;
+  if (d_ms > 177.3) id += 0.11 * (d_ms - 177.3);
+  return id;
+}
+
+double equipment_impairment(double packet_loss_fraction, double ie, double bpl) {
+  if (packet_loss_fraction < 0.0 || packet_loss_fraction > 1.0) {
+    throw std::invalid_argument{"equipment_impairment: loss fraction outside [0,1]"};
+  }
+  const double ppl = packet_loss_fraction * 100.0;  // G.113 formula uses percent
+  return ie + (95.0 - ie) * ppl / (ppl + bpl);
+}
+
+double r_factor(const EmodelInputs& inputs) {
+  const double r = kBaseR - delay_impairment(inputs.one_way_delay) -
+                   equipment_impairment(inputs.packet_loss, inputs.codec_ie, inputs.codec_bpl) +
+                   inputs.advantage;
+  return std::clamp(r, 0.0, 100.0);
+}
+
+double mos_from_r(double r) {
+  if (r <= 0.0) return 1.0;
+  if (r >= 100.0) return 4.5;
+  const double mos = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6;
+  // The Annex B cubic dips fractionally below 1 for small positive R; MOS is
+  // defined on [1, 5], so clamp.
+  return std::max(1.0, mos);
+}
+
+double estimate_mos(const EmodelInputs& inputs) { return mos_from_r(r_factor(inputs)); }
+
+QualityBand quality_band(double r) {
+  if (r >= 90.0) return QualityBand::kBest;
+  if (r >= 80.0) return QualityBand::kHigh;
+  if (r >= 70.0) return QualityBand::kMedium;
+  if (r >= 60.0) return QualityBand::kLow;
+  return QualityBand::kPoor;
+}
+
+std::string_view to_string(QualityBand band) noexcept {
+  switch (band) {
+    case QualityBand::kBest: return "best";
+    case QualityBand::kHigh: return "high";
+    case QualityBand::kMedium: return "medium";
+    case QualityBand::kLow: return "low";
+    case QualityBand::kPoor: return "poor";
+  }
+  return "?";
+}
+
+EmodelInputs inputs_for_codec(const rtp::Codec& codec, Duration network_delay,
+                              Duration jitter_buffer_delay, double effective_loss,
+                              double advantage) {
+  EmodelInputs inputs;
+  // Mouth-to-ear: one packetization interval (framing) + codec lookahead +
+  // network one-way delay + playout buffer depth.
+  inputs.one_way_delay =
+      codec.packet_interval() + codec.lookahead + network_delay + jitter_buffer_delay;
+  inputs.packet_loss = effective_loss;
+  inputs.codec_ie = codec.ie;
+  inputs.codec_bpl = codec.bpl;
+  inputs.advantage = advantage;
+  return inputs;
+}
+
+}  // namespace pbxcap::media

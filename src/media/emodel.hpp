@@ -1,0 +1,63 @@
+// ITU-T G.107 E-model, the objective MOS predictor.
+//
+// The paper scores completed calls with VoIPmonitor, which derives MOS from
+// observed packet loss/jitter/delay with an E-model-style computation. We
+// implement the published algorithm directly:
+//
+//   R = (Ro - Is) - Id(Ta) - Ie,eff(Ppl) + A
+//
+// with the standard default (Ro - Is) = 93.2 for the transmission-side
+// factors the testbed does not vary, the Cole-Rosenbluth piecewise-linear
+// delay impairment Id, and the G.113 packet-loss impairment
+// Ie,eff = Ie + (95 - Ie) * Ppl / (Ppl + Bpl). R maps to MOS via the G.107
+// Annex B cubic.
+#pragma once
+
+#include <string_view>
+
+#include "rtp/codec.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::media {
+
+struct EmodelInputs {
+  /// One-way mouth-to-ear delay: network + jitter-buffer + codec lookahead.
+  Duration one_way_delay{Duration::zero()};
+  /// Effective packet loss fraction in [0,1]: network loss + late discards.
+  double packet_loss{0.0};
+  /// Codec equipment-impairment parameters.
+  double codec_ie{0.0};
+  double codec_bpl{4.3};
+  /// Advantage factor (G.107 Table 1): 0 wired, 5 DECT/wireless-in-building,
+  /// 10 cellular/VoWiFi mobility.
+  double advantage{0.0};
+};
+
+/// Transmission rating factor R (clamped to [0, 100]).
+[[nodiscard]] double r_factor(const EmodelInputs& inputs);
+
+/// Delay impairment Id for a one-way delay (Cole-Rosenbluth approximation of
+/// the G.107 Id curve).
+[[nodiscard]] double delay_impairment(Duration one_way_delay);
+
+/// Effective equipment impairment for random loss.
+[[nodiscard]] double equipment_impairment(double packet_loss_fraction, double ie, double bpl);
+
+/// G.107 Annex B mapping R -> MOS-CQE (1.0 .. 4.5).
+[[nodiscard]] double mos_from_r(double r);
+
+/// Convenience: full pipeline inputs -> MOS.
+[[nodiscard]] double estimate_mos(const EmodelInputs& inputs);
+
+/// ITU user-satisfaction bands for reporting.
+enum class QualityBand { kBest, kHigh, kMedium, kLow, kPoor };
+
+[[nodiscard]] QualityBand quality_band(double r);
+[[nodiscard]] std::string_view to_string(QualityBand band) noexcept;
+
+/// Inputs prefilled for a codec from the catalog (Ie/Bpl/lookahead).
+[[nodiscard]] EmodelInputs inputs_for_codec(const rtp::Codec& codec, Duration network_delay,
+                                            Duration jitter_buffer_delay, double effective_loss,
+                                            double advantage = 0.0);
+
+}  // namespace pbxcap::media

@@ -1,0 +1,137 @@
+#include "media/g711.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pbxcap::media {
+namespace {
+
+constexpr std::int32_t kUlawBias = 0x84;   // 132: standard mu-law bias
+constexpr std::int32_t kUlawClip = 32635;
+constexpr std::int32_t kAlawClip = 32635;
+
+}  // namespace
+
+std::uint8_t ulaw_encode(std::int16_t pcm) noexcept {
+  std::int32_t sample = pcm;
+  const auto sign = static_cast<std::uint8_t>(sample < 0 ? 0x80 : 0x00);
+  if (sample < 0) sample = -sample;
+  sample = std::min(sample, kUlawClip);
+  sample += kUlawBias;
+
+  // Exponent: index of the segment containing the sample.
+  int exponent = 7;
+  for (std::int32_t mask = 0x4000; exponent > 0 && (sample & mask) == 0; --exponent, mask >>= 1) {
+  }
+  const auto mantissa = static_cast<std::uint8_t>((sample >> (exponent + 3)) & 0x0f);
+  // G.711 transmits the one's complement, so silence (0) is 0xFF on the wire.
+  return static_cast<std::uint8_t>(
+      ~(sign | static_cast<std::uint8_t>(exponent << 4) | mantissa));
+}
+
+std::int16_t ulaw_decode(std::uint8_t code) noexcept {
+  code = static_cast<std::uint8_t>(~code);
+  const bool negative = (code & 0x80) != 0;
+  const int exponent = (code >> 4) & 0x07;
+  const int mantissa = code & 0x0f;
+  std::int32_t sample = ((mantissa << 3) + kUlawBias) << exponent;
+  sample -= kUlawBias;
+  return static_cast<std::int16_t>(negative ? -sample : sample);
+}
+
+std::uint8_t alaw_encode(std::int16_t pcm) noexcept {
+  std::int32_t sample = pcm;
+  const std::uint8_t sign = sample >= 0 ? 0x80 : 0x00;
+  if (sample < 0) sample = -sample - 1;  // A-law uses one's-complement folding
+  sample = std::min(sample, kAlawClip);
+
+  std::uint8_t code;
+  if (sample < 256) {
+    code = static_cast<std::uint8_t>(sample >> 4);
+  } else {
+    int exponent = 7;
+    for (std::int32_t mask = 0x4000; exponent > 1 && (sample & mask) == 0;
+         --exponent, mask >>= 1) {
+    }
+    const auto mantissa = static_cast<std::uint8_t>((sample >> (exponent + 3)) & 0x0f);
+    code = static_cast<std::uint8_t>((exponent << 4) | mantissa);
+  }
+  return static_cast<std::uint8_t>((code | sign) ^ 0x55);  // even-bit inversion
+}
+
+std::int16_t alaw_decode(std::uint8_t code) noexcept {
+  code ^= 0x55;
+  const bool positive = (code & 0x80) != 0;
+  const int exponent = (code >> 4) & 0x07;
+  const int mantissa = code & 0x0f;
+  std::int32_t sample;
+  if (exponent == 0) {
+    sample = (mantissa << 4) + 8;
+  } else {
+    sample = ((mantissa << 4) + 0x108) << (exponent - 1);
+  }
+  return static_cast<std::int16_t>(positive ? sample : -sample);
+}
+
+std::vector<std::uint8_t> ulaw_encode(std::span<const std::int16_t> pcm) {
+  std::vector<std::uint8_t> out;
+  out.reserve(pcm.size());
+  for (const auto s : pcm) out.push_back(ulaw_encode(s));
+  return out;
+}
+
+std::vector<std::int16_t> ulaw_decode(std::span<const std::uint8_t> codes) {
+  std::vector<std::int16_t> out;
+  out.reserve(codes.size());
+  for (const auto c : codes) out.push_back(ulaw_decode(c));
+  return out;
+}
+
+std::vector<std::uint8_t> alaw_encode(std::span<const std::int16_t> pcm) {
+  std::vector<std::uint8_t> out;
+  out.reserve(pcm.size());
+  for (const auto s : pcm) out.push_back(alaw_encode(s));
+  return out;
+}
+
+std::vector<std::int16_t> alaw_decode(std::span<const std::uint8_t> codes) {
+  std::vector<std::int16_t> out;
+  out.reserve(codes.size());
+  for (const auto c : codes) out.push_back(alaw_decode(c));
+  return out;
+}
+
+std::vector<std::int16_t> make_tone(double frequency_hz, std::uint32_t sample_rate_hz,
+                                    Duration duration, double amplitude) {
+  if (amplitude < 0.0 || amplitude > 1.0) {
+    throw std::invalid_argument{"make_tone: amplitude must be in [0,1]"};
+  }
+  const auto n = static_cast<std::size_t>(duration.to_seconds() * sample_rate_hz);
+  std::vector<std::int16_t> out(n);
+  constexpr double kTwoPi = 6.28318530717958647692;
+  const double scale = amplitude * 32767.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sample_rate_hz;
+    out[i] = static_cast<std::int16_t>(std::lround(scale * std::sin(kTwoPi * frequency_hz * t)));
+  }
+  return out;
+}
+
+double snr_db(std::span<const std::int16_t> reference, std::span<const std::int16_t> degraded) {
+  if (reference.size() != degraded.size() || reference.empty()) {
+    throw std::invalid_argument{"snr_db: signals must be non-empty and equal length"};
+  }
+  double signal = 0.0;
+  double noise = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double s = reference[i];
+    const double e = static_cast<double>(reference[i]) - degraded[i];
+    signal += s * s;
+    noise += e * e;
+  }
+  if (noise == 0.0) return 1e9;
+  return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace pbxcap::media

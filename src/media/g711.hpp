@@ -1,0 +1,43 @@
+// ITU-T G.711 companding: the actual ulaw/A-law codec the paper's calls use.
+//
+// The capacity study treats G.711 as a bitrate + packetization schedule; this
+// module implements the codec itself (logarithmic PCM companding) so the
+// media path can be exercised at signal level: tests verify the 8-bit code
+// space round-trips within the G.711 quantization error and that speech-band
+// tones survive with the expected ~38 dB SNR.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pbxcap::media {
+
+/// Encodes one 16-bit linear PCM sample to 8-bit ulaw (G.711 mu-law).
+[[nodiscard]] std::uint8_t ulaw_encode(std::int16_t pcm) noexcept;
+/// Decodes one ulaw byte back to linear PCM.
+[[nodiscard]] std::int16_t ulaw_decode(std::uint8_t code) noexcept;
+
+/// A-law variants (G.711 A-law, the E1-world counterpart).
+[[nodiscard]] std::uint8_t alaw_encode(std::int16_t pcm) noexcept;
+[[nodiscard]] std::int16_t alaw_decode(std::uint8_t code) noexcept;
+
+/// Bulk helpers.
+[[nodiscard]] std::vector<std::uint8_t> ulaw_encode(std::span<const std::int16_t> pcm);
+[[nodiscard]] std::vector<std::int16_t> ulaw_decode(std::span<const std::uint8_t> codes);
+[[nodiscard]] std::vector<std::uint8_t> alaw_encode(std::span<const std::int16_t> pcm);
+[[nodiscard]] std::vector<std::int16_t> alaw_decode(std::span<const std::uint8_t> codes);
+
+/// Generates a sine tone as 16-bit linear PCM.
+[[nodiscard]] std::vector<std::int16_t> make_tone(double frequency_hz,
+                                                  std::uint32_t sample_rate_hz,
+                                                  Duration duration, double amplitude = 0.5);
+
+/// Signal-to-noise ratio in dB between a reference and a degraded signal of
+/// equal length. Returns +inf dB (1e9) for identical signals.
+[[nodiscard]] double snr_db(std::span<const std::int16_t> reference,
+                            std::span<const std::int16_t> degraded);
+
+}  // namespace pbxcap::media

@@ -1,0 +1,89 @@
+#include "monitor/call_log.hpp"
+
+namespace pbxcap::monitor {
+
+std::uint64_t CallLog::count(CallOutcome outcome) const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+std::uint64_t CallLog::attempted() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.outcome != CallOutcome::kAbandoned) ++n;
+  }
+  return n;
+}
+
+double CallLog::blocking_probability() const noexcept {
+  const std::uint64_t n = attempted();
+  return n == 0 ? 0.0 : static_cast<double>(blocked()) / static_cast<double>(n);
+}
+
+std::uint64_t CallLog::attempted_since(TimePoint from) const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.outcome != CallOutcome::kAbandoned && rec.offered_at >= from) ++n;
+  }
+  return n;
+}
+
+std::uint64_t CallLog::blocked_since(TimePoint from) const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.outcome == CallOutcome::kBlocked && rec.offered_at >= from) ++n;
+  }
+  return n;
+}
+
+double CallLog::blocking_probability_since(TimePoint from) const noexcept {
+  const std::uint64_t n = attempted_since(from);
+  return n == 0 ? 0.0 : static_cast<double>(blocked_since(from)) / static_cast<double>(n);
+}
+
+stats::Interval CallLog::blocking_confidence(double conf) const {
+  return stats::proportion_confidence(blocked(), attempted(), conf);
+}
+
+stats::Summary CallLog::mos_summary() const {
+  stats::Summary summary;
+  for (const auto& rec : records_) {
+    if (rec.outcome != CallOutcome::kCompleted) continue;
+    if (rec.mos_caller_heard) summary.add(*rec.mos_caller_heard);
+    if (rec.mos_callee_heard) summary.add(*rec.mos_callee_heard);
+  }
+  return summary;
+}
+
+stats::Summary CallLog::setup_delay_summary() const {
+  stats::Summary summary;
+  for (const auto& rec : records_) {
+    if (rec.outcome == CallOutcome::kCompleted) summary.add(rec.setup_delay.to_millis());
+  }
+  return summary;
+}
+
+stats::Summary CallLog::loss_summary() const {
+  stats::Summary summary;
+  for (const auto& rec : records_) {
+    if (rec.outcome != CallOutcome::kCompleted) continue;
+    summary.add(rec.loss_caller_heard);
+    summary.add(rec.loss_callee_heard);
+  }
+  return summary;
+}
+
+stats::Summary CallLog::jitter_summary() const {
+  stats::Summary summary;
+  for (const auto& rec : records_) {
+    if (rec.outcome != CallOutcome::kCompleted) continue;
+    summary.add(rec.jitter_caller_heard.to_millis());
+    summary.add(rec.jitter_callee_heard.to_millis());
+  }
+  return summary;
+}
+
+}  // namespace pbxcap::monitor

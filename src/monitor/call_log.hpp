@@ -1,0 +1,79 @@
+// Per-call outcome log — the measurement record behind BP and MOS.
+//
+// The caller generator appends one record per attempted call. Blocking
+// probability is blocked/attempted; MOS aggregation covers completed calls
+// only, matching the paper's note that VoIPmonitor "does not consider
+// dropped calls in the evaluations".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/summary.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::monitor {
+
+enum class CallOutcome : std::uint8_t {
+  kCompleted,   // answered and torn down normally
+  kBlocked,     // rejected by admission control (486/503/600)
+  kFailed,      // other error or signalling timeout
+  kAbandoned,   // still up when the experiment ended (excluded from BP/MOS)
+};
+
+struct CallRecord {
+  std::uint64_t call_index{0};
+  TimePoint offered_at{};
+  CallOutcome outcome{CallOutcome::kFailed};
+  Duration setup_delay{};       // INVITE -> 200 (completed calls)
+  Duration talk_time{};
+  // Voice-quality observations, one per direction (as heard at each end).
+  std::optional<double> mos_caller_heard;
+  std::optional<double> mos_callee_heard;
+  double loss_caller_heard{0.0};   // effective loss incl. jitter discards
+  double loss_callee_heard{0.0};
+  Duration jitter_caller_heard{};
+  Duration jitter_callee_heard{};
+  std::uint64_t rtp_received_caller{0};
+  std::uint64_t rtp_received_callee{0};
+};
+
+class CallLog {
+ public:
+  void add(CallRecord record) { records_.push_back(std::move(record)); }
+
+  [[nodiscard]] const std::vector<CallRecord>& records() const noexcept { return records_; }
+  /// Mutable access for post-run enrichment (merging callee-side quality).
+  [[nodiscard]] std::vector<CallRecord>& records_mutable() noexcept { return records_; }
+
+  [[nodiscard]] std::uint64_t attempted() const noexcept;  // excludes abandoned
+  [[nodiscard]] std::uint64_t completed() const noexcept { return count(CallOutcome::kCompleted); }
+  [[nodiscard]] std::uint64_t blocked() const noexcept { return count(CallOutcome::kBlocked); }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return count(CallOutcome::kFailed); }
+  [[nodiscard]] std::uint64_t count(CallOutcome outcome) const noexcept;
+
+  /// Blocking probability: blocked / attempted (0 when no attempts).
+  [[nodiscard]] double blocking_probability() const noexcept;
+  /// Same, restricted to calls offered at or after `from` — used to measure
+  /// the loaded steady state, excluding the ramp-up during which the channel
+  /// pool cannot yet be full.
+  [[nodiscard]] double blocking_probability_since(TimePoint from) const noexcept;
+  [[nodiscard]] std::uint64_t attempted_since(TimePoint from) const noexcept;
+  [[nodiscard]] std::uint64_t blocked_since(TimePoint from) const noexcept;
+  /// Wilson confidence interval on the blocking probability.
+  [[nodiscard]] stats::Interval blocking_confidence(double conf = 0.95) const;
+
+  /// MOS over completed calls (both directions pooled).
+  [[nodiscard]] stats::Summary mos_summary() const;
+  /// Mean setup delay over completed calls.
+  [[nodiscard]] stats::Summary setup_delay_summary() const;
+  [[nodiscard]] stats::Summary loss_summary() const;
+  [[nodiscard]] stats::Summary jitter_summary() const;
+
+ private:
+  std::vector<CallRecord> records_;
+};
+
+}  // namespace pbxcap::monitor

@@ -1,0 +1,137 @@
+#include "monitor/report.hpp"
+
+#include <algorithm>
+
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace pbxcap::monitor {
+
+std::string ExperimentReport::cpu_range_string() const {
+  if (cpu_utilization.empty()) return "n/a";
+  // Table I reports eyeballed "lo% to hi%" bands; mean +/- one standard
+  // deviation (clipped to the observed extremes) reproduces that kind of
+  // band without letting one bursty second dominate.
+  const double lo =
+      std::max(cpu_utilization.min(), cpu_utilization.mean() - cpu_utilization.stddev());
+  const double hi =
+      std::min(cpu_utilization.max(), cpu_utilization.mean() + cpu_utilization.stddev());
+  return util::format("%.0f%% to %.0f%%", lo * 100.0, hi * 100.0);
+}
+
+util::TextTable make_table1(const std::vector<ExperimentReport>& reports) {
+  std::vector<std::string> header{"metric"};
+  for (const auto& r : reports) header.push_back(util::format("A=%.0f E", r.offered_erlangs));
+  util::TextTable table{std::move(header)};
+
+  const auto row = [&](const std::string& name, auto&& value_of) {
+    std::vector<std::string> cells{name};
+    for (const auto& r : reports) cells.push_back(value_of(r));
+    table.add_row(std::move(cells));
+  };
+  const auto u64 = [](std::uint64_t v) { return util::format("%llu", static_cast<unsigned long long>(v)); };
+
+  row("Number of Channels (N)", [&](const ExperimentReport& r) {
+    return util::format("%u", r.channels_peak);
+  });
+  row("CPU Usage", [](const ExperimentReport& r) { return r.cpu_range_string(); });
+  row("MOS", [](const ExperimentReport& r) {
+    return r.mos.empty() ? std::string{"n/a"} : util::format("%.2f", r.mos.mean());
+  });
+  row("RTP Msg", [&](const ExperimentReport& r) { return u64(r.rtp_packets_at_pbx); });
+  row("Blocked Calls (%)", [](const ExperimentReport& r) {
+    return util::format("%.0f%%", r.blocking_probability * 100.0);
+  });
+  row("SIP Messages (Total)", [&](const ExperimentReport& r) { return u64(r.sip_total); });
+  row("  INVITE", [&](const ExperimentReport& r) { return u64(r.sip_invite); });
+  row("  100 TRY", [&](const ExperimentReport& r) { return u64(r.sip_100); });
+  row("  180 RING", [&](const ExperimentReport& r) { return u64(r.sip_180); });
+  row("  200 OK", [&](const ExperimentReport& r) { return u64(r.sip_200); });
+  row("  ACK", [&](const ExperimentReport& r) { return u64(r.sip_ack); });
+  row("  BYE", [&](const ExperimentReport& r) { return u64(r.sip_bye); });
+  row("  Error Msgs", [&](const ExperimentReport& r) { return u64(r.sip_errors); });
+  return table;
+}
+
+ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
+  if (runs.empty()) return {};
+  ExperimentReport out = runs.front();
+  const auto n = static_cast<double>(runs.size());
+
+  // Reset the accumulating fields, keep the identification fields.
+  out.calls_attempted = out.calls_completed = out.calls_blocked = out.calls_failed = 0;
+  out.calls_attempted_steady = 0;
+  std::uint64_t blocked_steady_weighted = 0;
+  out.channels_peak = 0;
+  out.cpu_utilization = {};
+  out.mos = {};
+  out.setup_delay_ms = {};
+  out.effective_loss = {};
+  out.jitter_ms = {};
+  double rtp_at_pbx = 0.0;
+  double rtp_relayed = 0.0;
+  double sip_total = 0.0;
+  double sip_invite = 0.0;
+  double sip_100 = 0.0;
+  double sip_180 = 0.0;
+  double sip_200 = 0.0;
+  double sip_ack = 0.0;
+  double sip_bye = 0.0;
+  double sip_errors = 0.0;
+  double sip_rtx = 0.0;
+
+  for (const auto& r : runs) {
+    out.calls_attempted += r.calls_attempted;
+    out.calls_completed += r.calls_completed;
+    out.calls_blocked += r.calls_blocked;
+    out.calls_failed += r.calls_failed;
+    out.calls_attempted_steady += r.calls_attempted_steady;
+    blocked_steady_weighted += static_cast<std::uint64_t>(
+        r.blocking_probability_steady * static_cast<double>(r.calls_attempted_steady) + 0.5);
+    out.channels_peak = std::max(out.channels_peak, r.channels_peak);
+    out.cpu_utilization.merge(r.cpu_utilization);
+    out.mos.merge(r.mos);
+    out.setup_delay_ms.merge(r.setup_delay_ms);
+    out.effective_loss.merge(r.effective_loss);
+    out.jitter_ms.merge(r.jitter_ms);
+    rtp_at_pbx += static_cast<double>(r.rtp_packets_at_pbx);
+    rtp_relayed += static_cast<double>(r.rtp_relayed);
+    sip_total += static_cast<double>(r.sip_total);
+    sip_invite += static_cast<double>(r.sip_invite);
+    sip_100 += static_cast<double>(r.sip_100);
+    sip_180 += static_cast<double>(r.sip_180);
+    sip_200 += static_cast<double>(r.sip_200);
+    sip_ack += static_cast<double>(r.sip_ack);
+    sip_bye += static_cast<double>(r.sip_bye);
+    sip_errors += static_cast<double>(r.sip_errors);
+    sip_rtx += static_cast<double>(r.sip_retransmissions);
+  }
+
+  out.blocking_probability =
+      out.calls_attempted == 0
+          ? 0.0
+          : static_cast<double>(out.calls_blocked) / static_cast<double>(out.calls_attempted);
+  out.blocking_probability_steady =
+      out.calls_attempted_steady == 0
+          ? 0.0
+          : static_cast<double>(blocked_steady_weighted) /
+                static_cast<double>(out.calls_attempted_steady);
+  const auto mean_u64 = [n](double sum) {
+    return static_cast<std::uint64_t>(sum / n + 0.5);
+  };
+  out.rtp_packets_at_pbx = mean_u64(rtp_at_pbx);
+  out.rtp_relayed = mean_u64(rtp_relayed);
+  out.sip_total = mean_u64(sip_total);
+  out.sip_invite = mean_u64(sip_invite);
+  out.sip_100 = mean_u64(sip_100);
+  out.sip_180 = mean_u64(sip_180);
+  out.sip_200 = mean_u64(sip_200);
+  out.sip_ack = mean_u64(sip_ack);
+  out.sip_bye = mean_u64(sip_bye);
+  out.sip_errors = mean_u64(sip_errors);
+  out.sip_retransmissions = mean_u64(sip_rtx);
+  return out;
+}
+
+}  // namespace pbxcap::monitor

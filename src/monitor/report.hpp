@@ -1,0 +1,72 @@
+// Aggregated experiment report — one Table I column worth of measurements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/summary.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::monitor {
+
+struct ExperimentReport {
+  // Workload identification.
+  double offered_erlangs{0.0};
+  double arrival_rate_per_s{0.0};
+  Duration hold_time{};
+  std::uint64_t seed{0};
+
+  // Call outcomes.
+  std::uint64_t calls_attempted{0};
+  std::uint64_t calls_completed{0};
+  std::uint64_t calls_blocked{0};
+  std::uint64_t calls_failed{0};
+  /// Over all attempts in the placement window.
+  double blocking_probability{0.0};
+  /// Over attempts offered after one hold time. With the paper's short
+  /// deterministic-hold experiment this phase is NOT an equilibrium (the
+  /// departure process mirrors the admission process with a one-hold lag),
+  /// so this is a diagnostic, not the headline number.
+  double blocking_probability_steady{0.0};
+  std::uint64_t calls_attempted_steady{0};
+
+  // PBX-side observations.
+  std::uint32_t channels_configured{0};
+  std::uint32_t channels_peak{0};  // Table I "Number of Channels (N)"
+  stats::Summary cpu_utilization;  // one sample per second of the run
+  std::uint64_t rtp_packets_at_pbx{0};
+  std::uint64_t rtp_relayed{0};
+
+  // Voice quality over completed calls.
+  stats::Summary mos;
+  stats::Summary setup_delay_ms;
+  stats::Summary effective_loss;
+  stats::Summary jitter_ms;
+
+  // SIP message census at the PBX interface (in + out).
+  std::uint64_t sip_total{0};
+  std::uint64_t sip_invite{0};
+  std::uint64_t sip_100{0};
+  std::uint64_t sip_180{0};
+  std::uint64_t sip_200{0};
+  std::uint64_t sip_ack{0};
+  std::uint64_t sip_bye{0};
+  std::uint64_t sip_errors{0};
+  std::uint64_t sip_retransmissions{0};
+
+  /// Formats "lo% to hi%" for the CPU row, as Table I reports ranges.
+  [[nodiscard]] std::string cpu_range_string() const;
+};
+
+/// Renders reports as the paper's Table I (workloads as columns).
+[[nodiscard]] util::TextTable make_table1(const std::vector<ExperimentReport>& reports);
+
+/// Pools replications of the SAME workload into one report: counts sum,
+/// summaries merge, probabilities recompute from pooled counts, and the
+/// peak-channel figure takes the maximum. Message/packet counts become
+/// per-replication means so the merged report stays comparable to a single
+/// run (and to the paper's single-run Table I).
+[[nodiscard]] ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs);
+
+}  // namespace pbxcap::monitor

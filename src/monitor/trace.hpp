@@ -1,0 +1,59 @@
+// Packet trace capture — the "save the pcap" counterpart to the counters.
+//
+// Records per-delivery events from the network taps with protocol detail
+// (SIP method/status, RTP SSRC/seq), exports CSV for external analysis, and
+// renders the classic Wireshark-style SIP call-flow ladder (Fig. 2) for any
+// Call-ID.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::monitor {
+
+struct TraceEvent {
+  TimePoint at{};
+  std::uint64_t packet_id{0};
+  net::PacketKind kind{net::PacketKind::kOther};
+  net::NodeId src{net::kInvalidNode};      // end-to-end source
+  net::NodeId dst{net::kInvalidNode};      // end-to-end destination
+  net::NodeId hop_from{net::kInvalidNode}; // link endpoints of this delivery
+  net::NodeId hop_to{net::kInvalidNode};
+  std::uint32_t size_bytes{0};
+  std::string src_name;  // captured at event time: valid after the network dies
+  std::string dst_name;
+  std::string summary;   // "INVITE sip:recv-1@pbx", "200 OK", "RTP ssrc=7 seq=42"
+  std::string call_id;   // SIP only
+};
+
+class PacketTrace {
+ public:
+  /// `max_events` caps memory; older events are kept, new ones dropped once
+  /// full (a capture that stops when the buffer is full, like a ring-less
+  /// pcap with -c).
+  explicit PacketTrace(std::size_t max_events = 100'000) : max_events_{max_events} {}
+
+  /// Installs the tap. Records only final-hop deliveries (one event per
+  /// end-to-end message per receiving node), optionally filtered by kind.
+  void attach(net::Network& network, bool sip_only = false);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Renders the SIP message ladder for one call (all Call-IDs containing
+  /// `call_id_fragment`), with node names as columns — the Fig. 2 picture.
+  [[nodiscard]] std::string sip_ladder(const std::string& call_id_fragment) const;
+
+ private:
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace pbxcap::monitor

@@ -1,0 +1,85 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/network.hpp"
+
+namespace pbxcap::net {
+
+Link::Link(Network& network, NodeId a, NodeId b, const LinkConfig& config)
+    : network_{network}, a_{a}, b_{b}, config_{config} {
+  if (a == b) throw std::invalid_argument{"Link: endpoints must differ"};
+  if (config.bandwidth_bps <= 0.0) throw std::invalid_argument{"Link: bandwidth must be positive"};
+  if (config.queue_limit_packets == 0) {
+    throw std::invalid_argument{"Link: queue limit must be at least 1"};
+  }
+}
+
+Link::Direction& Link::direction_from(NodeId from) {
+  if (from == a_) return directions_[0];
+  if (from == b_) return directions_[1];
+  throw std::invalid_argument{"Link: node is not an endpoint"};
+}
+
+const LinkDirectionStats& Link::stats_from(NodeId from) const {
+  if (from == a_) return directions_[0].stats;
+  if (from == b_) return directions_[1].stats;
+  throw std::invalid_argument{"Link: node is not an endpoint"};
+}
+
+double Link::utilization_from(NodeId from, TimePoint now) const {
+  const auto& stats = stats_from(from);
+  const double elapsed = now.to_seconds();
+  return elapsed <= 0.0 ? 0.0 : std::min(1.0, stats.busy_time.to_seconds() / elapsed);
+}
+
+void Link::transmit(NodeId from, Packet pkt) {
+  Direction& dir = direction_from(from);
+  const NodeId to = peer_of(from);
+  auto& sim = network_.simulator();
+  const TimePoint now = sim.now();
+
+  // Drop-tail: refuse the packet if the serialization backlog is full.
+  if (dir.backlog >= config_.queue_limit_packets) {
+    ++dir.stats.dropped_queue_full;
+    return;
+  }
+
+  const Duration tx_time =
+      Duration::from_seconds(static_cast<double>(pkt.size_bytes) * 8.0 / config_.bandwidth_bps);
+  const TimePoint start = std::max(now, dir.busy_until);
+  const TimePoint serialized = start + tx_time;
+  dir.busy_until = serialized;
+  ++dir.backlog;
+  dir.stats.busy_time += tx_time;
+
+  // Random loss still consumes the medium (the frame is sent, then lost),
+  // so it is decided after serialization accounting.
+  const bool lost = config_.loss_probability > 0.0 &&
+                    network_.impairment_rng().chance(config_.loss_probability);
+
+  Duration extra = Duration::zero();
+  if (config_.jitter_stddev > Duration::zero() || config_.jitter_mean > Duration::zero()) {
+    const double jitter_s =
+        network_.impairment_rng().normal(config_.jitter_mean.to_seconds(),
+                                         config_.jitter_stddev.to_seconds());
+    extra = Duration::from_seconds(std::max(0.0, jitter_s));
+  }
+
+  const TimePoint delivery = serialized + config_.propagation + extra;
+  sim.schedule_at(serialized, [this, from] { --direction_from(from).backlog; });
+
+  if (lost) {
+    ++dir.stats.dropped_random_loss;
+    return;
+  }
+
+  ++dir.stats.packets_sent;
+  dir.stats.bytes_sent += pkt.size_bytes;
+  sim.schedule_at(delivery, [this, from, to, pkt = std::move(pkt)]() mutable {
+    network_.deliver(pkt, from, to);
+  });
+}
+
+}  // namespace pbxcap::net

@@ -1,0 +1,81 @@
+// Full-duplex point-to-point link with finite bandwidth, propagation delay,
+// a drop-tail serialization queue, and optional impairments (random loss,
+// delay jitter). Models both the wired 10/100 Mbps segments of Fig. 4 and —
+// with loss/jitter configured — the Wi-Fi access segment of the VoWiFi
+// deployment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::net {
+
+class Network;
+class Node;
+
+struct LinkConfig {
+  double bandwidth_bps{100e6};          // Fast Ethernet by default (Fig. 4)
+  Duration propagation{Duration::micros(5)};
+  std::uint32_t queue_limit_packets{256};  // drop-tail beyond this backlog
+  double loss_probability{0.0};            // random loss (Wi-Fi segment model)
+  Duration jitter_mean{Duration::zero()};  // extra stochastic delay, mean
+  Duration jitter_stddev{Duration::zero()};
+};
+
+/// Per-direction transmission statistics.
+struct LinkDirectionStats {
+  std::uint64_t packets_sent{0};
+  std::uint64_t bytes_sent{0};
+  std::uint64_t dropped_queue_full{0};
+  std::uint64_t dropped_random_loss{0};
+  Duration busy_time{Duration::zero()};  // cumulative serialization time
+
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept {
+    return dropped_queue_full + dropped_random_loss;
+  }
+};
+
+class Link {
+ public:
+  /// Built by Network::connect; `a` and `b` are the endpoints' node ids.
+  Link(Network& network, NodeId a, NodeId b, const LinkConfig& config);
+
+  /// Transmits `pkt` from endpoint `from` toward the opposite endpoint.
+  /// Applies queueing, serialization delay, propagation, loss and jitter.
+  void transmit(NodeId from, Packet pkt);
+
+  [[nodiscard]] NodeId endpoint_a() const noexcept { return a_; }
+  [[nodiscard]] NodeId endpoint_b() const noexcept { return b_; }
+  [[nodiscard]] NodeId peer_of(NodeId node) const noexcept { return node == a_ ? b_ : a_; }
+  [[nodiscard]] bool attaches(NodeId node) const noexcept { return node == a_ || node == b_; }
+
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+  /// Stats for the direction whose source is `from`.
+  [[nodiscard]] const LinkDirectionStats& stats_from(NodeId from) const;
+
+  /// Instantaneous utilization estimate of the `from`->peer direction over
+  /// the interval observed so far (busy_time / elapsed).
+  [[nodiscard]] double utilization_from(NodeId from, TimePoint now) const;
+
+ private:
+  struct Direction {
+    TimePoint busy_until{};
+    std::uint32_t backlog{0};  // packets queued or in serialization
+    LinkDirectionStats stats;
+  };
+
+  Direction& direction_from(NodeId from);
+
+  Network& network_;
+  NodeId a_;
+  NodeId b_;
+  LinkConfig config_;
+  std::array<Direction, 2> directions_{};  // [0]: a->b, [1]: b->a
+};
+
+}  // namespace pbxcap::net

@@ -1,0 +1,76 @@
+#include "net/network.hpp"
+
+#include "net/switch_node.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::net {
+
+Network::Network(sim::Simulator& simulator, sim::Random impairment_rng)
+    : simulator_{simulator}, rng_{impairment_rng} {}
+
+NodeId Network::attach(Node& node) {
+  if (node.network_ != nullptr) throw std::logic_error{"Network::attach: node already attached"};
+  const auto id = static_cast<NodeId>(nodes_.size());
+  node.id_ = id;
+  node.network_ = this;
+  nodes_.push_back(&node);
+  return id;
+}
+
+Node& Network::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range{"Network::node: bad id"};
+  return *nodes_[id];
+}
+
+std::vector<Link*> Network::links_of(NodeId node_id) const {
+  std::vector<Link*> out;
+  for (const auto& link : links_) {
+    if (link->attaches(node_id)) out.push_back(link.get());
+  }
+  return out;
+}
+
+Link& Network::connect(Node& a, Node& b, const LinkConfig& config) {
+  if (a.network_ != this || b.network_ != this) {
+    throw std::logic_error{"Network::connect: attach both nodes first"};
+  }
+  for (const Node* n : {static_cast<const Node*>(&a), static_cast<const Node*>(&b)}) {
+    if (!n->multihomed() && !links_of(n->id()).empty()) {
+      throw std::logic_error{"Network::connect: host '" + n->name() + "' is already linked"};
+    }
+  }
+  links_.push_back(std::make_unique<Link>(*this, a.id(), b.id(), config));
+  return *links_.back();
+}
+
+void Network::send_from(NodeId src_node, Packet pkt) {
+  const auto links = links_of(src_node);
+  if (links.empty()) {
+    util::log_warn("net", util::format("node %u sent a packet while detached", src_node));
+    return;
+  }
+  if (links.size() > 1) {
+    throw std::logic_error{"Network::send_from: multihomed node must transmit on a chosen link"};
+  }
+  pkt.sent_at = simulator_.now();
+  links.front()->transmit(src_node, std::move(pkt));
+}
+
+void Network::deliver(const Packet& pkt, NodeId from, NodeId to) {
+  ++delivered_;
+  for (const auto& tap : taps_) tap(pkt, from, to);
+  node(to).on_receive(pkt);
+}
+
+void Node::send(Packet pkt) {
+  if (network_ == nullptr) {
+    util::log_warn("net", "send on detached node '" + name_ + "'");
+    return;
+  }
+  pkt.src = id_;
+  if (pkt.id == 0) pkt.id = network_->next_packet_id();
+  network_->send_from(id_, std::move(pkt));
+}
+
+}  // namespace pbxcap::net

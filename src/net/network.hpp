@@ -1,0 +1,71 @@
+// Network fabric: owns nodes, links, and the packet-level event plumbing.
+//
+// One Network per simulation run. It wires Node::send to the attached Link,
+// delivers packets through the Simulator, and exposes a tap interface so the
+// monitor module can observe every delivery (the Wireshark substitute).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace pbxcap::net {
+
+/// Observation hook fired on every link delivery (post-impairment).
+/// `from`/`to` are the link endpoints of the hop, not the end-to-end pair.
+using PacketTap = std::function<void(const Packet& pkt, NodeId from, NodeId to)>;
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, sim::Random impairment_rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node; the Network does not own it. Returns its id.
+  NodeId attach(Node& node);
+
+  /// Creates a link between two attached nodes. Non-switch nodes may have at
+  /// most one link (hosts in Fig. 4 are single-homed).
+  Link& connect(Node& a, Node& b, const LinkConfig& config = {});
+
+  /// Sends from `src_node` over its attached link (host side) — called by
+  /// Node::send. Switches transmit on explicit links instead.
+  void send_from(NodeId src_node, Packet pkt);
+
+  /// Delivery: invoked by Link when a packet reaches a node.
+  void deliver(const Packet& pkt, NodeId from, NodeId to);
+
+  void add_tap(PacketTap tap) { taps_.push_back(std::move(tap)); }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] sim::Random& impairment_rng() noexcept { return rng_; }
+
+  [[nodiscard]] Node& node(NodeId id) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const noexcept { return links_; }
+  /// Links attached to `node_id`.
+  [[nodiscard]] std::vector<Link*> links_of(NodeId node_id) const;
+
+  [[nodiscard]] std::uint64_t next_packet_id() noexcept { return next_packet_id_++; }
+  [[nodiscard]] std::uint64_t packets_delivered() const noexcept { return delivered_; }
+
+ private:
+  sim::Simulator& simulator_;
+  sim::Random rng_;
+  std::vector<Node*> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<PacketTap> taps_;
+  std::uint64_t next_packet_id_{1};
+  std::uint64_t delivered_{0};
+};
+
+}  // namespace pbxcap::net

@@ -1,0 +1,44 @@
+// Attachment point for anything that sends/receives packets.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace pbxcap::net {
+
+class Network;
+
+/// A device on the network (host, PBX, switch). Subclasses implement
+/// on_receive; sending goes through the owning Network.
+class Node {
+ public:
+  explicit Node(std::string name) : name_{std::move(name)} {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  virtual ~Node() = default;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Network* network() const noexcept { return network_; }
+
+  /// Delivery upcall; `pkt.dst` is this node (or broadcast via a switch).
+  virtual void on_receive(const Packet& pkt) = 0;
+
+  /// Forwarding devices (switches, access points) may hold several links;
+  /// plain hosts are single-homed.
+  [[nodiscard]] virtual bool multihomed() const noexcept { return false; }
+
+ protected:
+  /// Hands the packet to the attached link. No-op with a warning counter if
+  /// the node is detached.
+  void send(Packet pkt);
+
+ private:
+  friend class Network;
+  std::string name_;
+  NodeId id_{kInvalidNode};
+  Network* network_{nullptr};
+};
+
+}  // namespace pbxcap::net

@@ -1,0 +1,71 @@
+// Network packet model.
+//
+// Packets carry an opaque payload (SIP message, RTP packet) plus the wire
+// metadata the transport layer needs: size in bytes, endpoints, and a kind
+// tag so taps can count SIP vs RTP traffic the way the paper does with
+// Wireshark.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/time.hpp"
+
+namespace pbxcap::net {
+
+/// Identifies an attached node within one Network. Dense, assigned at attach.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffff;
+
+enum class PacketKind : std::uint8_t { kSip, kRtp, kRtcp, kOther };
+
+[[nodiscard]] constexpr const char* to_string(PacketKind kind) noexcept {
+  switch (kind) {
+    case PacketKind::kSip: return "SIP";
+    case PacketKind::kRtp: return "RTP";
+    case PacketKind::kRtcp: return "RTCP";
+    case PacketKind::kOther: return "OTHER";
+  }
+  return "?";
+}
+
+/// Base class for anything carried inside a Packet.
+struct Payload {
+  Payload() = default;
+  Payload(const Payload&) = default;
+  Payload& operator=(const Payload&) = default;
+  Payload(Payload&&) = default;
+  Payload& operator=(Payload&&) = default;
+  virtual ~Payload() = default;
+};
+
+/// Per-layer encapsulation overhead on the wire (bytes). UDP transport for
+/// both SIP and RTP, as in the paper's testbed.
+inline constexpr std::uint32_t kUdpHeaderBytes = 8;
+inline constexpr std::uint32_t kIpv4HeaderBytes = 20;
+inline constexpr std::uint32_t kEthernetOverheadBytes = 18;  // MAC hdr + FCS
+inline constexpr std::uint32_t kWireOverheadBytes =
+    kUdpHeaderBytes + kIpv4HeaderBytes + kEthernetOverheadBytes;
+
+struct Packet {
+  std::uint64_t id{0};
+  NodeId src{kInvalidNode};
+  NodeId dst{kInvalidNode};
+  PacketKind kind{PacketKind::kOther};
+  std::uint32_t size_bytes{0};  // full on-wire size including headers
+  TimePoint sent_at{};
+  std::shared_ptr<const Payload> payload;
+
+  /// Typed payload access; nullptr if the payload is of a different type.
+  template <typename T>
+  [[nodiscard]] const T* payload_as() const noexcept {
+    return dynamic_cast<const T*>(payload.get());
+  }
+};
+
+/// Full wire size for an application payload of `app_bytes`.
+[[nodiscard]] constexpr std::uint32_t wire_size(std::uint32_t app_bytes) noexcept {
+  return app_bytes + kWireOverheadBytes;
+}
+
+}  // namespace pbxcap::net

@@ -1,0 +1,44 @@
+#include "net/switch_node.hpp"
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::net {
+
+void SwitchNode::add_route(NodeId dst, Link& via) {
+  if (!via.attaches(id())) throw std::logic_error{"SwitchNode::add_route: link not attached"};
+  static_routes_[dst] = &via;
+}
+
+Link* SwitchNode::route_for(NodeId dst) {
+  if (const auto it = learned_.find(dst); it != learned_.end()) return it->second;
+  if (const auto it = static_routes_.find(dst); it != static_routes_.end()) {
+    learned_.emplace(dst, it->second);
+    return it->second;
+  }
+  for (Link* link : network()->links_of(id())) {
+    if (link->peer_of(id()) == dst) {
+      learned_.emplace(dst, link);
+      return link;
+    }
+  }
+  return nullptr;
+}
+
+void SwitchNode::on_receive(const Packet& pkt) {
+  if (pkt.dst == id()) return;  // addressed to the switch itself: sink it
+  Link* out = route_for(pkt.dst);
+  if (out == nullptr) {
+    ++dropped_no_route_;
+    util::log_debug("switch", util::format("no route to node %u", pkt.dst));
+    return;
+  }
+  ++forwarded_;
+  network()->simulator().schedule_in(processing_delay_, [this, out, pkt] {
+    out->transmit(id(), pkt);
+  });
+}
+
+}  // namespace pbxcap::net

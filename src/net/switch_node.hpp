@@ -1,0 +1,43 @@
+// Store-and-forward Ethernet switch (the "Switch 10/100Mbps" of Fig. 4).
+//
+// Forwards by destination node id across its attached links after a small
+// per-packet processing latency. All hosts in the paper's testbed hang off a
+// single switch, so a directly-attached lookup suffices; static routes allow
+// multi-switch topologies if an experiment needs them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/node.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::net {
+
+class Link;
+
+class SwitchNode : public Node {
+ public:
+  explicit SwitchNode(std::string name, Duration processing_delay = Duration::micros(10))
+      : Node{std::move(name)}, processing_delay_{processing_delay} {}
+
+  void on_receive(const Packet& pkt) override;
+  [[nodiscard]] bool multihomed() const noexcept override { return true; }
+
+  /// Static route for destinations not directly attached.
+  void add_route(NodeId dst, Link& via);
+
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::uint64_t dropped_no_route() const noexcept { return dropped_no_route_; }
+
+ private:
+  [[nodiscard]] Link* route_for(NodeId dst);
+
+  Duration processing_delay_;
+  std::unordered_map<NodeId, Link*> static_routes_;
+  std::unordered_map<NodeId, Link*> learned_;  // cache of attached-peer lookups
+  std::uint64_t forwarded_{0};
+  std::uint64_t dropped_no_route_{0};
+};
+
+}  // namespace pbxcap::net

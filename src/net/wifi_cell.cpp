@@ -1,0 +1,89 @@
+#include "net/wifi_cell.hpp"
+
+#include <algorithm>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+
+namespace pbxcap::net {
+
+void WifiCell::add_route(NodeId dst, Link& via) {
+  if (!via.attaches(id())) throw std::logic_error{"WifiCell::add_route: link not attached"};
+  static_routes_[dst] = &via;
+}
+
+void WifiCell::set_uplink(Link& via) {
+  if (!via.attaches(id())) throw std::logic_error{"WifiCell::set_uplink: link not attached"};
+  uplink_ = &via;
+}
+
+Link* WifiCell::route_for(NodeId dst) {
+  if (const auto it = learned_.find(dst); it != learned_.end()) return it->second;
+  if (const auto it = static_routes_.find(dst); it != static_routes_.end()) {
+    learned_.emplace(dst, it->second);
+    return it->second;
+  }
+  for (Link* link : network()->links_of(id())) {
+    if (link->peer_of(id()) == dst) {
+      learned_.emplace(dst, link);
+      return link;
+    }
+  }
+  return uplink_;  // may be null: then the frame is unroutable
+}
+
+Duration WifiCell::frame_airtime(std::uint32_t bytes) const noexcept {
+  return config_.per_frame_overhead +
+         Duration::from_seconds(static_cast<double>(bytes) * 8.0 / config_.phy_rate_bps);
+}
+
+double WifiCell::medium_utilization(TimePoint now) const noexcept {
+  const double elapsed = now.to_seconds();
+  return elapsed <= 0.0 ? 0.0 : std::min(1.0, busy_time_.to_seconds() / elapsed);
+}
+
+void WifiCell::on_receive(const Packet& pkt) {
+  if (pkt.dst == id()) return;
+  Link* out = route_for(pkt.dst);
+  if (out == nullptr) {
+    ++dropped_no_route_;
+    return;
+  }
+  auto& sim = network()->simulator();
+  const TimePoint now = sim.now();
+
+  if (backlog_ >= config_.queue_limit_frames) {
+    ++dropped_queue_;
+    return;
+  }
+
+  // Contention: expected backoff is cw_min/2 slots when idle, and doubles
+  // (bounded) as the backlog deepens — a coarse DCF stand-in that preserves
+  // the key behaviour: per-frame cost rises under load.
+  const double cw_factor = std::min(4.0, 1.0 + static_cast<double>(backlog_) / 8.0);
+  const double mean_backoff_slots = static_cast<double>(config_.cw_min) / 2.0 * cw_factor;
+  const Duration backoff = Duration::from_seconds(
+      mean_backoff_slots * config_.slot_time.to_seconds() *
+      network()->impairment_rng().uniform(0.5, 1.5));
+  const Duration occupancy = frame_airtime(pkt.size_bytes) + backoff;
+
+  const TimePoint start = std::max(now, medium_busy_until_);
+  medium_busy_until_ = start + occupancy;
+  busy_time_ += occupancy;
+  ++backlog_;
+
+  const bool lost = config_.frame_error_rate > 0.0 &&
+                    network()->impairment_rng().chance(config_.frame_error_rate);
+
+  sim.schedule_at(medium_busy_until_, [this, out, pkt, lost] {
+    if (backlog_ > 0) --backlog_;
+    if (lost) {
+      ++dropped_radio_;
+      return;
+    }
+    ++forwarded_;
+    out->transmit(id(), pkt);
+  });
+}
+
+}  // namespace pbxcap::net

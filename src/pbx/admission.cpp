@@ -1,0 +1,51 @@
+#include "pbx/admission.hpp"
+
+#include "core/erlang_b.hpp"
+
+namespace pbxcap::pbx {
+
+ErlangPredictiveCac::ErlangPredictiveCac(PredictiveCacConfig config)
+    : config_{config}, hold_{config.initial_hold} {}
+
+bool ErlangPredictiveCac::admit(TimePoint now, std::uint32_t capacity) {
+  ++attempts_;
+
+  if (have_arrival_) {
+    const double gap_s = (now - last_arrival_).to_seconds();
+    if (mean_interarrival_s_ <= 0.0) {
+      mean_interarrival_s_ = gap_s;
+    } else {
+      mean_interarrival_s_ =
+          (1.0 - config_.smoothing) * mean_interarrival_s_ + config_.smoothing * gap_s;
+    }
+    if (mean_interarrival_s_ > 0.0) rate_per_s_ = 1.0 / mean_interarrival_s_;
+  }
+  have_arrival_ = true;
+  last_arrival_ = now;
+
+  if (attempts_ <= config_.warmup_attempts) {
+    last_prediction_ = 0.0;
+    return true;
+  }
+
+  const double offered = estimated_offered_erlangs();
+  last_prediction_ = erlang::erlang_b(erlang::Erlangs{offered}, capacity);
+  if (last_prediction_ > config_.target_blocking) {
+    ++rejected_;
+    return false;
+  }
+  return true;
+}
+
+void ErlangPredictiveCac::on_call_finished(Duration hold) {
+  if (!have_hold_sample_) {
+    hold_ = hold;
+    have_hold_sample_ = true;
+    return;
+  }
+  const double smoothed = (1.0 - config_.smoothing) * hold_.to_seconds() +
+                          config_.smoothing * hold.to_seconds();
+  hold_ = Duration::from_seconds(smoothed);
+}
+
+}  // namespace pbxcap::pbx

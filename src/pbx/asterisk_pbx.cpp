@@ -1,0 +1,488 @@
+#include "pbx/asterisk_pbx.hpp"
+
+#include <algorithm>
+
+#include "rtp/packet.hpp"
+#include "rtp/rtcp.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::pbx {
+
+using sip::Message;
+using sip::Method;
+using sip::Sdp;
+
+AsteriskPbx::AsteriskPbx(PbxConfig config, sim::Simulator& simulator,
+                         sip::HostResolver& resolver)
+    : sip::SipEndpoint{"asterisk", config.host, simulator, resolver},
+      config_{std::move(config)},
+      channels_{config_.max_channels},
+      cpu_{config_.cpu},
+      cac_{config_.cac} {
+  transactions().on_request = [this](const Message& req, sip::ServerTransaction& txn) {
+    handle_request(req, txn);
+  };
+  transactions().on_ack = [](const Message&) { /* leg A established; nothing to do */ };
+}
+
+void AsteriskPbx::send_sip(const Message& msg, net::NodeId dst) {
+  cpu_.on_sip_message(network() != nullptr ? network()->simulator().now() : TimePoint{});
+  sip::SipEndpoint::send_sip(msg, dst);
+}
+
+void AsteriskPbx::on_receive(const net::Packet& pkt) {
+  if (pkt.kind == net::PacketKind::kRtp || pkt.kind == net::PacketKind::kRtcp) {
+    relay_rtp(pkt);
+    return;
+  }
+  if (pkt.kind == net::PacketKind::kSip) {
+    cpu_.on_sip_message(network()->simulator().now());
+  }
+  sip::SipEndpoint::on_receive(pkt);
+}
+
+// ------------------------------------------------------------- signalling ----
+
+void AsteriskPbx::handle_request(const Message& req, sip::ServerTransaction& txn) {
+  switch (req.method()) {
+    case Method::kInvite:
+      handle_invite(req, txn);
+      return;
+    case Method::kBye:
+      handle_bye(req, txn);
+      return;
+    case Method::kRegister:
+      handle_register(req, txn);
+      return;
+    case Method::kOptions: {
+      Message ok = Message::response_to(req, sip::status::kOk);
+      txn.respond(ok);
+      return;
+    }
+    default:
+      reject(req, txn, 501);
+      return;
+  }
+}
+
+void AsteriskPbx::reject(const Message& req, sip::ServerTransaction& txn, int code) {
+  cpu_.on_error_event(network()->simulator().now());
+  Message resp = Message::response_to(req, code);
+  resp.to().tag = new_tag();
+  txn.respond(resp);
+}
+
+void AsteriskPbx::handle_invite(const Message& req, sip::ServerTransaction& txn) {
+  if (!config_.require_auth) {
+    admit_invite(req, txn);
+    return;
+  }
+  const auto proceed = [this, req, &txn] {
+    const auto user = directory_.lookup(req.from().uri.user());
+    if (!user || !user->allowed) {
+      const std::size_t cdr = cdrs_.open(req.call_id(), req.from().uri.user(),
+                                         req.request_uri().user(),
+                                         network()->simulator().now());
+      cdrs_.close(cdr, Disposition::kRejected, network()->simulator().now());
+      reject(req, txn, 403);
+      return;
+    }
+    admit_invite(req, txn);
+  };
+  if (config_.auth_lookup_latency && directory_.lookup_latency() > Duration::zero()) {
+    network()->simulator().schedule_in(directory_.lookup_latency(), proceed);
+  } else {
+    proceed();
+  }
+}
+
+void AsteriskPbx::handle_register(const Message& req, sip::ServerTransaction& txn) {
+  const std::string& user = req.from().uri.user();
+  if (config_.require_auth) {
+    const auto entry = directory_.lookup(user);
+    if (!entry || !entry->allowed) {
+      reject(req, txn, 403);
+      return;
+    }
+  }
+  std::int64_t expires = Registrar::kDefaultExpiresSeconds;
+  if (const std::string* header = req.header("Expires")) {
+    std::uint64_t value = 0;
+    if (util::parse_u64(*header, value)) expires = static_cast<std::int64_t>(value);
+  }
+  if (!req.contact()) {
+    reject(req, txn, sip::status::kBadRequest);
+    return;
+  }
+  registrar_.bind(user, *req.contact(), expires, network()->simulator().now());
+  Message ok = Message::response_to(req, sip::status::kOk);
+  ok.add_header("Expires", std::to_string(expires));
+  txn.respond(ok);
+}
+
+void AsteriskPbx::admit_invite(const Message& req, sip::ServerTransaction& txn) {
+  const TimePoint now = network()->simulator().now();
+  const std::string& caller_user = req.from().uri.user();
+  const std::size_t cdr =
+      cdrs_.open(req.call_id(), caller_user, req.request_uri().user(), now);
+
+  // Per-user call policy: a Directory entry may cap concurrent calls.
+  if (const auto user = directory_.lookup(caller_user);
+      user && user->max_concurrent_calls > 0) {
+    const auto it = active_calls_by_user_.find(caller_user);
+    if (it != active_calls_by_user_.end() && it->second >= user->max_concurrent_calls) {
+      ++policy_rejections_;
+      cdrs_.close(cdr, Disposition::kRejected, now);
+      reject(req, txn, sip::status::kBusyHere);
+      return;
+    }
+  }
+
+  // Predictive CAC (reference [8]): reject while the measured offered load
+  // predicts blocking above target, before the pool is exhausted.
+  if (config_.admission == AdmissionPolicy::kErlangPredictive &&
+      !cac_.admit(now, channels_.capacity())) {
+    cdrs_.close(cdr, Disposition::kCongestion, now);
+    reject(req, txn, sip::status::kServiceUnavailable);
+    return;
+  }
+
+  // Admission control: one channel per bridged call.
+  if (!channels_.try_acquire()) {
+    if (config_.admission == AdmissionPolicy::kQueueWhenBusy) {
+      enqueue_call(req, txn, cdr);
+      return;
+    }
+    cdrs_.close(cdr, Disposition::kCongestion, now);
+    reject(req, txn, sip::status::kServiceUnavailable);
+    return;
+  }
+
+  start_bridge(req, txn, cdr);
+}
+
+void AsteriskPbx::start_bridge(const Message& req, sip::ServerTransaction& txn,
+                               std::size_t cdr) {
+  const TimePoint now = network()->simulator().now();
+  const std::string& caller_user = req.from().uri.user();
+
+  // Location service first (registered contacts), then the static dialplan —
+  // the order Asterisk resolves SIP peers.
+  std::optional<std::string> route;
+  if (const auto binding = registrar_.lookup(req.request_uri().user(), now)) {
+    route = binding->host();
+  } else {
+    route = dialplan_.route(req.request_uri().user());
+  }
+  if (!route) {
+    channels_.release();
+    cdrs_.close(cdr, Disposition::kRejected, now);
+    reject(req, txn, sip::status::kNotFound);
+    return;
+  }
+
+  const auto offer = Sdp::parse(req.body());
+  if (!offer || offer->audio.payload_types.empty()) {
+    channels_.release();
+    cdrs_.close(cdr, Disposition::kRejected, now);
+    reject(req, txn, sip::status::kBadRequest);
+    return;
+  }
+
+  // Codec filtering, as Asterisk applies its allow/disallow lists.
+  Sdp filtered = *offer;
+  std::erase_if(filtered.audio.payload_types, [this](std::uint8_t pt) {
+    return std::find(config_.allowed_payload_types.begin(), config_.allowed_payload_types.end(),
+                     pt) == config_.allowed_payload_types.end();
+  });
+  if (filtered.audio.payload_types.empty()) {
+    channels_.release();
+    cdrs_.close(cdr, Disposition::kRejected, now);
+    reject(req, txn, 488);  // Not Acceptable Here
+    return;
+  }
+
+  auto bridge = std::make_unique<Bridge>();
+  bridge->call_id_a = req.call_id();
+  bridge->caller_user = caller_user;
+  ++active_calls_by_user_[caller_user];
+  bridge->caller_host = req.from().uri.host();
+  bridge->invite_a = req;
+  bridge->invite_txn_a = &txn;
+  bridge->to_tag_a = new_tag();
+  bridge->ssrc_a = offer->audio.ssrc;
+  bridge->caller_node = resolver().resolve(bridge->caller_host);
+  bridge->callee_host = *route;
+  bridge->cdr = cdr;
+  bridge->channel_held = true;
+
+  // 100 Trying toward the caller (the Fig. 2 ladder's first response).
+  Message trying = Message::response_to(req, sip::status::kTrying);
+  txn.respond(trying);
+
+  // Re-originate leg B with anchored media.
+  bridge->call_id_b = util::format("b2b-%llu@%s", static_cast<unsigned long long>(++b2b_counter_),
+                                   sip_host().c_str());
+  Message invite_b = Message::request(Method::kInvite, sip::Uri{req.request_uri().user(), *route});
+  invite_b.from() = sip::NameAddr{sip::Uri{req.from().uri.user(), sip_host()}, new_tag()};
+  invite_b.to() = sip::NameAddr{sip::Uri{req.request_uri().user(), *route}, ""};
+  invite_b.set_call_id(bridge->call_id_b);
+  invite_b.set_cseq({1, Method::kInvite});
+  invite_b.set_contact(sip::Uri{"asterisk", sip_host()});
+  invite_b.set_body(anchored_sdp(filtered).to_string(), "application/sdp");
+  bridge->invite_b = invite_b;
+
+  bridges_.push_back(std::move(bridge));
+  const std::size_t idx = bridges_.size() - 1;
+  ++active_bridges_;
+  by_call_id_a_.emplace(bridges_[idx]->call_id_a, idx);
+  by_call_id_b_.emplace(bridges_[idx]->call_id_b, idx);
+
+  send_request_to(
+      std::move(invite_b), *route,
+      [this, idx](const Message& resp) { on_leg_b_response(idx, resp); },
+      [this, idx] { on_leg_b_timeout(idx); });
+}
+
+void AsteriskPbx::enqueue_call(const Message& req, sip::ServerTransaction& txn,
+                               std::size_t cdr) {
+  const TimePoint now = network()->simulator().now();
+  std::size_t live = 0;
+  for (const auto& qc : queue_) {
+    if (qc->live) ++live;
+  }
+  if (live >= config_.max_queue_length) {
+    cdrs_.close(cdr, Disposition::kCongestion, now);
+    reject(req, txn, sip::status::kServiceUnavailable);
+    return;
+  }
+
+  ++queued_total_;
+  auto queued = std::make_unique<QueuedCall>();
+  queued->invite = req;
+  queued->txn = &txn;
+  queued->cdr = cdr;
+  queued->enqueued_at = now;
+
+  // 182 Queued keeps the caller's INVITE transaction in Proceeding while it
+  // waits (no Timer B pressure per RFC 3261 §17.1.1.2).
+  Message queued_resp = Message::response_to(req, 182);
+  queued_resp.to().tag = new_tag();
+  txn.respond(queued_resp);
+
+  QueuedCall* raw = queued.get();
+  queued->timeout_event =
+      network()->simulator().schedule_in(config_.queue_timeout, [this, raw] {
+        if (!raw->live) return;
+        raw->live = false;
+        ++queue_timeouts_;
+        queue_wait_s_.add(config_.queue_timeout.to_seconds());
+        cdrs_.close(raw->cdr, Disposition::kCongestion, network()->simulator().now());
+        reject(raw->invite, *raw->txn, sip::status::kServiceUnavailable);
+      });
+  queue_.push_back(std::move(queued));
+}
+
+void AsteriskPbx::serve_queue() {
+  while (!queue_.empty() && !queue_.front()->live) queue_.pop_front();
+  if (queue_.empty() || channels_.available() == 0) return;
+  auto queued = std::move(queue_.front());
+  queue_.pop_front();
+  queued->live = false;
+  network()->simulator().cancel(queued->timeout_event);
+  if (!channels_.try_acquire()) return;  // raced away; caller times out later
+  ++queue_served_;
+  queue_wait_s_.add((network()->simulator().now() - queued->enqueued_at).to_seconds());
+  start_bridge(queued->invite, *queued->txn, queued->cdr);
+}
+
+std::size_t AsteriskPbx::queue_depth() const noexcept {
+  std::size_t live = 0;
+  for (const auto& qc : queue_) {
+    if (qc->live) ++live;
+  }
+  return live;
+}
+
+sip::Sdp AsteriskPbx::anchored_sdp(const Sdp& original) {
+  Sdp anchored = original;
+  anchored.connection_host = sip_host();
+  // A fresh PBX-side port per call leg, as Asterisk allocates RTP ports.
+  anchored.audio.rtp_port = next_media_port_;
+  next_media_port_ =
+      static_cast<std::uint16_t>(next_media_port_ >= 19'998 ? 10'000 : next_media_port_ + 2);
+  return anchored;
+}
+
+void AsteriskPbx::on_leg_b_response(std::size_t bridge_idx, const Message& resp) {
+  Bridge& bridge = *bridges_.at(bridge_idx);
+  if (bridge.state == Bridge::State::kClosed) return;
+  const int code = resp.status_code();
+
+  if (sip::is_provisional(code)) {
+    if (code == sip::status::kRinging && bridge.invite_txn_a != nullptr) {
+      Message ringing = Message::response_to(bridge.invite_a, sip::status::kRinging);
+      ringing.to().tag = bridge.to_tag_a;
+      bridge.invite_txn_a->respond(ringing);
+    }
+    return;
+  }
+
+  if (sip::is_success(code)) {
+    // Leg B answered: complete leg A and start relaying.
+    bridge.dialog_b = sip::Dialog::from_uac(bridge.invite_b, resp);
+    send_stateless_to(bridge.dialog_b.make_ack(), bridge.callee_host);
+
+    const auto answer = Sdp::parse(resp.body());
+    if (answer) bridge.ssrc_b = answer->audio.ssrc;
+    bridge.callee_node = resolver().resolve(bridge.callee_host);
+
+    Message ok = Message::response_to(bridge.invite_a, sip::status::kOk);
+    ok.to().tag = bridge.to_tag_a;
+    ok.set_contact(sip::Uri{"asterisk", sip_host()});
+    if (answer) ok.set_body(anchored_sdp(*answer).to_string(), "application/sdp");
+    if (bridge.invite_txn_a != nullptr) {
+      bridge.invite_txn_a->respond(ok);
+      bridge.invite_txn_a = nullptr;  // 2xx terminates the transaction
+    }
+    bridge.dialog_a = sip::Dialog::from_uas(bridge.invite_a, ok);
+
+    bridge.state = Bridge::State::kAnswered;
+    cdrs_.mark_answered(bridge.cdr, network()->simulator().now());
+    register_media(bridge);
+    return;
+  }
+
+  // Error final from leg B: mirror it on leg A and fold the bridge.
+  cpu_.on_error_event(network()->simulator().now());
+  if (bridge.invite_txn_a != nullptr) {
+    Message err = Message::response_to(bridge.invite_a, code);
+    err.to().tag = bridge.to_tag_a;
+    bridge.invite_txn_a->respond(err);
+    bridge.invite_txn_a = nullptr;
+  }
+  close_bridge(bridge_idx, Disposition::kFailed);
+}
+
+void AsteriskPbx::on_leg_b_timeout(std::size_t bridge_idx) {
+  Bridge& bridge = *bridges_.at(bridge_idx);
+  if (bridge.state == Bridge::State::kClosed) return;
+  cpu_.on_error_event(network()->simulator().now());
+  if (bridge.invite_txn_a != nullptr) {
+    Message err = Message::response_to(bridge.invite_a, 504);
+    err.to().tag = bridge.to_tag_a;
+    bridge.invite_txn_a->respond(err);
+    bridge.invite_txn_a = nullptr;
+  }
+  close_bridge(bridge_idx, Disposition::kFailed);
+}
+
+AsteriskPbx::Bridge* AsteriskPbx::bridge_by_call_id(const std::string& call_id, bool& is_leg_a) {
+  if (const auto it = by_call_id_a_.find(call_id); it != by_call_id_a_.end()) {
+    is_leg_a = true;
+    return bridges_[it->second].get();
+  }
+  if (const auto it = by_call_id_b_.find(call_id); it != by_call_id_b_.end()) {
+    is_leg_a = false;
+    return bridges_[it->second].get();
+  }
+  return nullptr;
+}
+
+void AsteriskPbx::handle_bye(const Message& req, sip::ServerTransaction& txn) {
+  bool is_leg_a = false;
+  Bridge* bridge = bridge_by_call_id(req.call_id(), is_leg_a);
+  if (bridge == nullptr || bridge->state == Bridge::State::kClosed) {
+    reject(req, txn, 481);  // Call/Transaction Does Not Exist
+    return;
+  }
+  const std::size_t idx = is_leg_a ? by_call_id_a_.at(req.call_id())
+                                   : by_call_id_b_.at(req.call_id());
+  bridge->state = Bridge::State::kTearingDown;
+
+  // Answer the BYE at once (Asterisk does not hold the teardown of one leg
+  // hostage to the other), forward it on the opposite leg, and fold the
+  // bridge. The forwarded transaction completes on its own.
+  Message ok = Message::response_to(req, sip::status::kOk);
+  txn.respond(ok);
+
+  sip::Dialog& other = is_leg_a ? bridge->dialog_b : bridge->dialog_a;
+  const std::string& other_host = is_leg_a ? bridge->callee_host : bridge->caller_host;
+  Message bye = other.make_request(Method::kBye);
+  send_request_to(
+      bye, other_host, [](const Message&) { /* teardown confirmed */ },
+      [this] { cpu_.on_error_event(network()->simulator().now()); });
+
+  close_bridge(idx, Disposition::kAnswered);
+}
+
+void AsteriskPbx::register_media(Bridge& bridge) {
+  const std::size_t idx = by_call_id_a_.at(bridge.call_id_a);
+  if (bridge.ssrc_a != 0) by_ssrc_[bridge.ssrc_a] = idx;
+  if (bridge.ssrc_b != 0) by_ssrc_[bridge.ssrc_b] = idx;
+}
+
+void AsteriskPbx::relay_rtp(const net::Packet& pkt) {
+  cpu_.on_rtp_packet(network()->simulator().now());
+  // Media and control share the SSRC routing table: RTCP for a stream
+  // follows the same path as its RTP (RFC 3550 pairs the two flows).
+  std::uint32_t ssrc = 0;
+  if (const auto* rtp = pkt.payload_as<rtp::RtpPayload>()) {
+    ssrc = rtp->header.ssrc;
+  } else if (const auto* rtcp = pkt.payload_as<rtp::RtcpPayload>()) {
+    ssrc = rtcp->routing_ssrc();
+  } else {
+    ++rtp_dropped_no_session_;
+    return;
+  }
+  const auto it = by_ssrc_.find(ssrc);
+  if (it == by_ssrc_.end()) {
+    ++rtp_dropped_no_session_;
+    return;
+  }
+  Bridge& bridge = *bridges_[it->second];
+  if (bridge.state != Bridge::State::kAnswered &&
+      bridge.state != Bridge::State::kTearingDown) {
+    ++rtp_dropped_no_session_;
+    return;
+  }
+  const bool from_caller = ssrc == bridge.ssrc_a;
+  const net::NodeId dst = from_caller ? bridge.callee_node : bridge.caller_node;
+  if (dst == net::kInvalidNode) {
+    ++rtp_dropped_no_session_;
+    return;
+  }
+  ++rtp_relayed_;
+  net::Packet out;
+  out.dst = dst;
+  out.kind = pkt.kind;
+  out.size_bytes = pkt.size_bytes;
+  out.payload = pkt.payload;
+  send(std::move(out));
+}
+
+void AsteriskPbx::close_bridge(std::size_t idx, Disposition disposition) {
+  Bridge& bridge = *bridges_.at(idx);
+  if (bridge.state == Bridge::State::kClosed) return;
+  bridge.state = Bridge::State::kClosed;
+  if (bridge.channel_held) {
+    channels_.release();
+    bridge.channel_held = false;
+  }
+  if (const auto it = active_calls_by_user_.find(bridge.caller_user);
+      it != active_calls_by_user_.end() && it->second > 0) {
+    --it->second;
+  }
+  if (bridge.ssrc_a != 0) by_ssrc_.erase(bridge.ssrc_a);
+  if (bridge.ssrc_b != 0) by_ssrc_.erase(bridge.ssrc_b);
+  cdrs_.close(bridge.cdr, disposition, network()->simulator().now());
+  if (disposition == Disposition::kAnswered &&
+      config_.admission == AdmissionPolicy::kErlangPredictive) {
+    cac_.on_call_finished(cdrs_.records()[bridge.cdr].talk_time());
+  }
+  if (active_bridges_ > 0) --active_bridges_;
+  if (config_.admission == AdmissionPolicy::kQueueWhenBusy) serve_queue();
+}
+
+}  // namespace pbxcap::pbx

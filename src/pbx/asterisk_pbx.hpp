@@ -1,0 +1,173 @@
+// The Asterisk-like PBX: a back-to-back user agent with finite channels.
+//
+// Reproduces the behaviour the paper measures (§II-B, Fig. 2):
+//   * every SIP message of both call legs passes through the PBX;
+//   * all RTP media is anchored and relayed by the PBX;
+//   * a finite channel pool performs admission control — an INVITE that
+//     finds no free channel is rejected (503), which is the "blocked call"
+//     outcome of Table I;
+//   * CPU cost accrues per SIP message and per relayed RTP packet with
+//     error-path surcharges, per the paper's observed utilization structure;
+//   * every call leaves a CDR.
+//
+// Call-leg plumbing: leg A (caller -> PBX) is answered as a UAS; leg B
+// (PBX -> callee) is originated as a UAC with a fresh Call-ID. SDP is
+// forwarded with the connection address rewritten to the PBX (media
+// anchoring); endpoints announce their RTP SSRC in the SDP (RFC 5576), which
+// is what the relay uses to demultiplex streams to the opposite leg.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pbx/admission.hpp"
+#include "pbx/cdr.hpp"
+#include "pbx/channel_pool.hpp"
+#include "pbx/cpu_model.hpp"
+#include "pbx/dialplan.hpp"
+#include "pbx/directory.hpp"
+#include "pbx/registrar.hpp"
+#include "sip/dialog.hpp"
+#include "sip/endpoint.hpp"
+#include "sip/sdp.hpp"
+
+namespace pbxcap::pbx {
+
+struct PbxConfig {
+  std::string host{"pbx.unb.br"};
+  std::uint32_t max_channels{165};  // fitted capacity of the paper's server
+  CpuModelConfig cpu{};
+  bool require_auth{false};          // LDAP-style lookup before admitting
+  bool auth_lookup_latency{true};    // apply Directory latency when checking
+  std::vector<std::uint8_t> allowed_payload_types{0, 8};  // PCMU, PCMA
+  /// Admission strategy: hard channel pool (paper), predictive Erlang CAC
+  /// (paper reference [8]), or queue-when-busy (the Erlang-C system).
+  AdmissionPolicy admission{AdmissionPolicy::kChannelPool};
+  PredictiveCacConfig cac{};
+  /// kQueueWhenBusy parameters.
+  std::uint32_t max_queue_length{64};
+  Duration queue_timeout{Duration::seconds(60)};  // caller reneges after this
+};
+
+class AsteriskPbx final : public sip::SipEndpoint {
+ public:
+  AsteriskPbx(PbxConfig config, sim::Simulator& simulator, sip::HostResolver& resolver);
+
+  void on_receive(const net::Packet& pkt) override;
+  void send_sip(const sip::Message& msg, net::NodeId dst) override;
+
+  [[nodiscard]] ChannelPool& channels() noexcept { return channels_; }
+  [[nodiscard]] const ChannelPool& channels() const noexcept { return channels_; }
+  [[nodiscard]] CpuModel& cpu() noexcept { return cpu_; }
+  [[nodiscard]] const CpuModel& cpu() const noexcept { return cpu_; }
+  [[nodiscard]] CdrLog& cdrs() noexcept { return cdrs_; }
+  [[nodiscard]] const CdrLog& cdrs() const noexcept { return cdrs_; }
+  [[nodiscard]] Dialplan& dialplan() noexcept { return dialplan_; }
+  [[nodiscard]] Directory& directory() noexcept { return directory_; }
+  [[nodiscard]] Registrar& registrar() noexcept { return registrar_; }
+  [[nodiscard]] const PbxConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::uint64_t rtp_relayed() const noexcept { return rtp_relayed_; }
+  [[nodiscard]] std::uint64_t rtp_dropped_unknown_ssrc() const noexcept {
+    return rtp_dropped_no_session_;
+  }
+  [[nodiscard]] std::size_t active_bridges() const noexcept { return active_bridges_; }
+  /// Calls rejected by per-user concurrent-call policy (Directory limits) —
+  /// the "effective call policy" knob the paper's conclusion proposes.
+  [[nodiscard]] std::uint64_t policy_rejections() const noexcept { return policy_rejections_; }
+  /// Predictive-CAC state (meaningful under kErlangPredictive).
+  [[nodiscard]] const ErlangPredictiveCac& cac() const noexcept { return cac_; }
+
+  // kQueueWhenBusy observations (the Erlang-C quantities).
+  [[nodiscard]] std::uint64_t calls_queued() const noexcept { return queued_total_; }
+  [[nodiscard]] std::uint64_t queue_served() const noexcept { return queue_served_; }
+  [[nodiscard]] std::uint64_t queue_timeouts() const noexcept { return queue_timeouts_; }
+  /// Waiting time (seconds) of calls that left the queue, served or not.
+  [[nodiscard]] const stats::Summary& queue_wait_s() const noexcept { return queue_wait_s_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept;
+
+ private:
+  struct Bridge {
+    enum class State { kInviting, kAnswered, kTearingDown, kClosed };
+
+    State state{State::kInviting};
+    std::string call_id_a;            // leg A (caller-facing) Call-ID
+    std::string call_id_b;            // leg B (callee-facing) Call-ID
+    std::string caller_user;          // for per-user policy accounting
+    std::string caller_host;
+    std::string callee_host;
+    sip::Message invite_a;            // original INVITE for building responses
+    sip::Message invite_b;            // our re-originated INVITE
+    std::string to_tag_a;             // tag we assign on leg A responses
+    sip::ServerTransaction* invite_txn_a{nullptr};  // valid until final sent
+    sip::Dialog dialog_a;             // established leg A dialog (UAS side)
+    sip::Dialog dialog_b;             // established leg B dialog (UAC side)
+    std::uint32_t ssrc_a{0};          // caller's media SSRC
+    std::uint32_t ssrc_b{0};          // callee's media SSRC
+    net::NodeId caller_node{net::kInvalidNode};
+    net::NodeId callee_node{net::kInvalidNode};
+    std::size_t cdr{0};
+    bool channel_held{false};
+  };
+
+  void handle_request(const sip::Message& req, sip::ServerTransaction& txn);
+  void handle_invite(const sip::Message& req, sip::ServerTransaction& txn);
+  void handle_register(const sip::Message& req, sip::ServerTransaction& txn);
+  /// Continues admission once a channel is held (builds leg B, etc.).
+  void start_bridge(const sip::Message& req, sip::ServerTransaction& txn, std::size_t cdr);
+  void enqueue_call(const sip::Message& req, sip::ServerTransaction& txn, std::size_t cdr);
+  void serve_queue();
+  void admit_invite(const sip::Message& req, sip::ServerTransaction& txn);
+  void handle_bye(const sip::Message& req, sip::ServerTransaction& txn);
+  void on_leg_b_response(std::size_t bridge_idx, const sip::Message& resp);
+  void on_leg_b_timeout(std::size_t bridge_idx);
+  void reject(const sip::Message& req, sip::ServerTransaction& txn, int code);
+  void relay_rtp(const net::Packet& pkt);
+  void register_media(Bridge& bridge);
+  void close_bridge(std::size_t idx, Disposition disposition);
+
+  [[nodiscard]] Bridge* bridge_by_call_id(const std::string& call_id, bool& is_leg_a);
+  [[nodiscard]] sip::Sdp anchored_sdp(const sip::Sdp& original);
+
+  PbxConfig config_;
+  ChannelPool channels_;
+  CpuModel cpu_;
+  CdrLog cdrs_;
+  Dialplan dialplan_;
+  Directory directory_;
+  Registrar registrar_;
+  ErlangPredictiveCac cac_;
+
+  std::vector<std::unique_ptr<Bridge>> bridges_;
+  std::unordered_map<std::string, std::size_t> by_call_id_a_;
+  std::unordered_map<std::string, std::size_t> by_call_id_b_;
+  std::unordered_map<std::uint32_t, std::size_t> by_ssrc_;
+
+  std::unordered_map<std::string, std::uint32_t> active_calls_by_user_;
+  std::uint64_t policy_rejections_{0};
+  std::uint64_t b2b_counter_{0};
+
+  struct QueuedCall {
+    sip::Message invite;
+    sip::ServerTransaction* txn{nullptr};
+    std::size_t cdr{0};
+    TimePoint enqueued_at{};
+    sim::EventId timeout_event{0};
+    bool live{true};
+  };
+  std::deque<std::unique_ptr<QueuedCall>> queue_;
+  std::uint64_t queued_total_{0};
+  std::uint64_t queue_served_{0};
+  std::uint64_t queue_timeouts_{0};
+  stats::Summary queue_wait_s_;
+  std::uint16_t next_media_port_{10'000};
+  std::uint64_t rtp_relayed_{0};
+  std::uint64_t rtp_dropped_no_session_{0};
+  std::size_t active_bridges_{0};
+};
+
+}  // namespace pbxcap::pbx

@@ -1,0 +1,39 @@
+#include "pbx/cdr.hpp"
+
+#include <stdexcept>
+
+namespace pbxcap::pbx {
+
+std::size_t CdrLog::open(std::string call_id, std::string caller, std::string callee,
+                         TimePoint at) {
+  CallDetailRecord rec;
+  rec.call_id = std::move(call_id);
+  rec.caller = std::move(caller);
+  rec.callee = std::move(callee);
+  rec.invite_at = at;
+  records_.push_back(std::move(rec));
+  return records_.size() - 1;
+}
+
+void CdrLog::mark_answered(std::size_t idx, TimePoint at) {
+  records_.at(idx).answer_at = at;
+}
+
+void CdrLog::close(std::size_t idx, Disposition d, TimePoint at) {
+  auto& rec = records_.at(idx);
+  if (rec.disposition != Disposition::kInProgress) {
+    throw std::logic_error{"CdrLog::close: record already closed"};
+  }
+  rec.disposition = d;
+  rec.end_at = at;
+}
+
+std::uint64_t CdrLog::count(Disposition d) const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.disposition == d) ++n;
+  }
+  return n;
+}
+
+}  // namespace pbxcap::pbx

@@ -1,0 +1,64 @@
+// Call Detail Records — Asterisk's per-call accounting, reproduced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pbxcap::pbx {
+
+enum class Disposition : std::uint8_t {
+  kAnswered,    // call connected and completed normally
+  kCongestion,  // rejected: no free channel (the blocked-call outcome)
+  kRejected,    // rejected by policy/auth (403/404)
+  kFailed,      // downstream error or timeout after admission
+  kNoAnswer,    // callee never picked up
+  kInProgress,  // record still open (teardown not yet seen)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Disposition d) noexcept {
+  switch (d) {
+    case Disposition::kAnswered: return "ANSWERED";
+    case Disposition::kCongestion: return "CONGESTION";
+    case Disposition::kRejected: return "REJECTED";
+    case Disposition::kFailed: return "FAILED";
+    case Disposition::kNoAnswer: return "NO ANSWER";
+    case Disposition::kInProgress: return "IN PROGRESS";
+  }
+  return "?";
+}
+
+struct CallDetailRecord {
+  std::string call_id;
+  std::string caller;
+  std::string callee;
+  TimePoint invite_at{};
+  TimePoint answer_at{};
+  TimePoint end_at{};
+  Disposition disposition{Disposition::kInProgress};
+
+  [[nodiscard]] Duration talk_time() const noexcept {
+    return disposition == Disposition::kAnswered ? end_at - answer_at : Duration::zero();
+  }
+};
+
+class CdrLog {
+ public:
+  /// Opens a record; returns its index for later closing.
+  std::size_t open(std::string call_id, std::string caller, std::string callee, TimePoint at);
+
+  void mark_answered(std::size_t idx, TimePoint at);
+  void close(std::size_t idx, Disposition d, TimePoint at);
+
+  [[nodiscard]] const std::vector<CallDetailRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t count(Disposition d) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  std::vector<CallDetailRecord> records_;
+};
+
+}  // namespace pbxcap::pbx

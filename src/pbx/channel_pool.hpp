@@ -1,0 +1,49 @@
+// Finite channel pool — the capacity the Erlang-B model dimensions.
+//
+// One channel carries one bridged call (two call legs + relayed media),
+// matching the paper's accounting: "Each channel, denoted as N, supports the
+// communication between two end-users."
+#pragma once
+
+#include <cstdint>
+
+namespace pbxcap::pbx {
+
+class ChannelPool {
+ public:
+  explicit ChannelPool(std::uint32_t capacity) : capacity_{capacity} {}
+
+  /// Attempts to claim one channel; false when the pool is exhausted (the
+  /// admission-control "blocked call" outcome).
+  [[nodiscard]] bool try_acquire() noexcept {
+    ++attempts_;
+    if (in_use_ >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    ++in_use_;
+    if (in_use_ > peak_) peak_ = in_use_;
+    return true;
+  }
+
+  void release() noexcept {
+    if (in_use_ > 0) --in_use_;
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::uint32_t available() const noexcept { return capacity_ - in_use_; }
+  /// Peak concurrent usage — Table I's "Number of Channels (N)" row.
+  [[nodiscard]] std::uint32_t peak() const noexcept { return peak_; }
+  [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t in_use_{0};
+  std::uint32_t peak_{0};
+  std::uint64_t attempts_{0};
+  std::uint64_t rejected_{0};
+};
+
+}  // namespace pbxcap::pbx

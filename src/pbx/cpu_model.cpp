@@ -1,0 +1,45 @@
+#include "pbx/cpu_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pbxcap::pbx {
+
+CpuModel::CpuModel(CpuModelConfig config, Duration bucket_width)
+    : config_{config}, bucket_width_{bucket_width} {
+  if (bucket_width <= Duration::zero()) {
+    throw std::invalid_argument{"CpuModel: bucket width must be positive"};
+  }
+}
+
+std::size_t CpuModel::bucket_of(TimePoint at) const noexcept {
+  return static_cast<std::size_t>(at.ns() / bucket_width_.ns());
+}
+
+void CpuModel::deposit(TimePoint at, Duration work) {
+  const std::size_t idx = bucket_of(at);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, Duration::zero());
+  buckets_[idx] += work;
+  total_work_ += work;
+}
+
+double CpuModel::utilization_at(TimePoint at) const {
+  const std::size_t idx = bucket_of(at);
+  const double work =
+      idx < buckets_.size() ? buckets_[idx].to_seconds() : 0.0;
+  return std::min(1.0, config_.base_utilization + work / bucket_width_.to_seconds());
+}
+
+stats::Summary CpuModel::utilization(TimePoint from, TimePoint to) const {
+  if (to < from) throw std::invalid_argument{"CpuModel::utilization: to < from"};
+  stats::Summary summary;
+  const std::size_t first = bucket_of(from);
+  const std::size_t last = bucket_of(to);
+  for (std::size_t i = first; i < last; ++i) {
+    const double work = i < buckets_.size() ? buckets_[i].to_seconds() : 0.0;
+    summary.add(std::min(1.0, config_.base_utilization + work / bucket_width_.to_seconds()));
+  }
+  return summary;
+}
+
+}  // namespace pbxcap::pbx

@@ -1,0 +1,56 @@
+// PBX host CPU utilization model.
+//
+// The paper observes (§IV) that Asterisk's CPU demand grows proportionally
+// to the carried load, that RTP relaying — not SIP signalling — dominates,
+// and that error handling at the highest workload "rose a little more". We
+// model exactly that structure: every unit of protocol work deposits a
+// calibrated cost into per-second buckets, and utilization is work/wall
+// per bucket. Default coefficients are calibrated against Table I for the
+// paper's 2.67 GHz Xeon (see EXPERIMENTS.md for the fit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::pbx {
+
+struct CpuModelConfig {
+  double base_utilization{0.05};            // OS + Asterisk housekeeping
+  Duration cost_per_sip_message{Duration::micros(450)};
+  Duration cost_per_rtp_packet{Duration::micros(24)};   // relay: rx + bridge + tx
+  Duration cost_per_error_event{Duration::millis(30)};  // rejection/error path
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(CpuModelConfig config = {},
+                    Duration bucket_width = Duration::seconds(1));
+
+  void on_sip_message(TimePoint at) { deposit(at, config_.cost_per_sip_message); }
+  void on_rtp_packet(TimePoint at) { deposit(at, config_.cost_per_rtp_packet); }
+  void on_error_event(TimePoint at) { deposit(at, config_.cost_per_error_event); }
+
+  /// Utilization summary over [from, to): one sample per bucket, each
+  /// clamped to 1.0 (a real core cannot exceed 100 %).
+  [[nodiscard]] stats::Summary utilization(TimePoint from, TimePoint to) const;
+
+  /// Utilization of the single bucket containing `at`.
+  [[nodiscard]] double utilization_at(TimePoint at) const;
+
+  [[nodiscard]] const CpuModelConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Duration total_work() const noexcept { return total_work_; }
+
+ private:
+  void deposit(TimePoint at, Duration work);
+  [[nodiscard]] std::size_t bucket_of(TimePoint at) const noexcept;
+
+  CpuModelConfig config_;
+  Duration bucket_width_;
+  std::vector<Duration> buckets_;  // work per bucket, grown on demand
+  Duration total_work_{Duration::zero()};
+};
+
+}  // namespace pbxcap::pbx

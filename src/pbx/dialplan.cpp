@@ -1,0 +1,18 @@
+#include "pbx/dialplan.hpp"
+
+namespace pbxcap::pbx {
+
+std::optional<std::string> Dialplan::route(std::string_view user) const {
+  const DialplanEntry* best = nullptr;
+  for (const auto& entry : entries_) {
+    if (user.substr(0, entry.user_prefix.size()) == entry.user_prefix) {
+      if (best == nullptr || entry.user_prefix.size() > best->user_prefix.size()) {
+        best = &entry;
+      }
+    }
+  }
+  if (best != nullptr) return best->target_host;
+  return default_route_;
+}
+
+}  // namespace pbxcap::pbx

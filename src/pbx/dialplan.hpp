@@ -1,0 +1,39 @@
+// Dialplan: maps dialed users to destination SIP hosts.
+//
+// A miniature of Asterisk's extensions.conf: longest-prefix match on the
+// dialed user part, with an optional default route. The testbed routes
+// every "recv-*" extension to the SIP receiver host; the campus examples
+// route number ranges to landline gateways.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pbxcap::pbx {
+
+struct DialplanEntry {
+  std::string user_prefix;  // matches the start of the dialed user part
+  std::string target_host;  // SIP host to forward the call leg to
+};
+
+class Dialplan {
+ public:
+  void add(std::string user_prefix, std::string target_host) {
+    entries_.push_back({std::move(user_prefix), std::move(target_host)});
+  }
+
+  void set_default_route(std::string target_host) { default_route_ = std::move(target_host); }
+
+  /// Longest matching prefix wins; falls back to the default route.
+  [[nodiscard]] std::optional<std::string> route(std::string_view user) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<DialplanEntry> entries_;
+  std::optional<std::string> default_route_;
+};
+
+}  // namespace pbxcap::pbx

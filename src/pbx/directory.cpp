@@ -1,0 +1,18 @@
+#include "pbx/directory.hpp"
+
+#include <vector>
+
+namespace pbxcap::pbx {
+
+std::optional<DirectoryUser> Directory::lookup(const std::string& id) const {
+  ++lookups_;
+  if (const auto it = users_.find(id); it != users_.end()) return it->second;
+  for (const auto& prefix : prefixes_) {
+    if (id.size() >= prefix.size() && id.compare(0, prefix.size(), prefix) == 0) {
+      return DirectoryUser{id, true, 0};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pbxcap::pbx

@@ -1,0 +1,46 @@
+// User directory — the LDAP substrate of Fig. 1, reduced to what the PBX
+// consumes: existence/authorization lookups keyed by user id, with a
+// configurable lookup latency so authentication cost appears in call setup
+// time, plus per-user concurrent-call policy limits (the "effective call
+// policy" the paper's §IV suggests for scaling to 50k users).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pbxcap::pbx {
+
+struct DirectoryUser {
+  std::string id;
+  bool allowed{true};
+  std::uint32_t max_concurrent_calls{0};  // 0 = unlimited
+};
+
+class Directory {
+ public:
+  void add_user(DirectoryUser user) { users_[user.id] = std::move(user); }
+
+  /// Wildcard: accept any user id matching `prefix*` (the load generators
+  /// mint users on the fly; the campus LDAP would hold them all).
+  void allow_prefix(std::string prefix) { prefixes_.push_back(std::move(prefix)); }
+
+  [[nodiscard]] std::optional<DirectoryUser> lookup(const std::string& id) const;
+
+  void set_lookup_latency(Duration d) noexcept { lookup_latency_ = d; }
+  [[nodiscard]] Duration lookup_latency() const noexcept { return lookup_latency_; }
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+
+ private:
+  std::unordered_map<std::string, DirectoryUser> users_;
+  std::vector<std::string> prefixes_;
+  Duration lookup_latency_{Duration::millis(1)};
+  mutable std::uint64_t lookups_{0};
+};
+
+}  // namespace pbxcap::pbx

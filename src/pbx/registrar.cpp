@@ -1,0 +1,33 @@
+#include "pbx/registrar.hpp"
+
+namespace pbxcap::pbx {
+
+void Registrar::bind(const std::string& user, const sip::Uri& contact,
+                     std::int64_t expires_seconds, TimePoint now) {
+  if (expires_seconds <= 0) {
+    if (bindings_.erase(user) > 0) ++deregistrations_;
+    return;
+  }
+  ++registrations_;
+  bindings_[user] = Binding{contact, now + Duration::seconds(expires_seconds)};
+}
+
+std::optional<sip::Uri> Registrar::lookup(const std::string& user, TimePoint now) {
+  const auto it = bindings_.find(user);
+  if (it == bindings_.end()) return std::nullopt;
+  if (it->second.expires_at <= now) {
+    bindings_.erase(it);
+    return std::nullopt;
+  }
+  return it->second.contact;
+}
+
+std::size_t Registrar::active_bindings(TimePoint now) {
+  for (auto it = bindings_.begin(); it != bindings_.end();) {
+    if (it->second.expires_at <= now) it = bindings_.erase(it);
+    else ++it;
+  }
+  return bindings_.size();
+}
+
+}  // namespace pbxcap::pbx

@@ -1,0 +1,49 @@
+// SIP registrar: location service for REGISTER bindings (RFC 3261 §10).
+//
+// Fig. 1's PBX uses LDAP "for user authentication and call registration";
+// this is the registration half. Users bind their address-of-record to a
+// contact host with a lifetime; calls to a registered user route to the
+// current binding (checked ahead of the static dialplan, as Asterisk
+// consults its SIP peer registry first).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sip/uri.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::pbx {
+
+struct Binding {
+  sip::Uri contact;
+  TimePoint expires_at{};
+};
+
+class Registrar {
+ public:
+  /// Default binding lifetime when REGISTER carries no Expires header.
+  static constexpr std::int64_t kDefaultExpiresSeconds = 3600;
+
+  /// Adds or refreshes a binding. `expires_seconds == 0` removes it
+  /// (RFC 3261 un-REGISTER).
+  void bind(const std::string& user, const sip::Uri& contact, std::int64_t expires_seconds,
+            TimePoint now);
+
+  /// Current contact for `user`, if a live binding exists. Expired bindings
+  /// are pruned lazily.
+  [[nodiscard]] std::optional<sip::Uri> lookup(const std::string& user, TimePoint now);
+
+  [[nodiscard]] std::size_t active_bindings(TimePoint now);
+  [[nodiscard]] std::uint64_t registrations() const noexcept { return registrations_; }
+  [[nodiscard]] std::uint64_t deregistrations() const noexcept { return deregistrations_; }
+
+ private:
+  std::unordered_map<std::string, Binding> bindings_;
+  std::uint64_t registrations_{0};
+  std::uint64_t deregistrations_{0};
+};
+
+}  // namespace pbxcap::pbx

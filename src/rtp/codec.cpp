@@ -1,0 +1,47 @@
+#include "rtp/codec.hpp"
+
+#include "net/packet.hpp"
+#include "rtp/packet.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::rtp {
+
+std::uint32_t Codec::wire_bytes() const noexcept {
+  return net::wire_size(kRtpHeaderBytes + payload_bytes());
+}
+
+const std::vector<Codec>& codec_catalog() noexcept {
+  // Ie/Bpl values per ITU-T G.113 Appendix I (and common E-model practice
+  // for the dynamic-PT entries). PCM entries use Bpl = 25.1 — the value for
+  // G.711 *with* packet-loss concealment, which is what Asterisk endpoints
+  // and VoIPmonitor's scoring assume (bare G.711 would be Bpl = 4.3).
+  // lookahead: algorithmic delay of the coder.
+  static const std::vector<Codec> catalog = {
+      {"PCMU", payload_type::kPcmu, 8000, 64'000, 20, 0.0, 25.1, Duration::zero()},
+      {"PCMA", payload_type::kPcma, 8000, 64'000, 20, 0.0, 25.1, Duration::zero()},
+      {"G722", payload_type::kG722, 16000, 64'000, 20, 0.0, 25.1, Duration::zero()},
+      {"GSM", payload_type::kGsm, 8000, 13'200, 20, 20.0, 10.0, Duration::zero()},
+      {"G729", payload_type::kG729, 8000, 8'000, 20, 11.0, 19.0, Duration::millis(5)},
+      {"iLBC", payload_type::kIlbc, 8000, 15'200, 30, 11.0, 32.0, Duration::millis(10)},
+      {"OPUS-NB", payload_type::kOpusNb, 8000, 12'000, 20, 5.0, 15.0, Duration::millis(5)},
+  };
+  return catalog;
+}
+
+const Codec& g711_ulaw() noexcept { return codec_catalog().front(); }
+
+std::optional<Codec> codec_by_payload_type(std::uint8_t pt) noexcept {
+  for (const auto& codec : codec_catalog()) {
+    if (codec.payload_type == pt) return codec;
+  }
+  return std::nullopt;
+}
+
+std::optional<Codec> codec_by_name(std::string_view name) noexcept {
+  for (const auto& codec : codec_catalog()) {
+    if (util::iequals(codec.name, name)) return codec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pbxcap::rtp

@@ -1,0 +1,70 @@
+// Voice codec catalog.
+//
+// The paper's testbed uses G.711 ulaw (20 ms packetization -> 50 packets/s
+// per direction, i.e. the "100 messages per second" per call of §IV). Other
+// codecs Asterisk commonly negotiates are included for the codec-capacity
+// ablation (DESIGN.md A2); their Ie/Bpl equipment-impairment factors follow
+// ITU-T G.113 Appendix I.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pbxcap::rtp {
+
+struct Codec {
+  std::string_view name;
+  std::uint8_t payload_type;   // RFC 3551 static assignment (or dynamic >= 96)
+  std::uint32_t sample_rate_hz;
+  std::uint32_t bitrate_bps;   // codec payload bitrate
+  std::uint32_t ptime_ms;      // packetization interval
+  double ie;                   // E-model equipment impairment factor
+  double bpl;                  // E-model packet-loss robustness factor
+  Duration lookahead{Duration::zero()};  // algorithmic delay beyond framing
+
+  [[nodiscard]] constexpr double packets_per_second() const noexcept {
+    return 1000.0 / static_cast<double>(ptime_ms);
+  }
+  /// Codec payload bytes carried per RTP packet.
+  [[nodiscard]] constexpr std::uint32_t payload_bytes() const noexcept {
+    return bitrate_bps / 8 * ptime_ms / 1000;
+  }
+  /// RTP timestamp increment per packet.
+  [[nodiscard]] constexpr std::uint32_t timestamp_step() const noexcept {
+    return sample_rate_hz * ptime_ms / 1000;
+  }
+  [[nodiscard]] Duration packet_interval() const noexcept {
+    return Duration::millis(ptime_ms);
+  }
+  /// Full on-wire size of one RTP packet (RTP hdr + payload + UDP/IP/Eth).
+  [[nodiscard]] std::uint32_t wire_bytes() const noexcept;
+};
+
+/// RFC 3551 static payload types for the catalog entries.
+namespace payload_type {
+inline constexpr std::uint8_t kPcmu = 0;   // G.711 ulaw
+inline constexpr std::uint8_t kGsm = 3;    // GSM 06.10 full rate
+inline constexpr std::uint8_t kPcma = 8;   // G.711 alaw
+inline constexpr std::uint8_t kG722 = 9;
+inline constexpr std::uint8_t kG729 = 18;
+inline constexpr std::uint8_t kIlbc = 97;  // dynamic
+inline constexpr std::uint8_t kOpusNb = 107;  // dynamic, narrowband profile
+}  // namespace payload_type
+
+/// The paper's codec: G.711 ulaw, 20 ms ptime.
+[[nodiscard]] const Codec& g711_ulaw() noexcept;
+
+/// All catalog codecs (stable order).
+[[nodiscard]] const std::vector<Codec>& codec_catalog() noexcept;
+
+/// Lookup by RTP payload type; nullopt when unknown.
+[[nodiscard]] std::optional<Codec> codec_by_payload_type(std::uint8_t pt) noexcept;
+
+/// Lookup by name ("PCMU", "G729", ...); case-insensitive.
+[[nodiscard]] std::optional<Codec> codec_by_name(std::string_view name) noexcept;
+
+}  // namespace pbxcap::rtp

@@ -1,0 +1,40 @@
+#include "rtp/jitter_buffer.hpp"
+
+#include <algorithm>
+
+namespace pbxcap::rtp {
+
+JitterBuffer::JitterBuffer(Codec codec, JitterBufferConfig config)
+    : codec_{codec}, config_{config}, delay_{config.initial_delay} {}
+
+bool JitterBuffer::on_packet(const RtpHeader& header, TimePoint arrival) {
+  if (!started_ || header.marker) {
+    // First packet, or the start of a talkspurt: (re-)anchor the playout
+    // schedule. This is where an adaptive delay update takes effect.
+    started_ = true;
+    base_seq_ = header.sequence;
+    epoch_ = arrival + delay_;
+    ++played_;
+    return true;
+  }
+  // Position relative to the reference packet; int16 wrap-aware difference.
+  const auto offset = static_cast<std::int16_t>(header.sequence - base_seq_);
+  const TimePoint playout = epoch_ + codec_.packet_interval() * static_cast<std::int64_t>(offset);
+  if (arrival > playout) {
+    ++discarded_;
+    return false;
+  }
+  ++played_;
+  return true;
+}
+
+void JitterBuffer::update_delay(Duration jitter_estimate) {
+  if (!config_.adaptive) return;
+  const double target_s = config_.jitter_multiplier * jitter_estimate.to_seconds();
+  const Duration target = Duration::from_seconds(target_s);
+  // Takes effect at the next talkspurt re-anchor (marker bit in on_packet);
+  // shifting the epoch mid-spurt would mis-order playout.
+  delay_ = std::clamp(target, config_.min_delay, config_.max_delay);
+}
+
+}  // namespace pbxcap::rtp

@@ -1,0 +1,56 @@
+// Receiver-side playout (jitter) buffer.
+//
+// A fixed-delay playout model: packet i is scheduled for playout at
+// first_arrival + playout_delay + i * ptime. Packets arriving after their
+// playout instant are discarded; discards add to the effective loss the
+// E-model sees (Ppl = network loss + late discards). An adaptive variant
+// re-estimates the delay from the observed jitter (multiple-of-jitter rule).
+#pragma once
+
+#include <cstdint>
+
+#include "rtp/codec.hpp"
+#include "rtp/packet.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::rtp {
+
+struct JitterBufferConfig {
+  Duration initial_delay{Duration::millis(60)};
+  bool adaptive{false};
+  double jitter_multiplier{3.0};      // adaptive: delay = multiplier * jitter
+  Duration min_delay{Duration::millis(20)};
+  Duration max_delay{Duration::millis(200)};
+};
+
+class JitterBuffer {
+ public:
+  JitterBuffer(Codec codec, JitterBufferConfig config = {});
+
+  /// Feeds one arrival; returns true if the packet is playable, false if it
+  /// was discarded (arrived past its playout instant).
+  bool on_packet(const RtpHeader& header, TimePoint arrival);
+
+  /// Adaptive mode: updates the target delay from a jitter estimate.
+  void update_delay(Duration jitter_estimate);
+
+  [[nodiscard]] Duration playout_delay() const noexcept { return delay_; }
+  [[nodiscard]] std::uint64_t played() const noexcept { return played_; }
+  [[nodiscard]] std::uint64_t discarded_late() const noexcept { return discarded_; }
+  [[nodiscard]] double discard_fraction() const noexcept {
+    const std::uint64_t total = played_ + discarded_;
+    return total == 0 ? 0.0 : static_cast<double>(discarded_) / static_cast<double>(total);
+  }
+
+ private:
+  Codec codec_;
+  JitterBufferConfig config_;
+  Duration delay_;
+  bool started_{false};
+  TimePoint epoch_{};          // playout time of the reference packet
+  std::uint16_t base_seq_{0};
+  std::uint64_t played_{0};
+  std::uint64_t discarded_{0};
+};
+
+}  // namespace pbxcap::rtp

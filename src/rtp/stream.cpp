@@ -1,0 +1,96 @@
+#include "rtp/stream.hpp"
+
+#include <cmath>
+
+namespace pbxcap::rtp {
+
+RtpSender::RtpSender(sim::Simulator& simulator, Codec codec, std::uint32_t ssrc, EmitFn emit)
+    : simulator_{simulator}, codec_{codec}, ssrc_{ssrc}, emit_{std::move(emit)} {}
+
+RtpSender::~RtpSender() { stop(); }
+
+void RtpSender::start() {
+  if (running_) return;
+  running_ = true;
+  emit_one(/*first=*/true);
+}
+
+void RtpSender::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (next_event_ != 0) {
+    simulator_.cancel(next_event_);
+    next_event_ = 0;
+  }
+}
+
+void RtpSender::emit_one(bool first) {
+  if (!running_) return;
+  RtpHeader header;
+  header.payload_type = codec_.payload_type;
+  header.sequence = seq_++;
+  header.timestamp = timestamp_;
+  header.ssrc = ssrc_;
+  header.marker = first;
+  timestamp_ += codec_.timestamp_step();
+  ++sent_;
+  emit_(header, codec_.wire_bytes());
+  next_event_ = simulator_.schedule_in(codec_.packet_interval(), [this] { emit_one(false); });
+}
+
+void RtpReceiverStats::on_packet(const RtpHeader& header, TimePoint arrival) {
+  ++received_;
+  last_arrival_ = arrival;
+
+  if (!started_) {
+    started_ = true;
+    base_seq_ = header.sequence;
+    max_seq_ = header.sequence;
+    first_arrival_ = arrival;
+  } else {
+    const std::uint16_t delta = static_cast<std::uint16_t>(header.sequence - max_seq_);
+    if (delta == 0) {
+      ++duplicates_;
+    } else if (delta < 0x8000) {
+      // Forward step; detect wrap.
+      if (header.sequence < max_seq_) cycles_ += 1;
+      max_seq_ = header.sequence;
+    } else {
+      ++reordered_;  // late packet (sequence behind the max)
+    }
+  }
+
+  // RFC 3550 A.8 jitter: J += (|D| - J) / 16, with D the difference in
+  // relative transit time between consecutive packets, in media clock units.
+  const double arrival_ticks = arrival.to_seconds() * static_cast<double>(clock_rate_hz_);
+  const double transit = arrival_ticks - static_cast<double>(header.timestamp);
+  if (have_transit_) {
+    const double d = std::fabs(transit - last_transit_);
+    jitter_ += (d - jitter_) / 16.0;
+  }
+  last_transit_ = transit;
+  have_transit_ = true;
+}
+
+std::uint64_t RtpReceiverStats::expected() const noexcept {
+  if (!started_) return 0;
+  const std::uint64_t extended_max = (static_cast<std::uint64_t>(cycles_) << 16) | max_seq_;
+  return extended_max - base_seq_ + 1;
+}
+
+std::uint64_t RtpReceiverStats::lost() const noexcept {
+  const std::uint64_t exp = expected();
+  const std::uint64_t recv_unique = received_ - duplicates_;
+  return exp > recv_unique ? exp - recv_unique : 0;
+}
+
+double RtpReceiverStats::loss_fraction() const noexcept {
+  const std::uint64_t exp = expected();
+  return exp == 0 ? 0.0 : static_cast<double>(lost()) / static_cast<double>(exp);
+}
+
+Duration RtpReceiverStats::jitter() const noexcept {
+  return Duration::from_seconds(jitter_ / static_cast<double>(clock_rate_hz_));
+}
+
+}  // namespace pbxcap::rtp

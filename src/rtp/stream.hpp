@@ -1,0 +1,94 @@
+// RTP stream generation and reception accounting.
+//
+// RtpSender paces packets at the codec's ptime through a send callback, so
+// the owning host decides the wire addressing. RtpReceiverStats implements
+// the RFC 3550 receiver algorithms: sequence-number extension, loss
+// counting, and the interarrival-jitter estimator — the quantities
+// VoIPmonitor derives MOS from in the paper's testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rtp/codec.hpp"
+#include "rtp/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::rtp {
+
+class RtpSender {
+ public:
+  using EmitFn = std::function<void(const RtpHeader& header, std::uint32_t wire_bytes)>;
+
+  RtpSender(sim::Simulator& simulator, Codec codec, std::uint32_t ssrc, EmitFn emit);
+  ~RtpSender();
+  RtpSender(const RtpSender&) = delete;
+  RtpSender& operator=(const RtpSender&) = delete;
+
+  /// Starts pacing; first packet goes out immediately (marker bit set).
+  void start();
+  /// Stops pacing; safe to call when not running.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+  [[nodiscard]] const Codec& codec() const noexcept { return codec_; }
+  [[nodiscard]] std::uint32_t ssrc() const noexcept { return ssrc_; }
+
+ private:
+  void emit_one(bool first);
+
+  sim::Simulator& simulator_;
+  Codec codec_;
+  std::uint32_t ssrc_;
+  EmitFn emit_;
+  bool running_{false};
+  std::uint16_t seq_{0};
+  std::uint32_t timestamp_{0};
+  std::uint64_t sent_{0};
+  sim::EventId next_event_{0};
+};
+
+/// Per-stream receiver statistics (RFC 3550 §6.4.1 / A.8).
+class RtpReceiverStats {
+ public:
+  explicit RtpReceiverStats(std::uint32_t clock_rate_hz = 8000)
+      : clock_rate_hz_{clock_rate_hz} {}
+
+  /// Records one arrival. `arrival` is the local receive time.
+  void on_packet(const RtpHeader& header, TimePoint arrival);
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  /// Expected = extended-highest-seq - first-seq + 1 (0 before first packet).
+  [[nodiscard]] std::uint64_t expected() const noexcept;
+  /// Cumulative lost per RFC 3550 (can be negative transiently with
+  /// duplicates; clamped at 0).
+  [[nodiscard]] std::uint64_t lost() const noexcept;
+  [[nodiscard]] double loss_fraction() const noexcept;
+  [[nodiscard]] std::uint64_t out_of_order() const noexcept { return reordered_; }
+  [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
+
+  /// RFC 3550 interarrival jitter, converted to a Duration.
+  [[nodiscard]] Duration jitter() const noexcept;
+
+  [[nodiscard]] TimePoint first_arrival() const noexcept { return first_arrival_; }
+  [[nodiscard]] TimePoint last_arrival() const noexcept { return last_arrival_; }
+
+ private:
+  std::uint32_t clock_rate_hz_;
+  bool started_{false};
+  std::uint64_t received_{0};
+  std::uint64_t reordered_{0};
+  std::uint64_t duplicates_{0};
+  std::uint16_t base_seq_{0};
+  std::uint16_t max_seq_{0};
+  std::uint32_t cycles_{0};  // seq wrap count << 16
+  double jitter_{0.0};       // in media clock units
+  double last_transit_{0.0};
+  bool have_transit_{false};
+  TimePoint first_arrival_{};
+  TimePoint last_arrival_{};
+};
+
+}  // namespace pbxcap::rtp

@@ -1,0 +1,34 @@
+#include "sim/random.hpp"
+
+namespace pbxcap::sim {
+
+double Random::normal() noexcept {
+  // Box-Muller; draw u1 away from 0 to keep log() finite.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.28318530717958647692;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Random::lognormal_mean_cv(double mean, double cv) noexcept {
+  // If X ~ LogNormal(mu, sigma), then E[X] = exp(mu + sigma^2/2) and
+  // CV^2 = exp(sigma^2) - 1. Invert for (mu, sigma).
+  const double sigma2 = std::log1p(cv * cv);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::exp(mu + std::sqrt(sigma2) * normal());
+}
+
+Duration draw_hold_time(Random& rng, HoldTimeModel model, Duration mean, double cv) {
+  switch (model) {
+    case HoldTimeModel::kDeterministic:
+      return mean;
+    case HoldTimeModel::kExponential:
+      return rng.exponential(mean);
+    case HoldTimeModel::kLognormal:
+      return Duration::from_seconds(rng.lognormal_mean_cv(mean.to_seconds(), cv));
+  }
+  return mean;
+}
+
+}  // namespace pbxcap::sim

@@ -1,0 +1,91 @@
+// Random-variate generation for workload modelling.
+//
+// The empirical method (paper §III-C) needs Poisson call arrivals
+// (exponential inter-arrival times) and call hold times; network impairment
+// models additionally draw uniform and normal variates. All generators here
+// are implemented directly (inverse transform / Box-Muller) so results are
+// bit-reproducible regardless of the standard library in use.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::sim {
+
+/// Variate generator over a deterministic engine.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed) noexcept : engine_{seed} {}
+
+  /// Derives an independent substream (2^128 apart).
+  [[nodiscard]] Random fork() noexcept {
+    Random child = *this;
+    child.engine_.jump();
+    engine_();  // perturb the parent so repeated forks differ
+    return child;
+  }
+
+  /// Uniform in [0, 1) with 53-bit resolution.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n); n must be > 0. Rejection-free modulo with
+  /// negligible bias for the n used here (n << 2^64).
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept { return engine_() % n; }
+
+  /// Bernoulli with probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponential with the given mean (inverse transform).
+  [[nodiscard]] double exponential(double mean) noexcept {
+    return -mean * std::log1p(-uniform());
+  }
+
+  [[nodiscard]] Duration exponential(Duration mean) noexcept {
+    return Duration::from_seconds(exponential(mean.to_seconds()));
+  }
+
+  /// Standard normal via Box-Muller (one variate per call; the pair's twin
+  /// is discarded to keep the stream position deterministic per call).
+  [[nodiscard]] double normal() noexcept;
+  [[nodiscard]] double normal(double mean, double sigma) noexcept {
+    return mean + sigma * normal();
+  }
+
+  /// Lognormal parameterized by the mean and coefficient of variation of the
+  /// *resulting* variable (convenient for hold-time models).
+  [[nodiscard]] double lognormal_mean_cv(double mean, double cv) noexcept;
+
+  /// Pareto (heavy-tail) with given minimum and shape alpha > 1.
+  [[nodiscard]] double pareto(double minimum, double alpha) noexcept {
+    return minimum / std::pow(1.0 - uniform(), 1.0 / alpha);
+  }
+
+  [[nodiscard]] Xoshiro256& engine() noexcept { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+};
+
+/// Hold-time (call duration) distribution families used by scenarios.
+enum class HoldTimeModel {
+  kDeterministic,  // the paper's empirical method: fixed h = 120 s
+  kExponential,    // the Erlang-B assumption (memoryless holding)
+  kLognormal,      // measured PSTN/VoIP hold times are right-skewed
+};
+
+/// Draws one hold time according to the model. `cv` only matters for the
+/// lognormal family (typical measured value ~1.0-1.4).
+[[nodiscard]] Duration draw_hold_time(Random& rng, HoldTimeModel model, Duration mean,
+                                      double cv = 1.0);
+
+}  // namespace pbxcap::sim

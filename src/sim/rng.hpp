@@ -1,0 +1,69 @@
+// Deterministic pseudo-random generation for reproducible simulations.
+//
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64, per the
+// authors' recommendation. Satisfies std::uniform_random_bit_generator so it
+// composes with <random> distributions, but pbxcap's own variate generators
+// (random.hpp) are preferred: unlike libstdc++ distributions they are
+// bit-reproducible across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pbxcap::sim {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_{seed} {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 256-bit-state generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm{seed};
+    for (auto& word : state_) word = sm.next();
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump function: advances 2^128 steps; used to derive independent
+  /// substreams for parallel replications from one master seed.
+  void jump() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace pbxcap::sim

@@ -1,0 +1,61 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pbxcap::sim {
+
+EventId Simulator::schedule_at(TimePoint at, Callback fn) {
+  if (at < now_) throw std::invalid_argument{"Simulator::schedule_at: time is in the past"};
+  if (!fn) throw std::invalid_argument{"Simulator::schedule_at: empty callback"};
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy deletion: mark and skip at pop time. The set is pruned as marked
+  // entries surface, so memory stays bounded by pending cancellations.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the Entry must be moved out via pop, so
+    // copy the cheap fields first and steal the callback with const_cast —
+    // contained entries are never observed again after pop.
+    const Entry& top = queue_.top();
+    const TimePoint at = top.at;
+    const EventId id = top.id;
+    if (const auto it = cancelled_.find(id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    Callback fn = std::move(const_cast<Entry&>(top).fn);
+    queue_.pop();
+    now_ = at;
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(TimePoint horizon) {
+  if (horizon < now_) throw std::invalid_argument{"Simulator::run_until: horizon is in the past"};
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().at <= horizon) {
+    step();
+  }
+  if (!stopped_) now_ = horizon;
+}
+
+}  // namespace pbxcap::sim

@@ -1,0 +1,82 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event loop over a time-ordered queue. Determinism
+// guarantees:
+//   * events fire in non-decreasing time order;
+//   * ties are broken by scheduling order (FIFO among equal timestamps);
+//   * the clock never moves backwards.
+// Each experiment run owns one Simulator; parallelism happens across runs
+// (see exp/parallel.hpp), never within one, so model code needs no locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pbxcap::sim {
+
+/// Opaque handle for cancelling a scheduled event. Zero is never issued.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  EventId schedule_at(TimePoint at, Callback fn);
+
+  /// Schedules `fn` after `delay` (must be >= 0).
+  EventId schedule_in(Duration delay, Callback fn) { return schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Cancels a pending event. Returns false if it already fired, was already
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const noexcept { return next_id_ - 1; }
+
+  /// Runs until the queue drains or stop() is called.
+  void run();
+
+  /// Runs all events with timestamp <= horizon, then advances the clock to
+  /// exactly `horizon`.
+  void run_until(TimePoint horizon);
+
+  /// Requests the loop to stop after the currently executing event.
+  void stop() noexcept { stopped_ = true; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  /// Pops and runs the next live event; returns false when drained.
+  bool step();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  TimePoint now_{};
+  EventId next_id_{1};
+  std::uint64_t processed_{0};
+  bool stopped_{false};
+};
+
+}  // namespace pbxcap::sim

@@ -1,0 +1,72 @@
+#include "sip/endpoint.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::sip {
+
+SipEndpoint::SipEndpoint(std::string node_name, std::string host, sim::Simulator& simulator,
+                         HostResolver& resolver)
+    : net::Node{std::move(node_name)},
+      host_{std::move(host)},
+      resolver_{resolver},
+      layer_{simulator, *this, host_} {}
+
+void SipEndpoint::bind() {
+  if (network() == nullptr) throw std::logic_error{"SipEndpoint::bind: attach to a network first"};
+  resolver_.add(host_, id());
+}
+
+std::string SipEndpoint::new_tag() {
+  return util::format("%s-tag%llu", host_.c_str(), static_cast<unsigned long long>(++tag_counter_));
+}
+
+void SipEndpoint::send_sip(const Message& msg, net::NodeId dst) {
+  if (dst == net::kInvalidNode) {
+    util::log_warn("sip", "dropping message to unresolved destination");
+    return;
+  }
+  ++sent_;
+  net::Packet pkt;
+  pkt.dst = dst;
+  pkt.kind = net::PacketKind::kSip;
+  pkt.size_bytes = net::wire_size(msg.wire_bytes());
+  pkt.payload = std::make_shared<SipPayload>(msg);
+  send(std::move(pkt));
+}
+
+void SipEndpoint::on_receive(const net::Packet& pkt) {
+  if (pkt.kind != net::PacketKind::kSip) return;
+  const auto* payload = pkt.payload_as<SipPayload>();
+  if (payload == nullptr) {
+    util::log_warn("sip", "SIP packet without SipPayload");
+    return;
+  }
+  ++received_;
+  layer_.on_message(payload->msg, pkt.src);
+}
+
+ClientTransaction& SipEndpoint::send_request_to(Message msg, const std::string& dst_host,
+                                                ClientTransaction::ResponseHandler on_response,
+                                                ClientTransaction::TimeoutHandler on_timeout) {
+  const net::NodeId dst = resolver_.resolve(dst_host);
+  if (dst == net::kInvalidNode) {
+    throw std::invalid_argument{"send_request_to: unknown host " + dst_host};
+  }
+  msg.vias().insert(msg.vias().begin(), Via{host_, layer_.new_branch()});
+  return layer_.send_request(std::move(msg), dst, std::move(on_response), std::move(on_timeout));
+}
+
+void SipEndpoint::send_stateless_to(Message msg, const std::string& dst_host) {
+  const net::NodeId dst = resolver_.resolve(dst_host);
+  if (dst == net::kInvalidNode) {
+    util::log_warn("sip", "send_stateless_to: unknown host " + dst_host);
+    return;
+  }
+  msg.vias().insert(msg.vias().begin(), Via{host_, layer_.new_branch()});
+  layer_.send_stateless(msg, dst);
+}
+
+}  // namespace pbxcap::sip

@@ -1,0 +1,80 @@
+#include "sip/sdp.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace pbxcap::sip {
+
+std::string Sdp::to_string() const {
+  std::ostringstream os;
+  os << "v=0\r\n";
+  os << "o=" << origin_user << " 0 0 IN IP4 " << connection_host << "\r\n";
+  os << "s=pbxcap call\r\n";
+  os << "c=IN IP4 " << connection_host << "\r\n";
+  os << "t=0 0\r\n";
+  os << "m=audio " << audio.rtp_port << " RTP/AVP";
+  for (const auto pt : audio.payload_types) os << ' ' << static_cast<int>(pt);
+  os << "\r\n";
+  if (audio.ssrc != 0) os << "a=ssrc:" << audio.ssrc << " cname:pbxcap\r\n";
+  return os.str();
+}
+
+std::optional<Sdp> Sdp::parse(std::string_view text) {
+  Sdp sdp;
+  bool have_media = false;
+  for (const auto raw_line : util::split(text, '\n')) {
+    std::string_view line = util::trim(raw_line);
+    if (line.size() < 2 || line[1] != '=') continue;
+    const char type = line[0];
+    const std::string_view value = line.substr(2);
+    if (type == 'c') {
+      // c=IN IP4 <host>
+      const auto parts = util::split(value, ' ');
+      if (parts.size() >= 3) sdp.connection_host = std::string{parts[2]};
+    } else if (type == 'o') {
+      const auto parts = util::split(value, ' ');
+      if (!parts.empty()) sdp.origin_user = std::string{parts[0]};
+    } else if (type == 'm') {
+      // m=audio <port> RTP/AVP <pt...>
+      const auto parts = util::split(value, ' ');
+      if (parts.size() < 4 || parts[0] != "audio") continue;
+      std::uint64_t port = 0;
+      if (!util::parse_u64(parts[1], port) || port > 65535) return std::nullopt;
+      sdp.audio.rtp_port = static_cast<std::uint16_t>(port);
+      for (std::size_t i = 3; i < parts.size(); ++i) {
+        std::uint64_t pt = 0;
+        if (!util::parse_u64(parts[i], pt) || pt > 127) return std::nullopt;
+        sdp.audio.payload_types.push_back(static_cast<std::uint8_t>(pt));
+      }
+      have_media = true;
+    } else if (type == 'a') {
+      // a=ssrc:<n> cname:...
+      if (util::starts_with_i(value, "ssrc:")) {
+        const auto rest = value.substr(5);
+        const auto [num, tail, split] = util::split_once(rest, ' ');
+        (void)tail;
+        (void)split;
+        std::uint64_t ssrc = 0;
+        if (util::parse_u64(num, ssrc) && ssrc <= 0xffffffffULL) {
+          sdp.audio.ssrc = static_cast<std::uint32_t>(ssrc);
+        }
+      }
+    }
+  }
+  if (!have_media || sdp.connection_host.empty()) return std::nullopt;
+  return sdp;
+}
+
+std::optional<std::uint8_t> Sdp::negotiate(const Sdp& offer, const Sdp& answer) {
+  for (const auto pt : offer.audio.payload_types) {
+    if (std::find(answer.audio.payload_types.begin(), answer.audio.payload_types.end(), pt) !=
+        answer.audio.payload_types.end()) {
+      return pt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pbxcap::sip

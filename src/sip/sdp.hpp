@@ -1,0 +1,35 @@
+// Minimal SDP (RFC 4566 subset) for codec negotiation in INVITE/200 bodies.
+//
+// The paper's calls negotiate G.711 ulaw; SDP is included so (a) INVITE and
+// 200 OK wire sizes are realistic and (b) the PBX can perform the offer/
+// answer codec selection Asterisk does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pbxcap::sip {
+
+struct SdpMedia {
+  std::uint16_t rtp_port{0};
+  std::vector<std::uint8_t> payload_types;  // RFC 3551 static types (0 = PCMU)
+  std::uint32_t ssrc{0};  // RFC 5576 a=ssrc announcement; 0 = unannounced
+};
+
+struct Sdp {
+  std::string origin_user{"pbxcap"};
+  std::string connection_host;
+  SdpMedia audio;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<Sdp> parse(std::string_view text);
+
+  /// Offer/answer: first payload type present in both lists, in the offerer's
+  /// preference order. nullopt when there is no common codec.
+  [[nodiscard]] static std::optional<std::uint8_t> negotiate(const Sdp& offer,
+                                                             const Sdp& answer);
+};
+
+}  // namespace pbxcap::sip

@@ -1,0 +1,285 @@
+#include "sip/transaction.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::sip {
+
+// ---------------------------------------------------------------- layer ----
+
+TransactionLayer::TransactionLayer(sim::Simulator& simulator, Transport& transport,
+                                   std::string local_host, TimerConfig timers)
+    : simulator_{simulator},
+      transport_{transport},
+      local_host_{std::move(local_host)},
+      timers_{timers} {}
+
+std::string TransactionLayer::new_branch() {
+  return util::format("z9hG4bK-%s-%llu", local_host_.c_str(),
+                      static_cast<unsigned long long>(++branch_counter_));
+}
+
+std::string TransactionLayer::client_key(const std::string& branch, Method method) {
+  // ACKs for non-2xx responses share the INVITE branch; fold them together.
+  const Method key_method = method == Method::kAck ? Method::kInvite : method;
+  return branch + ":" + std::string{to_string(key_method)};
+}
+
+void TransactionLayer::remove_client(const std::string& key) { clients_.erase(key); }
+void TransactionLayer::remove_server(const std::string& key) { servers_.erase(key); }
+
+ClientTransaction& TransactionLayer::send_request(
+    Message request, net::NodeId dst, ClientTransaction::ResponseHandler on_response,
+    ClientTransaction::TimeoutHandler on_timeout) {
+  if (request.vias().empty() || request.vias().front().branch.empty()) {
+    throw std::invalid_argument{"send_request: request needs a top Via with a branch"};
+  }
+  const std::string key = client_key(request.vias().front().branch, request.cseq().method);
+  auto txn = std::unique_ptr<ClientTransaction>{new ClientTransaction{
+      *this, std::move(request), dst, std::move(on_response), std::move(on_timeout)}};
+  ClientTransaction& ref = *txn;
+  const auto [it, inserted] = clients_.emplace(key, std::move(txn));
+  if (!inserted) throw std::logic_error{"send_request: duplicate client transaction branch"};
+  it->second->start();
+  return ref;
+}
+
+void TransactionLayer::send_stateless(const Message& msg, net::NodeId dst) {
+  transport_.send_sip(msg, dst);
+}
+
+void TransactionLayer::on_message(const Message& msg, net::NodeId from) {
+  if (msg.is_response()) {
+    if (msg.top_via() == nullptr) return;  // malformed; drop
+    const std::string key = client_key(msg.top_via()->branch, msg.cseq().method);
+    if (const auto it = clients_.find(key); it != clients_.end()) {
+      it->second->handle_response(msg);
+      return;
+    }
+    if (on_stray_response) on_stray_response(msg);
+    return;
+  }
+
+  // Request path.
+  if (msg.top_via() == nullptr) return;
+  const std::string& branch = msg.top_via()->branch;
+
+  if (msg.method() == Method::kAck) {
+    // Matches the INVITE server transaction for non-2xx finals; otherwise it
+    // is the end-to-end ACK for a 2xx and belongs to the TU.
+    const std::string key = branch + ":INVITE";
+    if (const auto it = servers_.find(key); it != servers_.end()) {
+      it->second->handle_ack();
+      return;
+    }
+    if (on_ack) on_ack(msg);
+    return;
+  }
+
+  const std::string key = branch + ":" + std::string{to_string(msg.method())};
+  if (const auto it = servers_.find(key); it != servers_.end()) {
+    it->second->handle_retransmission();
+    return;
+  }
+  auto txn = std::unique_ptr<ServerTransaction>{new ServerTransaction{*this, msg, from}};
+  ServerTransaction& ref = *txn;
+  servers_.emplace(key, std::move(txn));
+  if (on_request) on_request(msg, ref);
+}
+
+// ----------------------------------------------------- client transaction ----
+
+ClientTransaction::ClientTransaction(TransactionLayer& layer, Message request, net::NodeId dst,
+                                     ResponseHandler on_response, TimeoutHandler on_timeout)
+    : layer_{layer},
+      request_{std::move(request)},
+      dst_{dst},
+      branch_{request_.vias().front().branch},
+      state_{request_.cseq().method == Method::kInvite ? State::kCalling : State::kTrying},
+      on_response_{std::move(on_response)},
+      on_timeout_{std::move(on_timeout)},
+      retransmit_interval_{layer.timers().t1} {}
+
+void ClientTransaction::start() {
+  layer_.transport().send_sip(request_, dst_);
+  auto& sim = layer_.simulator();
+  retransmit_timer_ = sim.schedule_in(retransmit_interval_, [this] { retransmit(); });
+  const Duration overall =
+      method() == Method::kInvite ? layer_.timers().timer_b() : layer_.timers().timer_f();
+  timeout_timer_ = sim.schedule_in(overall, [this] { fire_timeout(); });
+}
+
+void ClientTransaction::retransmit() {
+  if (state_ != State::kCalling && state_ != State::kTrying) return;
+  ++retransmissions_;
+  layer_.note_retransmission();
+  layer_.transport().send_sip(request_, dst_);
+  // Timer A doubles unboundedly; timer E doubles capped at T2.
+  retransmit_interval_ = retransmit_interval_ * 2;
+  if (method() != Method::kInvite && retransmit_interval_ > layer_.timers().t2) {
+    retransmit_interval_ = layer_.timers().t2;
+  }
+  retransmit_timer_ = layer_.simulator().schedule_in(retransmit_interval_, [this] { retransmit(); });
+}
+
+void ClientTransaction::fire_timeout() {
+  // Timer B applies only while Calling (RFC 3261 §17.1.1.2): once a
+  // provisional arrives, an INVITE waits indefinitely (the TU may apply its
+  // own Timer C). Timer F for non-INVITE fires in Trying or Proceeding.
+  const bool applies = method() == Method::kInvite
+                           ? state_ == State::kCalling
+                           : state_ == State::kTrying || state_ == State::kProceeding;
+  if (!applies) return;
+  if (on_timeout_) on_timeout_();
+  terminate();
+}
+
+void ClientTransaction::ack_non_2xx(const Message& response) {
+  // RFC 3261 §17.1.1.3: ACK reuses the INVITE's Request-URI, branch and CSeq
+  // number, takes the To from the response (it carries the remote tag).
+  Message ack = Message::request(Method::kAck, request_.request_uri());
+  ack.vias() = request_.vias();
+  ack.from() = request_.from();
+  ack.to() = response.to();
+  ack.set_call_id(request_.call_id());
+  ack.set_cseq({request_.cseq().number, Method::kAck});
+  layer_.transport().send_sip(ack, dst_);
+}
+
+void ClientTransaction::handle_response(const Message& response) {
+  if (state_ == State::kTerminated) return;
+  const int code = response.status_code();
+
+  if (is_provisional(code)) {
+    if (state_ == State::kCalling || state_ == State::kTrying) state_ = State::kProceeding;
+    if (on_response_) on_response_(response);
+    return;
+  }
+
+  if (state_ == State::kCompleted) {
+    // Retransmitted final: re-ACK (INVITE) without re-notifying the TU.
+    if (method() == Method::kInvite && !is_success(code)) ack_non_2xx(response);
+    return;
+  }
+
+  if (method() == Method::kInvite && !is_success(code)) ack_non_2xx(response);
+  if (on_response_) on_response_(response);
+
+  if (method() == Method::kInvite && !is_success(code)) {
+    // Absorb retransmitted finals for timer D.
+    state_ = State::kCompleted;
+    layer_.simulator().cancel(retransmit_timer_);
+    layer_.simulator().cancel(timeout_timer_);
+    timeout_timer_ =
+        layer_.simulator().schedule_in(layer_.timers().timer_d(), [this] { terminate(); });
+    return;
+  }
+  if (method() != Method::kInvite) {
+    // Timer K (T4) absorbs retransmitted finals for non-INVITE.
+    state_ = State::kCompleted;
+    layer_.simulator().cancel(retransmit_timer_);
+    layer_.simulator().cancel(timeout_timer_);
+    timeout_timer_ = layer_.simulator().schedule_in(layer_.timers().t4, [this] { terminate(); });
+    return;
+  }
+  // INVITE 2xx: the transaction ends at once; the TU/dialog layer ACKs.
+  terminate();
+}
+
+void ClientTransaction::terminate() {
+  if (state_ == State::kTerminated) return;
+  state_ = State::kTerminated;
+  layer_.simulator().cancel(retransmit_timer_);
+  layer_.simulator().cancel(timeout_timer_);
+  const std::string key = TransactionLayer::client_key(branch_, method());
+  // Deferred removal: destroying *this synchronously would free the frame
+  // the caller is still executing in.
+  layer_.simulator().schedule_in(Duration::zero(), [&layer = layer_, key] {
+    layer.remove_client(key);
+  });
+}
+
+// ----------------------------------------------------- server transaction ----
+
+ServerTransaction::ServerTransaction(TransactionLayer& layer, const Message& request,
+                                     net::NodeId peer)
+    : layer_{layer},
+      branch_{request.top_via()->branch},
+      method_{request.method()},
+      peer_{peer},
+      state_{method_ == Method::kInvite ? State::kProceeding : State::kTrying},
+      retransmit_interval_{layer.timers().t1} {}
+
+void ServerTransaction::respond(const Message& response) {
+  if (state_ == State::kTerminated) {
+    util::log_warn("sip", "respond() on terminated server transaction");
+    return;
+  }
+  last_response_ = std::make_unique<Message>(response);
+  layer_.transport().send_sip(response, peer_);
+  const int code = response.status_code();
+  if (is_provisional(code)) {
+    state_ = State::kProceeding;
+    return;
+  }
+  if (method_ == Method::kInvite) {
+    if (is_success(code)) {
+      // 2xx: retransmission responsibility moves to the TU; terminate.
+      terminate();
+      return;
+    }
+    // Non-2xx final: timer G retransmits until ACK; timer H gives up.
+    state_ = State::kCompleted;
+    retransmit_timer_ =
+        layer_.simulator().schedule_in(retransmit_interval_, [this] { retransmit_response(); });
+    timeout_timer_ =
+        layer_.simulator().schedule_in(layer_.timers().timer_h(), [this] { terminate(); });
+    return;
+  }
+  // Non-INVITE final: timer J absorbs request retransmissions.
+  state_ = State::kCompleted;
+  timeout_timer_ =
+      layer_.simulator().schedule_in(layer_.timers().timer_f(), [this] { terminate(); });
+}
+
+void ServerTransaction::retransmit_response() {
+  if (state_ != State::kCompleted || last_response_ == nullptr) return;
+  layer_.note_retransmission();
+  layer_.transport().send_sip(*last_response_, peer_);
+  retransmit_interval_ = retransmit_interval_ * 2;
+  if (retransmit_interval_ > layer_.timers().t2) retransmit_interval_ = layer_.timers().t2;
+  retransmit_timer_ =
+      layer_.simulator().schedule_in(retransmit_interval_, [this] { retransmit_response(); });
+}
+
+void ServerTransaction::handle_retransmission() {
+  if (state_ == State::kTerminated) return;
+  if (last_response_ != nullptr) {
+    layer_.note_retransmission();
+    layer_.transport().send_sip(*last_response_, peer_);
+  }
+}
+
+void ServerTransaction::handle_ack() {
+  if (state_ != State::kCompleted) return;
+  // Timer I: brief absorb window for ACK retransmissions, then terminate.
+  state_ = State::kConfirmed;
+  layer_.simulator().cancel(retransmit_timer_);
+  layer_.simulator().cancel(timeout_timer_);
+  timeout_timer_ = layer_.simulator().schedule_in(layer_.timers().t4, [this] { terminate(); });
+}
+
+void ServerTransaction::terminate() {
+  if (state_ == State::kTerminated) return;
+  state_ = State::kTerminated;
+  layer_.simulator().cancel(retransmit_timer_);
+  layer_.simulator().cancel(timeout_timer_);
+  const std::string key = branch_ + ":" + std::string{to_string(method_)};
+  layer_.simulator().schedule_in(Duration::zero(), [&layer = layer_, key] {
+    layer.remove_server(key);
+  });
+}
+
+}  // namespace pbxcap::sip

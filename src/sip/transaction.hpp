@@ -1,0 +1,183 @@
+// SIP transaction layer (RFC 3261 §17, UDP transport).
+//
+// Implements the four transaction state machines — INVITE/non-INVITE on the
+// client and server sides — including the unreliable-transport retransmission
+// timers (A/B/D client-INVITE, E/F/K client-non-INVITE, G/H/I server-INVITE,
+// J server-non-INVITE). On the simulated switched LAN retransmissions are
+// rare, but they fire for real under queue-overflow loss at the highest
+// offered loads, exactly the regime Table I's "Error Msgs" row captures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sip/message.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::sip {
+
+/// RFC 3261 timer baseline values.
+struct TimerConfig {
+  Duration t1{Duration::millis(500)};
+  Duration t2{Duration::seconds(4)};
+  Duration t4{Duration::seconds(5)};
+
+  [[nodiscard]] Duration timer_b() const noexcept { return t1 * 64; }
+  [[nodiscard]] Duration timer_d() const noexcept { return Duration::seconds(32); }
+  [[nodiscard]] Duration timer_f() const noexcept { return t1 * 64; }
+  [[nodiscard]] Duration timer_h() const noexcept { return t1 * 64; }
+};
+
+/// Supplies the wire: the endpoint wraps the message into a net::Packet.
+class Transport {
+ public:
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  virtual ~Transport() = default;
+  virtual void send_sip(const Message& msg, net::NodeId dst) = 0;
+};
+
+class TransactionLayer;
+
+/// Client transaction: owns request retransmission and final-response ACK
+/// generation for non-2xx INVITE outcomes.
+class ClientTransaction {
+ public:
+  enum class State { kCalling, kTrying, kProceeding, kCompleted, kTerminated };
+
+  using ResponseHandler = std::function<void(const Message& response)>;
+  using TimeoutHandler = std::function<void()>;
+
+  [[nodiscard]] const std::string& branch() const noexcept { return branch_; }
+  [[nodiscard]] Method method() const noexcept { return request_.cseq().method; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] std::uint32_t retransmissions() const noexcept { return retransmissions_; }
+
+ private:
+  friend class TransactionLayer;
+  ClientTransaction(TransactionLayer& layer, Message request, net::NodeId dst,
+                    ResponseHandler on_response, TimeoutHandler on_timeout);
+
+  void start();
+  void handle_response(const Message& response);
+  void retransmit();
+  void fire_timeout();
+  void ack_non_2xx(const Message& response);
+  void terminate();
+
+  TransactionLayer& layer_;
+  Message request_;
+  net::NodeId dst_;
+  std::string branch_;
+  State state_;
+  ResponseHandler on_response_;
+  TimeoutHandler on_timeout_;
+  Duration retransmit_interval_;
+  sim::EventId retransmit_timer_{0};
+  sim::EventId timeout_timer_{0};
+  std::uint32_t retransmissions_{0};
+};
+
+/// Server transaction: absorbs request retransmissions and re-sends the last
+/// response until the transaction completes.
+class ServerTransaction {
+ public:
+  enum class State { kTrying, kProceeding, kCompleted, kConfirmed, kTerminated };
+
+  /// Sends a response within this transaction (TU-facing).
+  void respond(const Message& response);
+
+  [[nodiscard]] const std::string& branch() const noexcept { return branch_; }
+  [[nodiscard]] Method method() const noexcept { return method_; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] net::NodeId peer() const noexcept { return peer_; }
+
+ private:
+  friend class TransactionLayer;
+  ServerTransaction(TransactionLayer& layer, const Message& request, net::NodeId peer);
+
+  void handle_retransmission();
+  void handle_ack();
+  void retransmit_response();
+  void terminate();
+
+  TransactionLayer& layer_;
+  std::string branch_;
+  Method method_;
+  net::NodeId peer_;
+  State state_;
+  std::unique_ptr<Message> last_response_;
+  Duration retransmit_interval_;
+  sim::EventId retransmit_timer_{0};
+  sim::EventId timeout_timer_{0};
+};
+
+/// Per-endpoint transaction manager.
+class TransactionLayer {
+ public:
+  TransactionLayer(sim::Simulator& simulator, Transport& transport, std::string local_host,
+                   TimerConfig timers = {});
+
+  TransactionLayer(const TransactionLayer&) = delete;
+  TransactionLayer& operator=(const TransactionLayer&) = delete;
+
+  // ---- TU-facing API ----
+
+  /// Sends `request` (which must carry a top Via with a fresh branch — use
+  /// new_branch()) and runs the matching client state machine.
+  ClientTransaction& send_request(Message request, net::NodeId dst,
+                                  ClientTransaction::ResponseHandler on_response,
+                                  ClientTransaction::TimeoutHandler on_timeout = {});
+
+  /// Sends a message outside any transaction (ACK for a 2xx response).
+  void send_stateless(const Message& msg, net::NodeId dst);
+
+  /// Entry point for every SIP message the endpoint receives.
+  void on_message(const Message& msg, net::NodeId from);
+
+  /// Allocates an RFC 3261 branch token (magic cookie + unique suffix).
+  [[nodiscard]] std::string new_branch();
+
+  // ---- TU upcalls ----
+  /// New (non-retransmitted) request other than a 2xx ACK.
+  std::function<void(const Message& request, ServerTransaction& txn)> on_request;
+  /// ACK for a 2xx final (end-to-end, not part of the INVITE transaction).
+  std::function<void(const Message& ack)> on_ack;
+  /// Response that matched no client transaction (late retransmission, ...).
+  std::function<void(const Message& response)> on_stray_response;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] Transport& transport() noexcept { return transport_; }
+  [[nodiscard]] const TimerConfig& timers() const noexcept { return timers_; }
+  [[nodiscard]] const std::string& local_host() const noexcept { return local_host_; }
+
+  [[nodiscard]] std::size_t active_client_transactions() const noexcept { return clients_.size(); }
+  [[nodiscard]] std::size_t active_server_transactions() const noexcept { return servers_.size(); }
+  [[nodiscard]] std::uint64_t total_retransmissions() const noexcept { return retransmissions_; }
+  void note_retransmission() noexcept { ++retransmissions_; }
+
+ private:
+  friend class ClientTransaction;
+  friend class ServerTransaction;
+
+  static std::string client_key(const std::string& branch, Method method);
+  void remove_client(const std::string& key);
+  void remove_server(const std::string& key);
+
+  sim::Simulator& simulator_;
+  Transport& transport_;
+  std::string local_host_;
+  TimerConfig timers_;
+  std::unordered_map<std::string, std::unique_ptr<ClientTransaction>> clients_;
+  std::unordered_map<std::string, std::unique_ptr<ServerTransaction>> servers_;
+  std::uint64_t branch_counter_{0};
+  std::uint64_t retransmissions_{0};
+};
+
+}  // namespace pbxcap::sip

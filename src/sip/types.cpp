@@ -1,0 +1,46 @@
+#include "sip/types.hpp"
+
+#include "util/strings.hpp"
+
+namespace pbxcap::sip {
+
+Method method_from_string(std::string_view s) noexcept {
+  using util::iequals;
+  if (iequals(s, "INVITE")) return Method::kInvite;
+  if (iequals(s, "ACK")) return Method::kAck;
+  if (iequals(s, "BYE")) return Method::kBye;
+  if (iequals(s, "CANCEL")) return Method::kCancel;
+  if (iequals(s, "REGISTER")) return Method::kRegister;
+  if (iequals(s, "OPTIONS")) return Method::kOptions;
+  if (iequals(s, "INFO")) return Method::kInfo;
+  return Method::kUnknown;
+}
+
+std::string_view reason_phrase(int status_code) noexcept {
+  switch (status_code) {
+    case status::kTrying: return "Trying";
+    case status::kRinging: return "Ringing";
+    case 182: return "Queued";
+    case 183: return "Session Progress";
+    case status::kOk: return "OK";
+    case 202: return "Accepted";
+    case status::kBadRequest: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case status::kNotFound: return "Not Found";
+    case status::kRequestTimeout: return "Request Timeout";
+    case status::kTemporarilyUnavailable: return "Temporarily Unavailable";
+    case 481: return "Call/Transaction Does Not Exist";
+    case status::kBusyHere: return "Busy Here";
+    case 487: return "Request Terminated";
+    case status::kInternalError: return "Server Internal Error";
+    case 501: return "Not Implemented";
+    case status::kServiceUnavailable: return "Service Unavailable";
+    case 504: return "Server Time-out";
+    case 600: return "Busy Everywhere";
+    case status::kDeclined: return "Decline";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace pbxcap::sip

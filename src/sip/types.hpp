@@ -1,0 +1,60 @@
+// SIP protocol vocabulary (RFC 3261 subset used by the paper's testbed).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pbxcap::sip {
+
+enum class Method : std::uint8_t {
+  kInvite,
+  kAck,
+  kBye,
+  kCancel,
+  kRegister,
+  kOptions,
+  kInfo,
+  kUnknown,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Method m) noexcept {
+  switch (m) {
+    case Method::kInvite: return "INVITE";
+    case Method::kAck: return "ACK";
+    case Method::kBye: return "BYE";
+    case Method::kCancel: return "CANCEL";
+    case Method::kRegister: return "REGISTER";
+    case Method::kOptions: return "OPTIONS";
+    case Method::kInfo: return "INFO";
+    case Method::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+[[nodiscard]] Method method_from_string(std::string_view s) noexcept;
+
+/// Status codes used in the evaluation scenarios. Plain integers are also
+/// accepted throughout; these named constants cover the Fig. 2 ladder plus
+/// the admission-control rejections.
+namespace status {
+inline constexpr int kTrying = 100;
+inline constexpr int kRinging = 180;
+inline constexpr int kOk = 200;
+inline constexpr int kBadRequest = 400;
+inline constexpr int kNotFound = 404;
+inline constexpr int kRequestTimeout = 408;
+inline constexpr int kBusyHere = 486;
+inline constexpr int kTemporarilyUnavailable = 480;
+inline constexpr int kInternalError = 500;
+inline constexpr int kServiceUnavailable = 503;
+inline constexpr int kDeclined = 603;
+}  // namespace status
+
+[[nodiscard]] std::string_view reason_phrase(int status_code) noexcept;
+
+[[nodiscard]] constexpr bool is_provisional(int code) noexcept { return code >= 100 && code < 200; }
+[[nodiscard]] constexpr bool is_final(int code) noexcept { return code >= 200; }
+[[nodiscard]] constexpr bool is_success(int code) noexcept { return code >= 200 && code < 300; }
+[[nodiscard]] constexpr bool is_error(int code) noexcept { return code >= 400; }
+
+}  // namespace pbxcap::sip

@@ -1,0 +1,108 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace pbxcap::stats {
+namespace {
+
+// Lentz's continued-fraction evaluation for the incomplete beta function.
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 1e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+  if (dof <= 0.0) throw std::invalid_argument{"student_t_cdf: dof must be positive"};
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * incomplete_beta(dof / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double student_t_critical(std::uint64_t dof, double conf) {
+  if (dof == 0) throw std::invalid_argument{"student_t_critical: dof must be >= 1"};
+  if (!(conf > 0.0 && conf < 1.0)) {
+    throw std::invalid_argument{"student_t_critical: conf must be in (0,1)"};
+  }
+  const double target = 1.0 - (1.0 - conf) / 2.0;  // upper-tail quantile
+  double lo = 0.0;
+  double hi = 1.0;
+  while (student_t_cdf(hi, static_cast<double>(dof)) < target) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, static_cast<double>(dof)) < target) lo = mid;
+    else hi = mid;
+    if (hi - lo < 1e-10) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+Interval mean_confidence(const Summary& s, double conf) {
+  if (s.count() < 2) return {s.mean(), s.mean()};
+  const double t = student_t_critical(s.count() - 1, conf);
+  const double hw = t * s.stderr_mean();
+  return {s.mean() - hw, s.mean() + hw};
+}
+
+Interval proportion_confidence(std::uint64_t successes, std::uint64_t trials, double conf) {
+  if (trials == 0) return {0.0, 1.0};
+  if (successes > trials) throw std::invalid_argument{"proportion_confidence: successes > trials"};
+  // z from the normal approximation; t with huge dof converges to z.
+  const double z = student_t_critical(1'000'000, conf);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {center - half, center + half};
+}
+
+}  // namespace pbxcap::stats

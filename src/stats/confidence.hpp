@@ -1,0 +1,39 @@
+// Confidence intervals for replicated-experiment means.
+#pragma once
+
+#include <cstdint>
+
+namespace pbxcap::stats {
+
+class Summary;
+
+/// Two-sided confidence interval [lo, hi] for a mean.
+struct Interval {
+  double lo{0.0};
+  double hi{0.0};
+  [[nodiscard]] double half_width() const noexcept { return (hi - lo) / 2.0; }
+  [[nodiscard]] double center() const noexcept { return (hi + lo) / 2.0; }
+  [[nodiscard]] bool contains(double x) const noexcept { return x >= lo && x <= hi; }
+};
+
+/// Two-sided critical value of Student's t with `dof` degrees of freedom at
+/// confidence `conf` in (0,1), e.g. conf=0.95. Computed by bisection on the
+/// regularized incomplete beta CDF — exact to ~1e-8, no tables.
+[[nodiscard]] double student_t_critical(std::uint64_t dof, double conf);
+
+/// CDF of Student's t distribution.
+[[nodiscard]] double student_t_cdf(double t, double dof);
+
+/// Regularized incomplete beta function I_x(a,b) (continued fraction).
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// t-based CI for the mean of `s` (requires >= 2 samples; degenerate
+/// single-point interval otherwise).
+[[nodiscard]] Interval mean_confidence(const Summary& s, double conf = 0.95);
+
+/// Wilson score interval for a binomial proportion (successes/trials) —
+/// used for blocking-probability estimates, which are proportions.
+[[nodiscard]] Interval proportion_confidence(std::uint64_t successes, std::uint64_t trials,
+                                             double conf = 0.95);
+
+}  // namespace pbxcap::stats

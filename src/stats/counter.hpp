@@ -1,0 +1,39 @@
+// Named monotonic counters, used by packet taps and protocol layers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace pbxcap::stats {
+
+/// A registry of named uint64 counters. Deterministic (ordered) iteration so
+/// reports are stable across runs. Not thread-safe: each simulation run owns
+/// its own registry.
+class CounterSet {
+ public:
+  void increment(std::string_view name, std::uint64_t by = 1) {
+    counters_[std::string{name}] += by;
+  }
+
+  [[nodiscard]] std::uint64_t value(std::string_view name) const {
+    const auto it = counters_.find(std::string{name});
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void merge(const CounterSet& other) {
+    for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  }
+
+  void reset() { counters_.clear(); }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const noexcept {
+    return counters_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace pbxcap::stats

@@ -1,0 +1,69 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace pbxcap::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, width_{(hi - lo) / static_cast<double>(bins)}, counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument{"Histogram: hi must exceed lo"};
+  if (bins == 0) throw std::invalid_argument{"Histogram: need at least one bin"};
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard fp edge at hi_
+  ++counts_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ || other.hi_ != hi_) {
+    throw std::invalid_argument{"Histogram::merge: incompatible binning"};
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const noexcept { return lo_ + width_ * static_cast<double>(i + 1); }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string() const {
+  return util::format("[%.4g..%.4g) n=%llu p50=%.4g p95=%.4g p99=%.4g under=%llu over=%llu",
+                      lo_, hi_, static_cast<unsigned long long>(total_), quantile(0.50),
+                      quantile(0.95), quantile(0.99), static_cast<unsigned long long>(underflow_),
+                      static_cast<unsigned long long>(overflow_));
+}
+
+}  // namespace pbxcap::stats

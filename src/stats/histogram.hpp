@@ -1,0 +1,45 @@
+// Fixed-width-bin histogram with quantile estimation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbxcap::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins plus underflow and
+/// overflow buckets. Quantiles are estimated by linear interpolation within
+/// the containing bin — adequate for latency/jitter distributions where bin
+/// width is chosen well below the scale of interest.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+
+  /// q in [0,1]. Underflow samples count as `lo`, overflow as `hi`.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Compact one-line rendering "lo..hi n=... p50=... p95=... p99=...".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_{0};
+  std::uint64_t overflow_{0};
+  std::uint64_t total_{0};
+};
+
+}  // namespace pbxcap::stats

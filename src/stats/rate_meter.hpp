@@ -1,0 +1,40 @@
+// Event-rate measurement over the simulation clock.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace pbxcap::stats {
+
+/// Counts events and reports the average rate over the observed interval.
+/// Used for SIP messages/s and RTP packets/s figures (the paper's
+/// "100 messages per second" per-call RTP rate).
+class RateMeter {
+ public:
+  void record(TimePoint at, std::uint64_t n = 1) noexcept {
+    if (count_ == 0) first_ = at;
+    last_ = at;
+    count_ += n;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Events per second over [first, horizon]. Pass the experiment horizon so
+  /// quiet tails are included in the denominator.
+  [[nodiscard]] double rate_per_second(TimePoint horizon) const noexcept {
+    if (count_ == 0) return 0.0;
+    const double span = (horizon - first_).to_seconds();
+    return span <= 0.0 ? 0.0 : static_cast<double>(count_) / span;
+  }
+
+  [[nodiscard]] TimePoint first_event() const noexcept { return first_; }
+  [[nodiscard]] TimePoint last_event() const noexcept { return last_; }
+
+ private:
+  std::uint64_t count_{0};
+  TimePoint first_{};
+  TimePoint last_{};
+};
+
+}  // namespace pbxcap::stats

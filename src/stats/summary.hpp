@@ -1,0 +1,43 @@
+// Streaming summary statistics (Welford's online algorithm).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pbxcap::stats {
+
+/// Single-pass mean/variance/min/max accumulator. O(1) memory, numerically
+/// stable for long runs (Welford recurrence, not sum-of-squares).
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another summary (parallel reduction; Chan et al. combination).
+  void merge(const Summary& other) noexcept;
+
+  void reset() noexcept { *this = Summary{}; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Sample variance (divisor n-1); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Population variance (divisor n).
+  [[nodiscard]] double variance_population() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean: s / sqrt(n).
+  [[nodiscard]] double stderr_mean() const noexcept;
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace pbxcap::stats

@@ -1,0 +1,40 @@
+// Plain-text table and CSV rendering for bench/report output.
+//
+// The paper reports results as tables (Table I) and plotted series
+// (Figs. 3, 6, 7). TextTable renders aligned ASCII tables that mirror the
+// paper's rows; the same data can be dumped as CSV for external plotting.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pbxcap::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Renders with column alignment and a header rule.
+  [[nodiscard]] std::string to_string() const;
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace pbxcap::util

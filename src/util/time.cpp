@@ -1,0 +1,36 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pbxcap {
+
+Duration Duration::from_seconds(double s) noexcept {
+  return Duration{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+Duration Duration::from_millis(double ms) noexcept {
+  return Duration{static_cast<std::int64_t>(std::llround(ms * 1e6))};
+}
+
+std::string Duration::to_string() const {
+  char buf[64];
+  const std::int64_t n = ns_;
+  const std::int64_t mag = n < 0 ? -n : n;
+  if (mag >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(n) * 1e-9);
+  } else if (mag >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(n) * 1e-6);
+  } else if (mag >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(n) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(n));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  return Duration::nanos(ns_).to_string();
+}
+
+}  // namespace pbxcap

@@ -1,0 +1,93 @@
+// Simulation time types.
+//
+// All simulated time in pbxcap is carried as integer nanoseconds to keep
+// event ordering exact and reproducible across platforms (no floating-point
+// accumulation drift over multi-hour simulated experiments).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pbxcap {
+
+/// A signed span of simulated time, in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  /// Named constructors; prefer these over the raw-tick constructor.
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t n) noexcept { return Duration{n}; }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t u) noexcept { return Duration{u * 1'000}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t m) noexcept { return Duration{m * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) noexcept { return Duration{s * 1'000'000'000}; }
+  [[nodiscard]] static constexpr Duration minutes(std::int64_t m) noexcept { return seconds(m * 60); }
+  [[nodiscard]] static constexpr Duration hours(std::int64_t h) noexcept { return seconds(h * 3600); }
+
+  /// Converts fractional seconds; rounds to the nearest nanosecond.
+  [[nodiscard]] static Duration from_seconds(double s) noexcept;
+  [[nodiscard]] static Duration from_millis(double ms) noexcept;
+
+  [[nodiscard]] static constexpr Duration zero() noexcept { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() noexcept {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_millis() const noexcept { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double to_minutes() const noexcept { return to_seconds() / 60.0; }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+  constexpr Duration& operator+=(Duration d) noexcept { ns_ += d.ns_; return *this; }
+  constexpr Duration& operator-=(Duration d) noexcept { ns_ -= d.ns_; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) noexcept { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) noexcept { return a * k; }
+  friend constexpr std::int64_t operator/(Duration a, Duration b) noexcept { return a.ns_ / b.ns_; }
+  friend constexpr Duration operator-(Duration a) noexcept { return Duration{-a.ns_}; }
+
+  /// "1.234s", "12ms", "340ns" — human-oriented; not meant to round-trip.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t n) noexcept : ns_{n} {}
+  std::int64_t ns_{0};
+};
+
+/// An absolute point on the simulation clock (ns since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() noexcept = default;
+
+  [[nodiscard]] static constexpr TimePoint at(Duration since_start) noexcept {
+    return TimePoint{since_start.ns()};
+  }
+  [[nodiscard]] static constexpr TimePoint origin() noexcept { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() noexcept {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const TimePoint&) const noexcept = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) noexcept { return TimePoint{t.ns_ + d.ns()}; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) noexcept { return TimePoint{t.ns_ - d.ns()}; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) noexcept {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t n) noexcept : ns_{n} {}
+  std::int64_t ns_{0};
+};
+
+}  // namespace pbxcap

@@ -1,0 +1,253 @@
+// Unit tests for the traffic-theory core: Erlang-B/C, Engset, dimensioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dimensioning.hpp"
+#include "core/engset.hpp"
+#include "core/erlang_b.hpp"
+#include "core/erlang_c.hpp"
+#include "core/traffic.hpp"
+
+namespace {
+
+using namespace pbxcap;
+using erlang::Erlangs;
+
+// Direct evaluation of Equation (2) for small N, as an oracle.
+double erlang_b_direct(double a, unsigned n) {
+  double numerator = 1.0;
+  double denominator = 1.0;  // i = 0 term
+  double term = 1.0;
+  for (unsigned i = 1; i <= n; ++i) {
+    term *= a / i;
+    denominator += term;
+  }
+  numerator = term;
+  return numerator / denominator;
+}
+
+TEST(Traffic, EquationOneMatchesPaperExamples) {
+  // 3,000 calls/h of 3 minutes = 150 Erlangs (paper §IV).
+  EXPECT_DOUBLE_EQ(erlang::erlangs_from_calls(3000.0, 3.0).value(), 150.0);
+  // 8,000 users, 60% calling, 2-minute calls = 160 Erlangs (Fig. 7 text).
+  EXPECT_DOUBLE_EQ(erlang::erlangs_from_calls(8000.0 * 0.60, 2.0).value(), 160.0);
+}
+
+TEST(Traffic, WorkloadOfferedTraffic) {
+  const erlang::Workload w{3000.0, Duration::minutes(3)};
+  EXPECT_NEAR(w.offered_traffic().value(), 150.0, 1e-12);
+  EXPECT_NEAR(w.arrival_rate_per_second(), 3000.0 / 3600.0, 1e-12);
+}
+
+TEST(Traffic, RateForm) {
+  // lambda = 2 calls/s, h = 120 s => A = 240 E (Table I's heaviest column).
+  EXPECT_NEAR(erlang::erlangs_from_rate(2.0, Duration::seconds(120)).value(), 240.0, 1e-12);
+}
+
+TEST(Traffic, InverseOfEquationOne) {
+  EXPECT_NEAR(erlang::calls_per_hour_for(Erlangs{150.0}, 3.0), 3000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(erlang::calls_per_hour_for(Erlangs{150.0}, 0.0), 0.0);
+}
+
+TEST(ErlangB, MatchesDirectFormulaSmallN) {
+  for (const double a : {0.5, 1.0, 3.0, 7.5, 12.0}) {
+    for (unsigned n = 0; n <= 20; ++n) {
+      EXPECT_NEAR(erlang::erlang_b(Erlangs{a}, n), erlang_b_direct(a, n), 1e-12)
+          << "a=" << a << " n=" << n;
+    }
+  }
+}
+
+TEST(ErlangB, KnownTextbookValues) {
+  // Classic Erlang-B table entries.
+  EXPECT_NEAR(erlang::erlang_b(Erlangs{1.0}, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang::erlang_b(Erlangs{2.0}, 2), 0.4, 1e-12);
+  // A=10 E, N=10 channels: B ~ 0.2146.
+  EXPECT_NEAR(erlang::erlang_b(Erlangs{10.0}, 10), 0.21459, 1e-4);
+}
+
+TEST(ErlangB, PaperHeadline165Channels) {
+  // §IV: 150 E on 165 channels => about 1.8% blocking.
+  const double pb = erlang::erlang_b(Erlangs{150.0}, 165);
+  EXPECT_NEAR(pb, 0.018, 0.004);
+}
+
+TEST(ErlangB, PaperFig7Anchors) {
+  // Fig. 7 text: 60% of 8,000 users, 2.5-minute calls => ~21% blocking;
+  // 3-minute calls => >34%.
+  const double a25 = 8000.0 * 0.60 * 2.5 / 60.0;  // 200 E
+  const double a30 = 8000.0 * 0.60 * 3.0 / 60.0;  // 240 E
+  EXPECT_NEAR(erlang::erlang_b(Erlangs{a25}, 165), 0.21, 0.03);
+  EXPECT_GT(erlang::erlang_b(Erlangs{a30}, 165), 0.30);
+}
+
+TEST(ErlangB, ZeroTrafficNeverBlocks) {
+  EXPECT_DOUBLE_EQ(erlang::erlang_b(Erlangs{0.0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang::erlang_b(Erlangs{0.0}, 100), 0.0);
+}
+
+TEST(ErlangB, ZeroChannelsBlocksEverything) {
+  EXPECT_DOUBLE_EQ(erlang::erlang_b(Erlangs{5.0}, 0), 1.0);
+}
+
+TEST(ErlangB, RejectsInvalidInput) {
+  EXPECT_THROW((void)erlang::erlang_b(Erlangs{-1.0}, 5), std::invalid_argument);
+  EXPECT_THROW((void)erlang::erlang_b(Erlangs{std::nan("")}, 5), std::invalid_argument);
+}
+
+TEST(ErlangB, ChannelsForBlockingIsTight) {
+  for (const double a : {5.0, 40.0, 150.0, 240.0}) {
+    for (const double target : {0.05, 0.01, 0.001}) {
+      const std::uint32_t n = erlang::channels_for_blocking(Erlangs{a}, target);
+      EXPECT_LE(erlang::erlang_b(Erlangs{a}, n), target);
+      if (n > 0) {
+        EXPECT_GT(erlang::erlang_b(Erlangs{a}, n - 1), target);
+      }
+    }
+  }
+}
+
+TEST(ErlangB, OfferedLoadForBlockingInverts) {
+  for (const std::uint32_t n : {10u, 42u, 165u}) {
+    for (const double target : {0.05, 0.01}) {
+      const Erlangs a = erlang::offered_load_for_blocking(n, target);
+      EXPECT_NEAR(erlang::erlang_b(a, n), target, 1e-6);
+    }
+  }
+}
+
+TEST(ErlangB, CarriedPlusBlockedEqualsOffered) {
+  const Erlangs a{160.0};
+  const std::uint32_t n = 165;
+  const double pb = erlang::erlang_b(a, n);
+  EXPECT_NEAR(erlang::carried_traffic(a, n), a.value() * (1.0 - pb), 1e-12);
+  EXPECT_LE(erlang::carried_traffic(a, n), static_cast<double>(n));
+}
+
+TEST(ErlangB, ExtendedWithZeroRecallEqualsPlain) {
+  EXPECT_NEAR(erlang::extended_erlang_b(Erlangs{160.0}, 165, 0.0),
+              erlang::erlang_b(Erlangs{160.0}, 165), 1e-9);
+}
+
+TEST(ErlangB, ExtendedRecallIncreasesBlocking) {
+  const double plain = erlang::erlang_b(Erlangs{160.0}, 160);
+  const double retry = erlang::extended_erlang_b(Erlangs{160.0}, 160, 0.8);
+  EXPECT_GT(retry, plain);
+  EXPECT_LT(retry, 1.0);
+}
+
+TEST(ErlangC, UnstableQueueAlwaysWaits) {
+  EXPECT_DOUBLE_EQ(erlang::erlang_c(Erlangs{10.0}, 10), 1.0);
+  EXPECT_DOUBLE_EQ(erlang::erlang_c(Erlangs{12.0}, 10), 1.0);
+}
+
+TEST(ErlangC, WaitProbabilityExceedsBlockingProbability) {
+  // C(A,N) >= B(A,N) always (queued system holds calls longer).
+  for (const double a : {50.0, 100.0, 150.0}) {
+    const std::uint32_t n = static_cast<std::uint32_t>(a) + 20;
+    EXPECT_GE(erlang::erlang_c(Erlangs{a}, n), erlang::erlang_b(Erlangs{a}, n));
+  }
+}
+
+TEST(ErlangC, KnownValue) {
+  // M/M/2 with A=1: C = 1/3.
+  EXPECT_NEAR(erlang::erlang_c(Erlangs{1.0}, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangC, MeanWaitMatchesClosedForm) {
+  const Erlangs a{1.0};
+  const Duration hold = Duration::seconds(180);
+  const Duration w = erlang::erlang_c_mean_wait(a, 2, hold);
+  // W = C * h / (N - A) = (1/3)*180/1 = 60 s.
+  EXPECT_NEAR(w.to_seconds(), 60.0, 1e-6);
+}
+
+TEST(ErlangC, ServiceLevelBounds) {
+  const double sl0 = erlang::erlang_c_service_level(Erlangs{100.0}, 110, Duration::minutes(3),
+                                                    Duration::zero());
+  const double sl20 = erlang::erlang_c_service_level(Erlangs{100.0}, 110, Duration::minutes(3),
+                                                     Duration::seconds(20));
+  EXPECT_GE(sl20, sl0);
+  EXPECT_GT(sl0, 0.0);
+  EXPECT_LE(sl20, 1.0);
+}
+
+TEST(ErlangC, AgentsForWaitTargetIsTight) {
+  const Erlangs a{100.0};
+  const std::uint32_t n = erlang::agents_for_wait_probability(a, 0.2);
+  EXPECT_LE(erlang::erlang_c(a, n), 0.2);
+  EXPECT_GT(erlang::erlang_c(a, n - 1), 0.2);
+}
+
+TEST(Engset, FewerSourcesThanChannelsNeverBlocks) {
+  EXPECT_DOUBLE_EQ(erlang::engset_blocking(10, 0.5, 10), 0.0);
+  EXPECT_DOUBLE_EQ(erlang::engset_blocking(10, 0.5, 50), 0.0);
+}
+
+TEST(Engset, ConvergesToErlangB) {
+  const double erlang_pb = erlang::erlang_b(Erlangs{150.0}, 165);
+  const double engset_pb = erlang::engset_blocking_total(Erlangs{150.0}, 1'000'000, 165);
+  EXPECT_NEAR(engset_pb, erlang_pb, 1e-3);
+}
+
+TEST(Engset, FiniteSourcesBlockLessThanInfinite) {
+  // Finite populations are self-limiting: blocking below Erlang-B.
+  const double erlang_pb = erlang::erlang_b(Erlangs{150.0}, 165);
+  const double engset_small = erlang::engset_blocking_total(Erlangs{150.0}, 300, 165);
+  EXPECT_LT(engset_small, erlang_pb);
+}
+
+TEST(Engset, MonotoneInPopulation) {
+  double prev = 0.0;
+  for (const std::uint32_t m : {200u, 400u, 1000u, 5000u, 50000u}) {
+    const double pb = erlang::engset_blocking_total(Erlangs{150.0}, m, 165);
+    EXPECT_GE(pb, prev - 1e-12) << "population " << m;
+    prev = pb;
+  }
+}
+
+TEST(Engset, RejectsPopulationBelowLoad) {
+  EXPECT_THROW((void)erlang::engset_blocking_total(Erlangs{150.0}, 100, 165),
+               std::invalid_argument);
+}
+
+TEST(Dimensioning, HeadlineCapacityPoint) {
+  const auto point = erlang::evaluate_capacity({3000.0, Duration::minutes(3)}, 165);
+  EXPECT_NEAR(point.offered.value(), 150.0, 1e-9);
+  EXPECT_NEAR(point.blocking_probability, 0.018, 0.004);
+  EXPECT_NEAR(point.carried_erlangs, 150.0 * (1.0 - point.blocking_probability), 1e-9);
+}
+
+TEST(Dimensioning, PopulationScenarioMatchesFig7Text) {
+  // 60% of 8,000 users, 2-minute calls: "less than 5% of the calls blocked".
+  const auto point = erlang::evaluate_population(
+      {8000, 0.60, Duration::minutes(2), 165});
+  EXPECT_LT(point.blocking_probability, 0.05);
+  // 2.5 minutes: "nearly 21%".
+  const auto point25 = erlang::evaluate_population(
+      {8000, 0.60, Duration::seconds(150), 165});
+  EXPECT_NEAR(point25.blocking_probability, 0.21, 0.03);
+}
+
+TEST(Dimensioning, SweepShapes) {
+  std::vector<double> fractions{0.2, 0.4, 0.6, 0.8, 1.0};
+  const auto sweep = erlang::population_sweep(8000, fractions, Duration::minutes(3), 165);
+  ASSERT_EQ(sweep.size(), fractions.size());
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].blocking_probability, sweep[i - 1].blocking_probability);
+  }
+}
+
+TEST(Dimensioning, MaxCallsPerHourRoundTrips) {
+  const double calls = erlang::max_calls_per_hour(165, Duration::minutes(3), 0.05);
+  const erlang::Workload w{calls, Duration::minutes(3)};
+  EXPECT_NEAR(erlang::erlang_b(w.offered_traffic(), 165), 0.05, 1e-4);
+}
+
+TEST(Dimensioning, RejectsBadFraction) {
+  EXPECT_THROW((void)erlang::evaluate_population({8000, 1.5, Duration::minutes(2), 165}),
+               std::invalid_argument);
+}
+
+}  // namespace

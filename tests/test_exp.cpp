@@ -1,0 +1,149 @@
+// Tests for the experiment harness: parallel runner, sweeps, report merging,
+// and the paper-figure formatters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "exp/paper.hpp"
+#include "exp/parallel.hpp"
+#include "exp/sweep.hpp"
+#include "exp/testbed.hpp"
+#include "monitor/report.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  exp::parallel_for(hits.size(), 4, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  exp::parallel_for(5, 1, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroJobsIsNoop) {
+  bool ran = false;
+  exp::parallel_for(0, 8, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      exp::parallel_for(16, 4,
+                        [&](std::size_t i) {
+                          if (i == 7) throw std::runtime_error{"boom"};
+                        }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, DefaultThreadsIsPositive) { EXPECT_GE(exp::default_threads(), 1u); }
+
+TEST(Sweep, ProducesOnePointPerLoadWithReplications) {
+  exp::SweepConfig config;
+  config.base.scenario.placement_window = Duration::seconds(15);
+  config.base.scenario.hold_time = Duration::seconds(5);
+  config.erlangs = {2.0, 6.0};
+  config.replications = 2;
+  config.base.seed = 77;
+  const auto points = exp::run_blocking_sweep(config);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.replications.size(), 2u);
+    EXPECT_EQ(p.blocking.count(), 2u);
+    EXPECT_GE(p.blocking_mean(), 0.0);
+    EXPECT_LE(p.blocking_mean(), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(points[0].offered_erlangs, 2.0);
+  EXPECT_DOUBLE_EQ(points[1].offered_erlangs, 6.0);
+  // Replications use distinct seeds.
+  EXPECT_NE(points[0].replications[0].seed, points[0].replications[1].seed);
+}
+
+TEST(ReportMerge, PoolsCountsAndAveragesCensus) {
+  monitor::ExperimentReport a;
+  a.offered_erlangs = 160.0;
+  a.calls_attempted = 100;
+  a.calls_blocked = 10;
+  a.blocking_probability = 0.10;
+  a.channels_peak = 150;
+  a.sip_total = 1000;
+  a.rtp_packets_at_pbx = 50'000;
+  a.mos.add(4.4);
+  a.cpu_utilization.add(0.40);
+  monitor::ExperimentReport b = a;
+  b.calls_attempted = 100;
+  b.calls_blocked = 30;
+  b.blocking_probability = 0.30;
+  b.channels_peak = 165;
+  b.sip_total = 3000;
+
+  const auto merged = monitor::merge_replications({a, b});
+  EXPECT_EQ(merged.calls_attempted, 200u);
+  EXPECT_EQ(merged.calls_blocked, 40u);
+  EXPECT_NEAR(merged.blocking_probability, 0.20, 1e-12);
+  EXPECT_EQ(merged.channels_peak, 165u);
+  EXPECT_EQ(merged.sip_total, 2000u);       // mean across replications
+  EXPECT_EQ(merged.rtp_packets_at_pbx, 50'000u);
+  EXPECT_EQ(merged.mos.count(), 2u);
+  EXPECT_EQ(merged.cpu_utilization.count(), 2u);
+}
+
+TEST(ReportMerge, EmptyInputYieldsDefault) {
+  const auto merged = monitor::merge_replications({});
+  EXPECT_EQ(merged.calls_attempted, 0u);
+}
+
+TEST(PaperFormatters, Fig3TableShape) {
+  const auto table = exp::fig3_erlang_b_curves({20.0, 240.0}, 10, 50, 10);
+  EXPECT_EQ(table.columns(), 3u);  // N + two loads
+  EXPECT_EQ(table.rows(), 5u);     // 10, 20, 30, 40, 50
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("20 E"), std::string::npos);
+  EXPECT_NE(s.find("240 E"), std::string::npos);
+}
+
+TEST(PaperFormatters, Fig7MatchesDimensioningDirectly) {
+  const auto table =
+      exp::fig7_population_blocking(8000, {0.60}, {Duration::seconds(150)}, 165);
+  const std::string s = table.to_string();
+  // 60% @ 2.5 min on 165 channels: Erlang-B gives 19.38% (the paper rounds
+  // its reading of Fig. 7 to "nearly 21%").
+  EXPECT_NE(s.find("2.5 min"), std::string::npos);
+  EXPECT_NE(s.find("19.38"), std::string::npos);
+}
+
+TEST(PaperFormatters, BusyHourSummaryHeadline) {
+  const auto table = exp::busy_hour_summary(3000.0, Duration::minutes(3), {165});
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("150.0"), std::string::npos);  // offered Erlangs
+  // Exact Erlang-B(150 E, 165) = 1.68%; the paper reports "1.8%".
+  EXPECT_NE(s.find("1.68"), std::string::npos);
+}
+
+TEST(Testbed, ReportIdentificationFieldsFilled) {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 0.5;
+  config.scenario.placement_window = Duration::seconds(10);
+  config.scenario.hold_time = Duration::seconds(3);
+  config.seed = 12345;
+  const auto r = exp::run_testbed(config);
+  EXPECT_DOUBLE_EQ(r.offered_erlangs, 1.5);
+  EXPECT_DOUBLE_EQ(r.arrival_rate_per_s, 0.5);
+  EXPECT_EQ(r.hold_time, Duration::seconds(3));
+  EXPECT_EQ(r.seed, 12345u);
+  EXPECT_EQ(r.channels_configured, 165u);
+}
+
+TEST(Testbed, RunOfferedLoadConvenience) {
+  const auto r = exp::run_offered_load(1.0, /*seed=*/5, /*max_channels=*/10);
+  EXPECT_EQ(r.channels_configured, 10u);
+  EXPECT_NEAR(r.offered_erlangs, 1.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the G.711 companding codec: code-space round trips, quantization
+// error bounds, standard anchor codes, and speech-band SNR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "media/g711.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+TEST(Ulaw, AnchorCodes) {
+  // Linear zero encodes to 0xFF (all-ones complement of sign+0), and 0xFF
+  // decodes back to 0.
+  EXPECT_EQ(media::ulaw_encode(0), 0xFF);
+  EXPECT_EQ(media::ulaw_decode(0xFF), 0);
+  // Extremes land on the clip segment and decode to large magnitudes.
+  EXPECT_GT(media::ulaw_decode(media::ulaw_encode(32000)), 30000);
+  EXPECT_LT(media::ulaw_decode(media::ulaw_encode(-32000)), -30000);
+}
+
+TEST(Ulaw, CodeSpaceDecodeEncodeIsIdentity) {
+  // Every 8-bit code must be a fixed point of encode(decode(code)).
+  for (int c = 0; c <= 255; ++c) {
+    const auto code = static_cast<std::uint8_t>(c);
+    const std::int16_t pcm = media::ulaw_decode(code);
+    // 0x7F and 0xFF both decode to 0 (positive/negative zero); encode maps
+    // 0 to 0xFF, so skip the negative-zero alias.
+    if (pcm == 0) continue;
+    EXPECT_EQ(media::ulaw_encode(pcm), code) << "code " << c;
+  }
+}
+
+TEST(Ulaw, QuantizationErrorBoundedLogarithmically) {
+  // mu-law error grows with magnitude: <= ~4 near zero, <= ~1024 at clip.
+  for (std::int32_t s = -32767; s <= 32767; s += 17) {
+    const auto pcm = static_cast<std::int16_t>(s);
+    const std::int16_t rt = media::ulaw_decode(media::ulaw_encode(pcm));
+    const double bound = 4.0 + std::abs(s) / 16.0;  // half segment step
+    EXPECT_LE(std::abs(rt - pcm), bound) << "sample " << s;
+  }
+}
+
+TEST(Ulaw, MonotoneOverMagnitude) {
+  // Decoded values must be non-decreasing as input increases.
+  std::int16_t prev = media::ulaw_decode(media::ulaw_encode(-32767));
+  for (std::int32_t s = -32767; s <= 32767; s += 129) {
+    const std::int16_t rt = media::ulaw_decode(media::ulaw_encode(static_cast<std::int16_t>(s)));
+    EXPECT_GE(rt, prev);
+    prev = rt;
+  }
+}
+
+TEST(Alaw, CodeSpaceDecodeEncodeIsIdentity) {
+  for (int c = 0; c <= 255; ++c) {
+    const auto code = static_cast<std::uint8_t>(c);
+    const std::int16_t pcm = media::alaw_decode(code);
+    EXPECT_EQ(media::alaw_encode(pcm), code) << "code " << c;
+  }
+}
+
+TEST(Alaw, SignSymmetry) {
+  // A-law folds negatives through one's complement (-s encodes as s-1), so
+  // at segment boundaries +s and -s may land one quantization step apart —
+  // the tolerance is one segment step (s/16), floor 16.
+  for (std::int32_t s = 16; s <= 32000; s *= 2) {
+    const std::int16_t pos = media::alaw_decode(media::alaw_encode(static_cast<std::int16_t>(s)));
+    const std::int16_t neg =
+        media::alaw_decode(media::alaw_encode(static_cast<std::int16_t>(-s)));
+    EXPECT_NEAR(pos, -neg, std::max(16, s / 16)) << "sample " << s;
+  }
+}
+
+TEST(Tone, GeneratorProperties) {
+  const auto tone = media::make_tone(1000.0, 8000, Duration::millis(100), 0.5);
+  EXPECT_EQ(tone.size(), 800u);
+  const auto max_it = *std::max_element(tone.begin(), tone.end());
+  EXPECT_NEAR(max_it, 16384, 200);  // 0.5 amplitude
+  EXPECT_THROW((void)media::make_tone(1000.0, 8000, Duration::millis(10), 2.0),
+               std::invalid_argument);
+}
+
+TEST(Snr, UlawToneSnrMatchesG711Expectation) {
+  // G.711 achieves ~37-39 dB SQNR on a near-full-scale speech-band tone.
+  const auto tone = media::make_tone(1004.0, 8000, Duration::millis(250), 0.9);
+  const auto decoded = media::ulaw_decode(media::ulaw_encode(std::span{tone}));
+  const double snr = media::snr_db(tone, decoded);
+  EXPECT_GT(snr, 35.0);
+  EXPECT_LT(snr, 45.0);
+}
+
+TEST(Snr, AlawToneSnr) {
+  const auto tone = media::make_tone(1004.0, 8000, Duration::millis(250), 0.9);
+  const auto decoded = media::alaw_decode(media::alaw_encode(std::span{tone}));
+  EXPECT_GT(media::snr_db(tone, decoded), 35.0);
+}
+
+TEST(Snr, QuietSignalsStillCleanlyEncoded) {
+  // Logarithmic companding keeps SNR roughly constant across levels — the
+  // point of mu-law. At 1% amplitude, linear 8-bit PCM would give ~8 dB;
+  // mu-law must stay above ~25 dB.
+  const auto tone = media::make_tone(440.0, 8000, Duration::millis(250), 0.01);
+  const auto decoded = media::ulaw_decode(media::ulaw_encode(std::span{tone}));
+  EXPECT_GT(media::snr_db(tone, decoded), 25.0);
+}
+
+TEST(Snr, IdenticalSignalsAreInfinite) {
+  const auto tone = media::make_tone(440.0, 8000, Duration::millis(10));
+  EXPECT_GT(media::snr_db(tone, tone), 1e8);
+  EXPECT_THROW((void)media::snr_db(tone, std::span<const std::int16_t>{}),
+               std::invalid_argument);
+}
+
+TEST(Snr, RandomSpeechLikeSignalRoundTrips) {
+  sim::Random rng{42};
+  std::vector<std::int16_t> signal(4000);
+  double level = 0.0;
+  for (auto& s : signal) {
+    // AR(1) noise: crude speech-envelope stand-in.
+    level = 0.95 * level + rng.normal(0.0, 1500.0);
+    s = static_cast<std::int16_t>(std::clamp(level, -30000.0, 30000.0));
+  }
+  const auto decoded = media::ulaw_decode(media::ulaw_encode(std::span{signal}));
+  EXPECT_GT(media::snr_db(signal, decoded), 30.0);
+}
+
+}  // namespace

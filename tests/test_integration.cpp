@@ -1,0 +1,156 @@
+// Integration tests: the full testbed (caller <-> switch <-> PBX <-> switch
+// <-> receiver) exercised end-to-end, checking the Fig. 2 ladder, media
+// relay, admission control, and CDR accounting together.
+#include <gtest/gtest.h>
+
+#include "exp/testbed.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+exp::TestbedConfig single_call_config() {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 1.0;
+  config.scenario.max_calls = 1;
+  config.scenario.placement_window = Duration::seconds(5);
+  config.scenario.hold_time = Duration::seconds(10);
+  config.seed = 42;
+  return config;
+}
+
+TEST(Integration, SingleCallLadderMatchesFig2) {
+  const auto r = exp::run_testbed(single_call_config());
+  EXPECT_EQ(r.calls_attempted, 1u);
+  EXPECT_EQ(r.calls_completed, 1u);
+  EXPECT_EQ(r.calls_blocked, 0u);
+  EXPECT_EQ(r.calls_failed, 0u);
+
+  // Fig. 2 at the PBX interface: 2 INVITEs (one per leg), one 100 toward the
+  // caller, 180/200 on both legs, 2 ACKs, 2 BYEs, 2 teardown 200s. Setup is
+  // 9 messages, teardown 4, total 13 (§IV).
+  EXPECT_EQ(r.sip_invite, 2u);
+  EXPECT_EQ(r.sip_100, 1u);
+  EXPECT_EQ(r.sip_180, 2u);
+  EXPECT_EQ(r.sip_ack, 2u);
+  EXPECT_EQ(r.sip_bye, 2u);
+  EXPECT_EQ(r.sip_200, 4u);  // 2 for INVITEs + 2 for BYEs
+  EXPECT_EQ(r.sip_errors, 0u);
+  EXPECT_EQ(r.sip_total, 13u);
+  EXPECT_EQ(r.sip_retransmissions, 0u);
+}
+
+TEST(Integration, SingleCallMediaRelayedBothWays) {
+  const auto r = exp::run_testbed(single_call_config());
+  // 10 s call at 50 pkt/s/direction: ~500 packets each way arrive at the PBX
+  // (the paper's "100 messages per second" per call).
+  EXPECT_NEAR(static_cast<double>(r.rtp_packets_at_pbx), 1000.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(r.rtp_relayed), 1000.0, 60.0);
+  ASSERT_EQ(r.mos.count(), 2u);  // both directions scored
+  EXPECT_GT(r.mos.min(), 4.3);   // clean switched LAN
+  EXPECT_EQ(r.channels_peak, 1u);
+  EXPECT_LT(r.setup_delay_ms.mean(), 300.0);
+}
+
+TEST(Integration, PaperRtpPerCallRate) {
+  // A 120 s call must produce ~12,000 RTP packets at the PBX (Table I's
+  // 12,037-per-call figure at A = 40).
+  auto config = single_call_config();
+  config.scenario.hold_time = Duration::seconds(120);
+  const auto r = exp::run_testbed(config);
+  EXPECT_NEAR(static_cast<double>(r.rtp_packets_at_pbx), 12'000.0, 200.0);
+}
+
+TEST(Integration, ChannelExhaustionBlocksCalls) {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 2.0;
+  config.scenario.placement_window = Duration::seconds(30);
+  config.scenario.hold_time = Duration::seconds(20);
+  config.pbx.max_channels = 3;  // tiny PBX
+  config.seed = 9;
+  const auto r = exp::run_testbed(config);
+  EXPECT_GT(r.calls_blocked, 0u);
+  EXPECT_EQ(r.channels_peak, 3u);
+  EXPECT_GT(r.sip_errors, 0u);  // 503s were emitted
+  EXPECT_EQ(r.calls_attempted, r.calls_completed + r.calls_blocked + r.calls_failed);
+  // Completed calls keep their quality even under blocking (paper §IV).
+  if (r.calls_completed > 0) {
+    EXPECT_GT(r.mos.min(), 4.0);
+  }
+}
+
+TEST(Integration, BlockedCallsDontConsumeChannels) {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 5.0;
+  config.scenario.placement_window = Duration::seconds(20);
+  config.scenario.hold_time = Duration::seconds(60);  // calls outlive window
+  config.pbx.max_channels = 2;
+  config.seed = 13;
+  const auto r = exp::run_testbed(config);
+  // Exactly 2 concurrent calls ever; everything else blocked.
+  EXPECT_EQ(r.channels_peak, 2u);
+  EXPECT_EQ(r.calls_completed, 2u);
+  EXPECT_EQ(r.calls_blocked, r.calls_attempted - 2u);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  auto config = single_call_config();
+  config.scenario.max_calls = 0;
+  config.scenario.arrival_rate_per_s = 0.5;
+  config.scenario.placement_window = Duration::seconds(30);
+  const auto a = exp::run_testbed(config);
+  const auto b = exp::run_testbed(config);
+  EXPECT_EQ(a.calls_attempted, b.calls_attempted);
+  EXPECT_EQ(a.sip_total, b.sip_total);
+  EXPECT_EQ(a.rtp_packets_at_pbx, b.rtp_packets_at_pbx);
+  EXPECT_DOUBLE_EQ(a.mos.mean(), b.mos.mean());
+}
+
+TEST(Integration, SeedChangesArrivalPattern) {
+  auto config = single_call_config();
+  config.scenario.max_calls = 0;
+  config.scenario.arrival_rate_per_s = 1.0;
+  config.scenario.placement_window = Duration::seconds(60);
+  auto config2 = config;
+  config2.seed = 1234;
+  const auto a = exp::run_testbed(config);
+  const auto b = exp::run_testbed(config2);
+  EXPECT_NE(a.calls_attempted, b.calls_attempted);  // overwhelmingly likely
+}
+
+TEST(Integration, CpuGrowsWithLoad) {
+  exp::TestbedConfig light;
+  light.scenario = loadgen::CallScenario::for_offered_load(4.0, Duration::seconds(20));
+  light.scenario.placement_window = Duration::seconds(40);
+  light.seed = 21;
+  exp::TestbedConfig heavy = light;
+  heavy.scenario = loadgen::CallScenario::for_offered_load(20.0, Duration::seconds(20));
+  heavy.scenario.placement_window = Duration::seconds(40);
+  const auto r_light = exp::run_testbed(light);
+  const auto r_heavy = exp::run_testbed(heavy);
+  EXPECT_GT(r_heavy.cpu_utilization.mean(), r_light.cpu_utilization.mean());
+}
+
+TEST(Integration, WifiImpairmentLowersMosButCallsSurvive) {
+  auto clean = single_call_config();
+  clean.scenario.hold_time = Duration::seconds(30);
+  auto wifi = clean;
+  wifi.client_link.loss_probability = 0.02;
+  wifi.client_link.jitter_mean = Duration::millis(5);
+  wifi.client_link.jitter_stddev = Duration::millis(3);
+  const auto r_clean = exp::run_testbed(clean);
+  const auto r_wifi = exp::run_testbed(wifi);
+  EXPECT_EQ(r_wifi.calls_completed, 1u);
+  EXPECT_LT(r_wifi.mos.mean(), r_clean.mos.mean());
+  EXPECT_GT(r_wifi.effective_loss.max(), 0.0);
+}
+
+TEST(Integration, AuthRejectsUnknownCallers) {
+  auto config = single_call_config();
+  config.pbx.require_auth = true;
+  // Directory in run_testbed allows the "caller-" prefix, so calls pass...
+  const auto allowed = exp::run_testbed(config);
+  EXPECT_EQ(allowed.calls_completed, 1u);
+}
+
+}  // namespace

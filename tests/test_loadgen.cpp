@@ -1,0 +1,99 @@
+// Unit tests for the load generator: scenario math, user naming, and small
+// end-to-end generator runs against the PBX.
+#include <gtest/gtest.h>
+
+#include "exp/testbed.hpp"
+#include "loadgen/receiver.hpp"
+#include "loadgen/scenario.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+TEST(Scenario, OfferedErlangsIsLambdaTimesHold) {
+  loadgen::CallScenario s;
+  s.arrival_rate_per_s = 2.0;
+  s.hold_time = Duration::seconds(120);
+  EXPECT_DOUBLE_EQ(s.offered_erlangs(), 240.0);  // Table I's heaviest column
+}
+
+TEST(Scenario, ForOfferedLoadInverts) {
+  const auto s = loadgen::CallScenario::for_offered_load(160.0);
+  EXPECT_NEAR(s.offered_erlangs(), 160.0, 1e-9);
+  EXPECT_NEAR(s.arrival_rate_per_s, 160.0 / 120.0, 1e-9);
+  const auto s2 = loadgen::CallScenario::for_offered_load(150.0, Duration::minutes(3));
+  EXPECT_NEAR(s2.arrival_rate_per_s, 150.0 / 180.0, 1e-9);
+}
+
+TEST(Scenario, CallIndexParsing) {
+  EXPECT_EQ(loadgen::call_index_of_user("recv-17"), 17u);
+  EXPECT_EQ(loadgen::call_index_of_user("caller-0"), 0u);
+  EXPECT_FALSE(loadgen::call_index_of_user("noindex").has_value());
+  EXPECT_FALSE(loadgen::call_index_of_user("recv-x").has_value());
+}
+
+TEST(Generator, OffersApproximatelyLambdaTimesWindow) {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 0.5;
+  config.scenario.placement_window = Duration::seconds(60);
+  config.scenario.hold_time = Duration::seconds(5);
+  config.seed = 3;
+  const auto report = exp::run_testbed(config);
+  // Poisson(30): nearly always within [12, 48].
+  EXPECT_GT(report.calls_attempted, 12u);
+  EXPECT_LT(report.calls_attempted, 48u);
+  EXPECT_EQ(report.calls_attempted, report.calls_completed + report.calls_blocked +
+                                        report.calls_failed);
+}
+
+TEST(Generator, CompletedCallsCarryBothDirectionsQuality) {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 0.2;
+  config.scenario.placement_window = Duration::seconds(20);
+  config.scenario.hold_time = Duration::seconds(5);
+  config.seed = 11;
+  const auto report = exp::run_testbed(config);
+  ASSERT_GT(report.calls_completed, 0u);
+  // MOS pooled over both directions: two samples per completed call.
+  EXPECT_EQ(report.mos.count(), 2 * report.calls_completed);
+  EXPECT_GT(report.mos.min(), 4.0);  // clean LAN: the paper's "above 4"
+}
+
+TEST(Generator, MaxCallsCapsAttempts) {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 10.0;
+  config.scenario.placement_window = Duration::seconds(30);
+  config.scenario.hold_time = Duration::seconds(2);
+  config.scenario.max_calls = 5;
+  config.seed = 4;
+  const auto report = exp::run_testbed(config);
+  EXPECT_EQ(report.calls_attempted, 5u);
+}
+
+TEST(Generator, FinitePopulationLimitsConcurrency) {
+  exp::TestbedConfig config;
+  config.scenario.finite_population = 3;
+  config.scenario.per_user_rate_per_s = 0.5;
+  config.scenario.placement_window = Duration::seconds(60);
+  config.scenario.hold_time = Duration::seconds(10);
+  config.seed = 5;
+  const auto report = exp::run_testbed(config);
+  EXPECT_GT(report.calls_attempted, 0u);
+  // Only 3 users exist: never more than 3 concurrent channels.
+  EXPECT_LE(report.channels_peak, 3u);
+  EXPECT_EQ(report.calls_blocked, 0u);
+}
+
+TEST(Generator, StochasticHoldTimesComplete) {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 0.3;
+  config.scenario.placement_window = Duration::seconds(30);
+  config.scenario.hold_time = Duration::seconds(5);
+  config.scenario.hold_model = sim::HoldTimeModel::kExponential;
+  config.seed = 6;
+  const auto report = exp::run_testbed(config);
+  EXPECT_GT(report.calls_completed, 0u);
+  EXPECT_EQ(report.calls_failed, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Unit tests for the ITU-T G.107 E-model implementation.
+#include <gtest/gtest.h>
+
+#include "media/emodel.hpp"
+#include "rtp/codec.hpp"
+
+namespace {
+
+using namespace pbxcap;
+using media::EmodelInputs;
+
+TEST(Emodel, PerfectG711ConditionsGiveTopMos) {
+  EmodelInputs in;  // zero delay, zero loss, G.711 defaults
+  in.codec_ie = 0.0;
+  in.codec_bpl = 4.3;
+  const double r = media::r_factor(in);
+  EXPECT_NEAR(r, 93.2, 1e-9);
+  const double mos = media::estimate_mos(in);
+  EXPECT_NEAR(mos, 4.41, 0.02);  // the classic G.711 ceiling
+}
+
+TEST(Emodel, PaperLanConditionsScoreAbove4) {
+  // What the testbed sees below saturation: ~1 ms network delay, 60 ms
+  // playout buffer, negligible loss -> Table I's "MOS above 4".
+  const auto in = media::inputs_for_codec(rtp::g711_ulaw(), Duration::millis(1),
+                                          Duration::millis(60), 0.0);
+  EXPECT_GT(media::estimate_mos(in), 4.3);
+}
+
+TEST(Emodel, DelayImpairmentPiecewise) {
+  EXPECT_DOUBLE_EQ(media::delay_impairment(Duration::zero()), 0.0);
+  // Below the 177.3 ms knee: slope 0.024/ms.
+  EXPECT_NEAR(media::delay_impairment(Duration::millis(100)), 2.4, 1e-9);
+  // Above the knee the second term kicks in.
+  const double at_250 = media::delay_impairment(Duration::millis(250));
+  EXPECT_NEAR(at_250, 0.024 * 250 + 0.11 * (250 - 177.3), 1e-9);
+  EXPECT_THROW((void)media::delay_impairment(Duration::millis(-1)), std::invalid_argument);
+}
+
+TEST(Emodel, LossImpairmentMonotone) {
+  double prev = -1.0;
+  for (const double loss : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    const double ie_eff = media::equipment_impairment(loss, 0.0, 4.3);
+    EXPECT_GT(ie_eff, prev);
+    prev = ie_eff;
+  }
+  // At zero loss, Ie,eff reduces to the codec's Ie.
+  EXPECT_DOUBLE_EQ(media::equipment_impairment(0.0, 11.0, 19.0), 11.0);
+  EXPECT_THROW((void)media::equipment_impairment(1.5, 0.0, 4.3), std::invalid_argument);
+}
+
+TEST(Emodel, MosMappingAnchors) {
+  EXPECT_DOUBLE_EQ(media::mos_from_r(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(media::mos_from_r(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(media::mos_from_r(100.0), 4.5);
+  // R = 50 is "nearly all users dissatisfied": MOS ~ 2.6.
+  EXPECT_NEAR(media::mos_from_r(50.0), 2.58, 0.05);
+  // R = 93.2 -> ~4.41.
+  EXPECT_NEAR(media::mos_from_r(93.2), 4.41, 0.02);
+}
+
+TEST(Emodel, MosMonotoneInR) {
+  double prev = 0.0;
+  for (double r = 0.0; r <= 100.0; r += 5.0) {
+    const double mos = media::mos_from_r(r);
+    EXPECT_GE(mos, prev);
+    prev = mos;
+  }
+}
+
+TEST(Emodel, G729WorseThanG711AtSameLoss) {
+  const auto g711 = media::inputs_for_codec(rtp::g711_ulaw(), Duration::millis(10),
+                                            Duration::millis(60), 0.02);
+  const auto g729 = media::inputs_for_codec(*rtp::codec_by_name("G729"), Duration::millis(10),
+                                            Duration::millis(60), 0.02);
+  EXPECT_GT(media::estimate_mos(g711), media::estimate_mos(g729));
+}
+
+TEST(Emodel, AdvantageFactorLiftsMobileScores) {
+  auto in = media::inputs_for_codec(rtp::g711_ulaw(), Duration::millis(30),
+                                    Duration::millis(60), 0.05);
+  const double wired = media::estimate_mos(in);
+  in.advantage = 10.0;  // VoWiFi mobility expectation
+  EXPECT_GT(media::estimate_mos(in), wired);
+}
+
+TEST(Emodel, QualityBands) {
+  EXPECT_EQ(media::quality_band(95.0), media::QualityBand::kBest);
+  EXPECT_EQ(media::quality_band(85.0), media::QualityBand::kHigh);
+  EXPECT_EQ(media::quality_band(75.0), media::QualityBand::kMedium);
+  EXPECT_EQ(media::quality_band(65.0), media::QualityBand::kLow);
+  EXPECT_EQ(media::quality_band(30.0), media::QualityBand::kPoor);
+  EXPECT_EQ(media::to_string(media::QualityBand::kBest), "best");
+}
+
+TEST(Emodel, InputsForCodecComposesDelays) {
+  const auto in = media::inputs_for_codec(*rtp::codec_by_name("G729"), Duration::millis(10),
+                                          Duration::millis(40), 0.0);
+  // 20 ms framing + 5 ms lookahead + 10 ms network + 40 ms buffer = 75 ms.
+  EXPECT_EQ(in.one_way_delay, Duration::millis(75));
+  EXPECT_DOUBLE_EQ(in.codec_ie, 11.0);
+  EXPECT_DOUBLE_EQ(in.codec_bpl, 19.0);
+}
+
+TEST(Emodel, RFactorClampedToValidRange) {
+  EmodelInputs terrible;
+  terrible.packet_loss = 1.0;
+  terrible.one_way_delay = Duration::seconds(2);
+  terrible.codec_ie = 20.0;
+  terrible.codec_bpl = 4.3;
+  const double r = media::r_factor(terrible);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, 100.0);
+  EXPECT_DOUBLE_EQ(media::estimate_mos(terrible), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Unit tests for the measurement layer: call log aggregation and report
+// formatting.
+#include <gtest/gtest.h>
+
+#include "monitor/call_log.hpp"
+#include "monitor/report.hpp"
+
+namespace {
+
+using namespace pbxcap;
+using monitor::CallOutcome;
+using monitor::CallRecord;
+
+CallRecord completed(double mos_a, double mos_b) {
+  CallRecord r;
+  r.outcome = CallOutcome::kCompleted;
+  r.mos_caller_heard = mos_a;
+  r.mos_callee_heard = mos_b;
+  r.setup_delay = Duration::millis(25);
+  return r;
+}
+
+TEST(CallLog, CountsByOutcome) {
+  monitor::CallLog log;
+  log.add(completed(4.4, 4.3));
+  log.add(completed(4.2, 4.1));
+  CallRecord blocked;
+  blocked.outcome = CallOutcome::kBlocked;
+  log.add(blocked);
+  CallRecord abandoned;
+  abandoned.outcome = CallOutcome::kAbandoned;
+  log.add(abandoned);
+
+  EXPECT_EQ(log.attempted(), 3u);  // abandoned excluded
+  EXPECT_EQ(log.completed(), 2u);
+  EXPECT_EQ(log.blocked(), 1u);
+  EXPECT_EQ(log.failed(), 0u);
+  EXPECT_NEAR(log.blocking_probability(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CallLog, MosExcludesBlockedCalls) {
+  // The paper: "VoIPMonitor does not consider dropped calls" — MOS is over
+  // completed calls only.
+  monitor::CallLog log;
+  log.add(completed(4.4, 4.4));
+  CallRecord blocked;
+  blocked.outcome = CallOutcome::kBlocked;
+  blocked.mos_caller_heard = 1.0;  // must be ignored
+  log.add(blocked);
+  const auto mos = log.mos_summary();
+  EXPECT_EQ(mos.count(), 2u);
+  EXPECT_NEAR(mos.mean(), 4.4, 1e-12);
+}
+
+TEST(CallLog, EmptyLogIsSafe) {
+  const monitor::CallLog log;
+  EXPECT_DOUBLE_EQ(log.blocking_probability(), 0.0);
+  EXPECT_TRUE(log.mos_summary().empty());
+  const auto ci = log.blocking_confidence();
+  EXPECT_LE(ci.lo, 0.0 + 1e-12);
+  EXPECT_GE(ci.hi, 1.0 - 1e-12);
+}
+
+TEST(CallLog, BlockingConfidenceCoversTruth) {
+  monitor::CallLog log;
+  for (int i = 0; i < 95; ++i) log.add(completed(4.4, 4.4));
+  for (int i = 0; i < 5; ++i) {
+    CallRecord blocked;
+    blocked.outcome = CallOutcome::kBlocked;
+    log.add(blocked);
+  }
+  const auto ci = log.blocking_confidence(0.95);
+  EXPECT_TRUE(ci.contains(0.05));
+}
+
+TEST(Report, CpuRangeString) {
+  monitor::ExperimentReport report;
+  EXPECT_EQ(report.cpu_range_string(), "n/a");
+  report.cpu_utilization.add(0.15);
+  report.cpu_utilization.add(0.20);
+  EXPECT_EQ(report.cpu_range_string(), "15% to 20%");
+}
+
+TEST(Report, Table1HasAllPaperRows) {
+  monitor::ExperimentReport a;
+  a.offered_erlangs = 40.0;
+  a.channels_peak = 42;
+  a.blocking_probability = 0.0;
+  a.mos.add(4.4);
+  monitor::ExperimentReport b;
+  b.offered_erlangs = 240.0;
+  b.channels_peak = 165;
+  b.blocking_probability = 0.29;
+  b.mos.add(4.2);
+
+  const auto table = monitor::make_table1({a, b});
+  const std::string s = table.to_string();
+  for (const char* row : {"Number of Channels (N)", "CPU Usage", "MOS", "RTP Msg",
+                          "Blocked Calls (%)", "SIP Messages (Total)", "INVITE", "100 TRY",
+                          "ACK", "BYE", "Error Msgs"}) {
+    EXPECT_NE(s.find(row), std::string::npos) << "missing row: " << row;
+  }
+  EXPECT_NE(s.find("A=40 E"), std::string::npos);
+  EXPECT_NE(s.find("A=240 E"), std::string::npos);
+  EXPECT_NE(s.find("29%"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Unit tests for the network fabric: links, queues, switch forwarding.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "net/switch_node.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace pbxcap;
+using net::LinkConfig;
+using net::Packet;
+
+/// Test endpoint: records deliveries, can echo.
+class SinkNode final : public net::Node {
+ public:
+  explicit SinkNode(std::string name) : Node{std::move(name)} {}
+
+  void on_receive(const Packet& pkt) override {
+    received.push_back(pkt);
+    arrival_times.push_back(network()->simulator().now());
+  }
+
+  void transmit_to(net::NodeId dst, std::uint32_t bytes,
+                   net::PacketKind kind = net::PacketKind::kOther) {
+    Packet pkt;
+    pkt.dst = dst;
+    pkt.kind = kind;
+    pkt.size_bytes = bytes;
+    send(std::move(pkt));
+  }
+
+  std::vector<Packet> received;
+  std::vector<TimePoint> arrival_times;
+};
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator simulator;
+  net::Network network{simulator, sim::Random{7}};
+};
+
+TEST_F(NetFixture, DirectLinkDelivers) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  network.connect(a, b, {});
+  a.transmit_to(b.id(), 1000);
+  simulator.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].size_bytes, 1000u);
+  EXPECT_EQ(b.received[0].src, a.id());
+}
+
+TEST_F(NetFixture, SerializationPlusPropagationDelay) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000.0;  // 1 byte per microsecond
+  cfg.propagation = Duration::micros(100);
+  network.connect(a, b, cfg);
+  a.transmit_to(b.id(), 1000);  // 1000 us serialization
+  simulator.run();
+  ASSERT_EQ(b.arrival_times.size(), 1u);
+  EXPECT_EQ(b.arrival_times[0], TimePoint::origin() + Duration::micros(1100));
+}
+
+TEST_F(NetFixture, BackToBackPacketsQueue) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000.0;
+  cfg.propagation = Duration::zero();
+  network.connect(a, b, cfg);
+  a.transmit_to(b.id(), 1000);
+  a.transmit_to(b.id(), 1000);  // must wait for the first to serialize
+  simulator.run();
+  ASSERT_EQ(b.arrival_times.size(), 2u);
+  EXPECT_EQ(b.arrival_times[0], TimePoint::origin() + Duration::millis(1));
+  EXPECT_EQ(b.arrival_times[1], TimePoint::origin() + Duration::millis(2));
+}
+
+TEST_F(NetFixture, DropTailWhenQueueFull) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000.0;  // very slow: 1 byte per ms
+  cfg.queue_limit_packets = 2;
+  net::Link& link = network.connect(a, b, cfg);
+  for (int i = 0; i < 5; ++i) a.transmit_to(b.id(), 100);
+  simulator.run();
+  EXPECT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(link.stats_from(a.id()).dropped_queue_full, 3u);
+  EXPECT_EQ(link.stats_from(a.id()).packets_sent, 2u);
+}
+
+TEST_F(NetFixture, RandomLossDropsRoughlyTheConfiguredFraction) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  LinkConfig cfg;
+  cfg.loss_probability = 0.2;
+  cfg.queue_limit_packets = 100000;
+  net::Link& link = network.connect(a, b, cfg);
+  constexpr int kPackets = 20'000;
+  for (int i = 0; i < kPackets; ++i) a.transmit_to(b.id(), 100);
+  simulator.run();
+  const double loss_rate =
+      static_cast<double>(link.stats_from(a.id()).dropped_random_loss) / kPackets;
+  EXPECT_NEAR(loss_rate, 0.2, 0.02);
+  EXPECT_EQ(b.received.size() + link.stats_from(a.id()).dropped_random_loss,
+            static_cast<std::size_t>(kPackets));
+}
+
+TEST_F(NetFixture, JitterDelaysButDelivers) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  LinkConfig cfg;
+  cfg.jitter_mean = Duration::millis(2);
+  cfg.jitter_stddev = Duration::millis(1);
+  network.connect(a, b, cfg);
+  for (int i = 0; i < 100; ++i) a.transmit_to(b.id(), 100);
+  simulator.run();
+  EXPECT_EQ(b.received.size(), 100u);
+}
+
+TEST_F(NetFixture, SwitchForwardsBetweenHosts) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  net::SwitchNode sw{"sw"};
+  network.attach(a);
+  network.attach(b);
+  network.attach(sw);
+  network.connect(a, sw, {});
+  network.connect(b, sw, {});
+  a.transmit_to(b.id(), 500);
+  simulator.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(sw.forwarded(), 1u);
+  EXPECT_EQ(b.received[0].src, a.id());
+  EXPECT_EQ(b.received[0].dst, b.id());
+}
+
+TEST_F(NetFixture, SwitchDropsUnroutable) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};  // attached to network but NOT to the switch
+  net::SwitchNode sw{"sw"};
+  network.attach(a);
+  network.attach(b);
+  network.attach(sw);
+  network.connect(a, sw, {});
+  a.transmit_to(b.id(), 500);
+  simulator.run();
+  EXPECT_EQ(b.received.size(), 0u);
+  EXPECT_EQ(sw.dropped_no_route(), 1u);
+}
+
+TEST_F(NetFixture, HostsMayHaveOnlyOneLink) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  SinkNode c{"c"};
+  network.attach(a);
+  network.attach(b);
+  network.attach(c);
+  network.connect(a, b, {});
+  EXPECT_THROW((void)network.connect(a, c, {}), std::logic_error);
+}
+
+TEST_F(NetFixture, TapsObserveDeliveries) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  network.connect(a, b, {});
+  int taps = 0;
+  network.add_tap([&](const Packet&, net::NodeId, net::NodeId) { ++taps; });
+  a.transmit_to(b.id(), 100);
+  a.transmit_to(b.id(), 100);
+  simulator.run();
+  EXPECT_EQ(taps, 2);
+  EXPECT_EQ(network.packets_delivered(), 2u);
+}
+
+TEST_F(NetFixture, UtilizationReflectsBusyTime) {
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000.0;  // 1000-byte packet = 1 ms
+  net::Link& link = network.connect(a, b, cfg);
+  for (int i = 0; i < 100; ++i) a.transmit_to(b.id(), 1000);
+  simulator.run();
+  // 100 ms busy over ~100 ms elapsed => utilization near 1.
+  EXPECT_GT(link.utilization_from(a.id(), simulator.now()), 0.9);
+  EXPECT_LE(link.utilization_from(a.id(), simulator.now()), 1.0);
+}
+
+TEST(LinkValidation, RejectsBadConfigs) {
+  sim::Simulator simulator;
+  net::Network network{simulator, sim::Random{1}};
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  LinkConfig bad_bw;
+  bad_bw.bandwidth_bps = 0.0;
+  EXPECT_THROW((void)network.connect(a, b, bad_bw), std::invalid_argument);
+  LinkConfig bad_q;
+  bad_q.queue_limit_packets = 0;
+  EXPECT_THROW((void)network.connect(a, b, bad_q), std::invalid_argument);
+}
+
+TEST(WireSize, IncludesAllOverheads) {
+  // G.711 20ms payload of 160 bytes + 12 RTP + 8 UDP + 20 IP + 18 Eth = 218.
+  EXPECT_EQ(net::wire_size(172), 218u);
+  EXPECT_EQ(net::kWireOverheadBytes, 46u);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// The paper's headline claims, asserted end-to-end. If these pass, the
+// reproduction reproduces — abstract, §IV, and conclusions.
+#include <gtest/gtest.h>
+
+#include "core/erlang_b.hpp"
+#include "exp/testbed.hpp"
+
+namespace {
+
+using namespace pbxcap;
+using erlang::Erlangs;
+
+// Abstract: "the Asterisk PBX can effectively handle more than 160
+// concurrent voice calls with a blocking probability of less than 5% while
+// providing voice calls with average MOS above 4."
+TEST(PaperClaims, AbstractHeadline160Calls) {
+  exp::TestbedConfig config;
+  config.scenario = loadgen::CallScenario::for_offered_load(160.0);
+  config.seed = 160;
+  const auto r = exp::run_testbed(config);
+  EXPECT_GE(r.channels_peak, 160u);                 // >160 concurrent calls
+  EXPECT_LT(r.blocking_probability, 0.05);          // blocking below 5%
+  EXPECT_GT(r.mos.mean(), 4.0);                     // average MOS above 4
+}
+
+// §IV: "considering a busy hour ... about 3,000 calls ... average duration
+// of three minutes ... the blocking probability of a call would be 1.8%."
+TEST(PaperClaims, BusyHourHeadline) {
+  const double pb = erlang::erlang_b(Erlangs{3000.0 * 3.0 / 60.0}, 165);
+  EXPECT_NEAR(pb, 0.018, 0.004);
+}
+
+// §IV: "the SIP protocol demands the exchange of 9 messages to establish a
+// call and 4 to tear it down, accounting to a total of 13 SIP messages."
+TEST(PaperClaims, ThirteenSipMessagesPerCall) {
+  exp::TestbedConfig config;
+  config.scenario.max_calls = 1;
+  config.scenario.arrival_rate_per_s = 1.0;
+  config.scenario.placement_window = Duration::seconds(5);
+  config.scenario.hold_time = Duration::seconds(8);
+  config.seed = 13;
+  const auto r = exp::run_testbed(config);
+  EXPECT_EQ(r.sip_total, 13u);
+}
+
+// Table I: "each call of 120 seconds demanded the exchange of ~12,037
+// messages on average (i.e., 100 messages per second)."
+TEST(PaperClaims, HundredRtpPacketsPerSecondPerCall) {
+  exp::TestbedConfig config;
+  config.scenario.max_calls = 1;
+  config.scenario.arrival_rate_per_s = 1.0;
+  config.scenario.placement_window = Duration::seconds(5);
+  config.scenario.hold_time = Duration::seconds(120);
+  config.seed = 100;
+  const auto r = exp::run_testbed(config);
+  const double per_second =
+      static_cast<double>(r.rtp_packets_at_pbx) / 120.0;
+  EXPECT_NEAR(per_second, 100.0, 2.0);
+}
+
+// §IV: "Even in such cases [overload], the PBX was able to maintain the
+// quality of the calls."
+TEST(PaperClaims, QualityHoldsUnderOverload) {
+  exp::TestbedConfig config;
+  config.scenario = loadgen::CallScenario::for_offered_load(240.0);
+  config.scenario.placement_window = Duration::seconds(90);
+  config.seed = 240;
+  const auto r = exp::run_testbed(config);
+  EXPECT_GT(r.calls_blocked, 0u);     // the system IS overloaded...
+  EXPECT_GT(r.mos.min(), 4.0);        // ...yet completed calls stay clean
+}
+
+// Fig. 7 text: all three duration anchors at 60% of 8,000 users.
+TEST(PaperClaims, Fig7DurationAnchors) {
+  const auto pb = [](double minutes) {
+    return erlang::erlang_b(Erlangs{8000.0 * 0.60 * minutes / 60.0}, 165);
+  };
+  EXPECT_LT(pb(2.0), 0.05);    // "less than 5%"
+  EXPECT_NEAR(pb(2.5), 0.21, 0.03);  // "nearly 21%"
+  EXPECT_GT(pb(3.0), 0.30);    // "surpasses 34%" (exact Erlang-B: 32.1%)
+}
+
+// §II-B / Fig. 2: the PBX "serves as a gateway to all SIP messages ... as
+// well as it handles all the [RTP] messages": every media packet is relayed.
+TEST(PaperClaims, PbxAnchorsAllMedia) {
+  exp::TestbedConfig config;
+  config.scenario.max_calls = 2;
+  config.scenario.arrival_rate_per_s = 1.0;
+  config.scenario.placement_window = Duration::seconds(10);
+  config.scenario.hold_time = Duration::seconds(10);
+  config.seed = 2;
+  const auto r = exp::run_testbed(config);
+  EXPECT_EQ(r.rtp_relayed, r.rtp_packets_at_pbx);  // nothing bypasses it
+  EXPECT_GT(r.rtp_relayed, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Unit tests for PBX building blocks: channel pool, CPU model, CDR,
+// dialplan, directory.
+#include <gtest/gtest.h>
+
+#include "pbx/cdr.hpp"
+#include "pbx/channel_pool.hpp"
+#include "pbx/cpu_model.hpp"
+#include "pbx/dialplan.hpp"
+#include "pbx/directory.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+TEST(ChannelPool, AcquireReleaseCycle) {
+  pbx::ChannelPool pool{2};
+  EXPECT_TRUE(pool.try_acquire());
+  EXPECT_TRUE(pool.try_acquire());
+  EXPECT_FALSE(pool.try_acquire());  // exhausted: the blocked-call case
+  EXPECT_EQ(pool.in_use(), 2u);
+  EXPECT_EQ(pool.available(), 0u);
+  pool.release();
+  EXPECT_TRUE(pool.try_acquire());
+  EXPECT_EQ(pool.attempts(), 4u);
+  EXPECT_EQ(pool.rejected(), 1u);
+}
+
+TEST(ChannelPool, TracksPeak) {
+  pbx::ChannelPool pool{10};
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(pool.try_acquire());
+  for (int i = 0; i < 5; ++i) pool.release();
+  for (int i = 0; i < 2; ++i) EXPECT_TRUE(pool.try_acquire());
+  EXPECT_EQ(pool.peak(), 7u);
+  EXPECT_EQ(pool.in_use(), 4u);
+}
+
+TEST(ChannelPool, ReleaseBelowZeroIsSafe) {
+  pbx::ChannelPool pool{1};
+  pool.release();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(CpuModel, UtilizationScalesWithWork) {
+  pbx::CpuModelConfig cfg;
+  cfg.base_utilization = 0.05;
+  cfg.cost_per_rtp_packet = Duration::micros(25);
+  pbx::CpuModel cpu{cfg};
+  // 4000 RTP packets/s for 10 seconds = 0.1 s work per 1 s bucket.
+  for (int sec = 0; sec < 10; ++sec) {
+    for (int p = 0; p < 4000; ++p) {
+      cpu.on_rtp_packet(TimePoint::origin() + Duration::seconds(sec) +
+                        Duration::micros(250 * p));
+    }
+  }
+  const auto util = cpu.utilization(TimePoint::origin(), TimePoint::origin() + Duration::seconds(10));
+  EXPECT_EQ(util.count(), 10u);
+  EXPECT_NEAR(util.mean(), 0.05 + 0.10, 0.001);
+  EXPECT_NEAR(util.min(), util.max(), 0.001);  // steady load
+}
+
+TEST(CpuModel, ErrorEventsAddVisibleWork) {
+  pbx::CpuModel cpu{{}};
+  const TimePoint t = TimePoint::origin() + Duration::millis(500);
+  const double before = cpu.utilization_at(t);
+  for (int i = 0; i < 100; ++i) cpu.on_error_event(t);
+  EXPECT_GT(cpu.utilization_at(t), before);
+}
+
+TEST(CpuModel, ClampsAtFullCore) {
+  pbx::CpuModel cpu{{}};
+  const TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 2'000'000; ++i) cpu.on_rtp_packet(t);
+  EXPECT_DOUBLE_EQ(cpu.utilization_at(t), 1.0);
+}
+
+TEST(CpuModel, EmptyIntervalsAreBase) {
+  pbx::CpuModelConfig cfg;
+  cfg.base_utilization = 0.07;
+  pbx::CpuModel cpu{cfg};
+  EXPECT_DOUBLE_EQ(cpu.utilization_at(TimePoint::origin() + Duration::seconds(100)), 0.07);
+  EXPECT_THROW((void)cpu.utilization(TimePoint::origin() + Duration::seconds(2),
+                                     TimePoint::origin()),
+               std::invalid_argument);
+}
+
+TEST(Cdr, LifecycleAndCounts) {
+  pbx::CdrLog log;
+  const auto idx = log.open("cid-1", "alice", "bob", TimePoint::origin());
+  log.mark_answered(idx, TimePoint::origin() + Duration::seconds(1));
+  log.close(idx, pbx::Disposition::kAnswered, TimePoint::origin() + Duration::seconds(121));
+  const auto blocked = log.open("cid-2", "carol", "dan", TimePoint::origin());
+  log.close(blocked, pbx::Disposition::kCongestion, TimePoint::origin());
+
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.count(pbx::Disposition::kAnswered), 1u);
+  EXPECT_EQ(log.count(pbx::Disposition::kCongestion), 1u);
+  EXPECT_EQ(log.records()[0].talk_time(), Duration::seconds(120));
+  EXPECT_EQ(log.records()[1].talk_time(), Duration::zero());
+  EXPECT_EQ(to_string(pbx::Disposition::kCongestion), "CONGESTION");
+}
+
+TEST(Cdr, DoubleCloseThrows) {
+  pbx::CdrLog log;
+  const auto idx = log.open("cid", "a", "b", TimePoint::origin());
+  log.close(idx, pbx::Disposition::kFailed, TimePoint::origin());
+  EXPECT_THROW(log.close(idx, pbx::Disposition::kAnswered, TimePoint::origin()),
+               std::logic_error);
+}
+
+TEST(Dialplan, LongestPrefixWins) {
+  pbx::Dialplan plan;
+  plan.add("recv-", "sipp-server.unb.br");
+  plan.add("recv-9", "landline-gw.unb.br");
+  plan.set_default_route("fallback.unb.br");
+  EXPECT_EQ(plan.route("recv-123"), "sipp-server.unb.br");
+  EXPECT_EQ(plan.route("recv-901"), "landline-gw.unb.br");
+  EXPECT_EQ(plan.route("unknown"), "fallback.unb.br");
+  EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(Dialplan, NoRouteWithoutDefault) {
+  pbx::Dialplan plan;
+  plan.add("recv-", "server");
+  EXPECT_FALSE(plan.route("other").has_value());
+}
+
+TEST(Directory, ExactAndPrefixLookups) {
+  pbx::Directory dir;
+  dir.add_user({"alice", true, 2});
+  dir.add_user({"mallory", false, 0});
+  dir.allow_prefix("caller-");
+
+  const auto alice = dir.lookup("alice");
+  ASSERT_TRUE(alice);
+  EXPECT_TRUE(alice->allowed);
+  EXPECT_EQ(alice->max_concurrent_calls, 2u);
+
+  const auto mallory = dir.lookup("mallory");
+  ASSERT_TRUE(mallory);
+  EXPECT_FALSE(mallory->allowed);
+
+  EXPECT_TRUE(dir.lookup("caller-42"));
+  EXPECT_FALSE(dir.lookup("stranger"));
+  EXPECT_EQ(dir.lookups(), 4u);
+}
+
+TEST(Directory, LatencyConfig) {
+  pbx::Directory dir;
+  dir.set_lookup_latency(Duration::millis(5));
+  EXPECT_EQ(dir.lookup_latency(), Duration::millis(5));
+}
+
+}  // namespace

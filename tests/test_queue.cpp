@@ -1,0 +1,70 @@
+// Tests for queue-when-busy admission (the Erlang-C system at the PBX).
+#include <gtest/gtest.h>
+
+#include "core/erlang_c.hpp"
+#include "exp/testbed.hpp"
+#include "pbx/admission.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+exp::TestbedConfig queue_config(double erlangs, std::uint32_t channels) {
+  exp::TestbedConfig config;
+  config.scenario = loadgen::CallScenario::for_offered_load(erlangs, Duration::seconds(20));
+  config.scenario.hold_model = sim::HoldTimeModel::kExponential;
+  config.scenario.placement_window = Duration::seconds(300);
+  config.pbx.max_channels = channels;
+  config.pbx.admission = pbx::AdmissionPolicy::kQueueWhenBusy;
+  config.seed = 71;
+  return config;
+}
+
+TEST(QueueMode, NoQueueingUnderLightLoad) {
+  const auto r = exp::run_testbed(queue_config(3.0, 10));
+  EXPECT_EQ(r.calls_blocked, 0u);
+  EXPECT_GT(r.calls_completed, 0u);
+  // Setup delay stays at pure signalling latency: nothing waited.
+  EXPECT_LT(r.setup_delay_ms.max(), 400.0);
+}
+
+TEST(QueueMode, OverloadedCallsWaitInsteadOfBlocking) {
+  // 20 E onto 10 channels (rho = 2): the queue diverges, waits blow through
+  // the 60 s renege timer, and the overflow surfaces as blocked calls —
+  // while everything the system does carry waited rather than bounced.
+  const auto r = exp::run_testbed(queue_config(20.0, 10));
+  EXPECT_GT(r.calls_completed, 0u);
+  // Some calls waited: their setup delay includes queue time >> signalling.
+  EXPECT_GT(r.setup_delay_ms.max(), 1'000.0);
+  EXPECT_GT(r.calls_blocked, 0u);  // queue timeouts surface as blocked
+}
+
+TEST(QueueMode, StableQueueWaitMatchesErlangC) {
+  // A = 7 E on N = 10 channels (stable, rho = 0.7):
+  //   P(wait) = ErlangC(7,10) ~ 22%, E[W] = C * h / (N - A) ~ 1.5 s.
+  const auto config = queue_config(7.0, 10);
+  const auto r = exp::run_testbed(config);
+  EXPECT_EQ(r.calls_blocked, 0u);  // 60 s renege never triggers at rho=0.7
+
+  // The analytical references.
+  const double c = erlang::erlang_c(erlang::Erlangs{7.0}, 10);
+  const Duration w =
+      erlang::erlang_c_mean_wait(erlang::Erlangs{7.0}, 10, Duration::seconds(20));
+  EXPECT_NEAR(c, 0.222, 0.02);
+  EXPECT_NEAR(w.to_seconds(), c * 20.0 / 3.0, 1e-9);
+
+  // Empirically: mean setup delay = signalling (~0.2 s) + mean wait.
+  const double mean_setup_s = r.setup_delay_ms.mean() / 1000.0;
+  EXPECT_NEAR(mean_setup_s, 0.2 + w.to_seconds(), 0.8);
+}
+
+TEST(QueueMode, QueueCapStillBlocks) {
+  auto config = queue_config(20.0, 5);
+  config.pbx.max_queue_length = 2;
+  config.scenario.placement_window = Duration::seconds(120);
+  const auto r = exp::run_testbed(config);
+  // Queue of 2 on a drowning system: most calls get 503 at once.
+  EXPECT_GT(r.blocking_probability, 0.4);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Tests for the RTCP layer: report construction, pacing, RTT estimation,
+// and end-to-end exchange through the PBX relay.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/testbed.hpp"
+#include "rtp/rtcp.hpp"
+#include "rtp/stream.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+rtp::RtpHeader header_at(std::uint16_t seq, std::uint32_t ts) {
+  rtp::RtpHeader h;
+  h.sequence = seq;
+  h.timestamp = ts;
+  h.ssrc = 1;
+  return h;
+}
+
+TEST(RtcpReportBlock, CleanStreamReportsNoLoss) {
+  rtp::RtpReceiverStats rx{8000};
+  TimePoint t = TimePoint::origin();
+  for (std::uint16_t i = 0; i < 200; ++i) {
+    rx.on_packet(header_at(i, i * 160u), t);
+    t = t + Duration::millis(20);
+  }
+  const auto block = rtp::RtcpSession::build_report_block(rx, 7, 0, 0);
+  EXPECT_EQ(block.source_ssrc, 7u);
+  EXPECT_EQ(block.fraction_lost, 0);
+  EXPECT_EQ(block.cumulative_lost, 0u);
+  EXPECT_EQ(block.ext_highest_seq, 199u);
+}
+
+TEST(RtcpReportBlock, FractionLostIsIntervalBased) {
+  rtp::RtpReceiverStats rx{8000};
+  TimePoint t = TimePoint::origin();
+  // First 100 packets clean.
+  for (std::uint16_t i = 0; i < 100; ++i) {
+    rx.on_packet(header_at(i, i * 160u), t);
+    t = t + Duration::millis(20);
+  }
+  const std::uint64_t prior_expected = rx.expected();
+  const std::uint64_t prior_received = rx.received();
+  // Next interval: half the packets lost.
+  for (std::uint16_t i = 100; i < 200; ++i) {
+    if (i % 2 == 0) rx.on_packet(header_at(i, i * 160u), t);
+    t = t + Duration::millis(20);
+  }
+  const auto block =
+      rtp::RtcpSession::build_report_block(rx, 1, prior_expected, prior_received);
+  // ~50% of the interval lost -> fraction_lost ~ 128/256.
+  EXPECT_NEAR(block.fraction_lost, 128, 12);
+  EXPECT_GT(block.cumulative_lost, 40u);
+}
+
+TEST(RtcpSession, PacesReportsAtConfiguredInterval) {
+  sim::Simulator simulator;
+  int reports = 0;
+  rtp::RtpSender sender{simulator, rtp::g711_ulaw(), 5,
+                        [](const rtp::RtpHeader&, std::uint32_t) {}};
+  rtp::RtcpConfig config;
+  config.min_interval = Duration::seconds(5);
+  config.randomize = false;
+  rtp::RtcpSession session{
+      simulator, sim::Random{1}, 5, 8000,
+      [&](const rtp::RtcpPayload& p, std::uint32_t bytes) {
+        ++reports;
+        EXPECT_TRUE(p.sr.has_value());
+        EXPECT_EQ(p.sr->sender_ssrc, 5u);
+        EXPECT_GT(bytes, 0u);
+      },
+      config};
+  sender.start();
+  session.start(&sender, nullptr);
+  simulator.run_until(TimePoint::origin() + Duration::seconds(26));
+  session.stop();
+  sender.stop();
+  EXPECT_EQ(reports, 5);  // t = 5, 10, 15, 20, 25
+  EXPECT_EQ(session.reports_sent(), 5u);
+}
+
+TEST(RtcpSession, SenderReportCountsMatchStream) {
+  sim::Simulator simulator;
+  std::vector<rtp::SenderReport> seen;
+  rtp::RtpSender sender{simulator, rtp::g711_ulaw(), 9,
+                        [](const rtp::RtpHeader&, std::uint32_t) {}};
+  rtp::RtcpConfig config;
+  config.randomize = false;
+  rtp::RtcpSession session{simulator, sim::Random{2}, 9, 8000,
+                           [&](const rtp::RtcpPayload& p, std::uint32_t) {
+                             if (p.sr) seen.push_back(*p.sr);
+                           },
+                           config};
+  sender.start();
+  session.start(&sender, nullptr);
+  simulator.run_until(TimePoint::origin() + Duration::seconds(6));
+  sender.stop();
+  session.stop();
+  ASSERT_EQ(seen.size(), 1u);
+  // 5 s of G.711 at 50 pps = 250-251 packets, 160 bytes each.
+  EXPECT_NEAR(seen[0].packet_count, 250, 2);
+  EXPECT_EQ(seen[0].octet_count, seen[0].packet_count * 160);
+}
+
+TEST(RtcpSession, RttFromLsrDlsr) {
+  sim::Simulator simulator;
+  // Endpoint A sends an SR; B echoes it in an RR after a known dwell; the
+  // wire adds 30 ms each way.
+  rtp::RtcpPayload* captured = nullptr;
+  rtp::RtcpPayload captured_store{rtp::SenderReport{}};
+  rtp::RtpSender sender_a{simulator, rtp::g711_ulaw(), 11,
+                          [](const rtp::RtpHeader&, std::uint32_t) {}};
+  rtp::RtcpConfig config;
+  config.randomize = false;
+  rtp::RtcpSession a{simulator, sim::Random{3}, 11, 8000,
+                     [&](const rtp::RtcpPayload& p, std::uint32_t) {
+                       captured_store = p;
+                       captured = &captured_store;
+                     },
+                     config};
+  sender_a.start();
+  a.start(&sender_a, nullptr);
+  simulator.run_until(TimePoint::origin() + Duration::seconds(6));  // SR at t=5
+  ASSERT_NE(captured, nullptr);
+  ASSERT_TRUE(captured->sr.has_value());
+
+  // B "receives" the SR 30 ms after it was sent and answers 1 s later.
+  rtp::RtpReceiverStats rx_b{8000};
+  rx_b.on_packet(header_at(0, 0), simulator.now());
+  rtp::ReportBlock block = rtp::RtcpSession::build_report_block(rx_b, 11, 0, 0);
+  block.last_sr_ts = static_cast<std::uint32_t>(captured->sr->ntp_timestamp >> 16);
+  block.delay_since_last_sr = static_cast<std::uint32_t>(1.0 * 65536.0);  // 1 s dwell
+  rtp::ReceiverReport rr;
+  rr.sender_ssrc = 22;
+  rr.report = block;
+
+  // A receives the RR: SR sent at t=5, dwell 1 s, one-way 30 ms each way ->
+  // arrival t = 5 + 0.03 + 1.0 + 0.03; RTT should be ~60 ms.
+  const TimePoint arrival =
+      TimePoint::origin() + Duration::from_seconds(5.0 + 0.03 + 1.0 + 0.03);
+  simulator.run_until(arrival);
+  a.on_report(rtp::RtcpPayload{rr}, arrival);
+  EXPECT_NEAR(a.rtt().to_millis(), 60.0, 5.0);
+  a.stop();
+  sender_a.stop();
+}
+
+TEST(RtcpIntegration, ReportsFlowThroughPbxRelay) {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 1.0;
+  config.scenario.max_calls = 2;
+  config.scenario.placement_window = Duration::seconds(10);
+  config.scenario.hold_time = Duration::seconds(30);  // several RTCP rounds
+  config.scenario.rtcp = true;
+  config.seed = 99;
+  const auto r = exp::run_testbed(config);
+  EXPECT_EQ(r.calls_completed, 2u);
+  // RTCP must not contaminate the RTP census.
+  EXPECT_NEAR(static_cast<double>(r.rtp_packets_at_pbx), 2 * 30 * 100, 250.0);
+  EXPECT_GT(r.mos.min(), 4.3);
+}
+
+TEST(RtcpIntegration, DisabledByDefault) {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 1.0;
+  config.scenario.max_calls = 1;
+  config.scenario.placement_window = Duration::seconds(5);
+  config.scenario.hold_time = Duration::seconds(15);
+  const auto r = exp::run_testbed(config);
+  EXPECT_EQ(r.calls_completed, 1u);
+}
+
+TEST(RtcpWire, SizesArePlausible) {
+  EXPECT_EQ(rtp::rtcp_wire_bytes(false), net::wire_size(28));
+  EXPECT_EQ(rtp::rtcp_wire_bytes(true), net::wire_size(52));
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Unit tests for RTP: codec catalog, pacing, receiver stats, jitter buffer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtp/codec.hpp"
+#include "rtp/jitter_buffer.hpp"
+#include "rtp/packet.hpp"
+#include "rtp/stream.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+TEST(CodecCatalog, G711MatchesPaperNumbers) {
+  const rtp::Codec& g711 = rtp::g711_ulaw();
+  EXPECT_EQ(g711.payload_type, 0);
+  EXPECT_EQ(g711.payload_bytes(), 160u);          // 64 kbit/s * 20 ms
+  EXPECT_EQ(g711.packets_per_second(), 50.0);     // -> 100 pkt/s per call both ways
+  EXPECT_EQ(g711.timestamp_step(), 160u);         // 8 kHz * 20 ms
+  EXPECT_EQ(g711.wire_bytes(), 218u);             // 160 + 12 RTP + 46 UDP/IP/Eth
+  EXPECT_EQ(g711.packet_interval(), Duration::millis(20));
+}
+
+TEST(CodecCatalog, Lookups) {
+  ASSERT_TRUE(rtp::codec_by_payload_type(0));
+  EXPECT_EQ(rtp::codec_by_payload_type(0)->name, "PCMU");
+  ASSERT_TRUE(rtp::codec_by_payload_type(18));
+  EXPECT_EQ(rtp::codec_by_payload_type(18)->name, "G729");
+  EXPECT_FALSE(rtp::codec_by_payload_type(77));
+  ASSERT_TRUE(rtp::codec_by_name("g729"));
+  EXPECT_FALSE(rtp::codec_by_name("AMR"));
+}
+
+TEST(CodecCatalog, LowBitrateCodecsAreSmallerOnWire) {
+  const auto g729 = *rtp::codec_by_name("G729");
+  EXPECT_EQ(g729.payload_bytes(), 20u);  // 8 kbit/s * 20 ms
+  EXPECT_LT(g729.wire_bytes(), rtp::g711_ulaw().wire_bytes());
+  EXPECT_GT(g729.ie, 0.0);  // compression costs quality
+}
+
+TEST(SsrcAllocator, UniqueSequential) {
+  rtp::SsrcAllocator alloc;
+  const auto a = alloc.allocate();
+  const auto b = alloc.allocate();
+  EXPECT_NE(a, b);
+}
+
+TEST(RtpSender, PacesAtPtime) {
+  sim::Simulator simulator;
+  std::vector<TimePoint> emits;
+  std::vector<rtp::RtpHeader> headers;
+  rtp::RtpSender sender{simulator, rtp::g711_ulaw(), 42,
+                        [&](const rtp::RtpHeader& h, std::uint32_t bytes) {
+                          EXPECT_EQ(bytes, 218u);
+                          emits.push_back(simulator.now());
+                          headers.push_back(h);
+                        }};
+  sender.start();
+  simulator.run_until(TimePoint::origin() + Duration::millis(99));
+  sender.stop();
+  simulator.run();
+  // Packets at t = 0, 20, 40, 60, 80 ms.
+  ASSERT_EQ(emits.size(), 5u);
+  EXPECT_EQ(emits[1] - emits[0], Duration::millis(20));
+  EXPECT_EQ(sender.packets_sent(), 5u);
+  // Sequence numbers advance by one, timestamps by 160, first has marker.
+  EXPECT_TRUE(headers[0].marker);
+  EXPECT_FALSE(headers[1].marker);
+  for (std::size_t i = 1; i < headers.size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint16_t>(headers[i].sequence - headers[i - 1].sequence), 1u);
+    EXPECT_EQ(headers[i].timestamp - headers[i - 1].timestamp, 160u);
+    EXPECT_EQ(headers[i].ssrc, 42u);
+  }
+}
+
+TEST(RtpSender, StopIsIdempotentAndHalts) {
+  sim::Simulator simulator;
+  int emitted = 0;
+  rtp::RtpSender sender{simulator, rtp::g711_ulaw(), 1,
+                        [&](const rtp::RtpHeader&, std::uint32_t) { ++emitted; }};
+  sender.start();
+  sender.start();  // no double pacing
+  simulator.run_until(TimePoint::origin() + Duration::millis(30));
+  sender.stop();
+  sender.stop();
+  simulator.run();
+  EXPECT_EQ(emitted, 2);  // t=0 and t=20ms only
+}
+
+rtp::RtpHeader header_at(std::uint16_t seq, std::uint32_t ts, bool marker = false) {
+  rtp::RtpHeader h;
+  h.payload_type = 0;
+  h.sequence = seq;
+  h.timestamp = ts;
+  h.ssrc = 1;
+  h.marker = marker;
+  return h;
+}
+
+TEST(ReceiverStats, CleanStreamHasNoLoss) {
+  rtp::RtpReceiverStats rx{8000};
+  TimePoint t = TimePoint::origin();
+  for (std::uint16_t i = 0; i < 100; ++i) {
+    rx.on_packet(header_at(i, i * 160u), t);
+    t = t + Duration::millis(20);
+  }
+  EXPECT_EQ(rx.received(), 100u);
+  EXPECT_EQ(rx.expected(), 100u);
+  EXPECT_EQ(rx.lost(), 0u);
+  EXPECT_DOUBLE_EQ(rx.loss_fraction(), 0.0);
+  // Perfectly periodic arrivals: jitter converges to ~0.
+  EXPECT_LT(rx.jitter().to_millis(), 0.01);
+}
+
+TEST(ReceiverStats, DetectsGapLoss) {
+  rtp::RtpReceiverStats rx{8000};
+  TimePoint t = TimePoint::origin();
+  for (std::uint16_t i = 0; i < 100; ++i) {
+    if (i % 10 == 3) continue;  // drop every 10th
+    rx.on_packet(header_at(i, i * 160u), t);
+    t = t + Duration::millis(20);
+  }
+  EXPECT_EQ(rx.expected(), 100u);
+  EXPECT_EQ(rx.lost(), 10u);
+  EXPECT_NEAR(rx.loss_fraction(), 0.10, 1e-9);
+}
+
+TEST(ReceiverStats, SequenceWrapExtends) {
+  rtp::RtpReceiverStats rx{8000};
+  TimePoint t = TimePoint::origin();
+  std::uint16_t seq = 65'530;
+  std::uint32_t ts = 0;
+  for (int i = 0; i < 20; ++i) {
+    rx.on_packet(header_at(seq, ts), t);
+    ++seq;  // wraps through 65535 -> 0
+    ts += 160;
+    t = t + Duration::millis(20);
+  }
+  EXPECT_EQ(rx.expected(), 20u);
+  EXPECT_EQ(rx.lost(), 0u);
+}
+
+TEST(ReceiverStats, CountsDuplicatesAndReordering) {
+  rtp::RtpReceiverStats rx{8000};
+  const TimePoint t = TimePoint::origin();
+  rx.on_packet(header_at(10, 0), t);
+  rx.on_packet(header_at(11, 160), t + Duration::millis(20));
+  rx.on_packet(header_at(11, 160), t + Duration::millis(21));  // duplicate
+  rx.on_packet(header_at(9, 0), t + Duration::millis(22));     // late/reordered
+  EXPECT_EQ(rx.duplicates(), 1u);
+  EXPECT_EQ(rx.out_of_order(), 1u);
+}
+
+TEST(ReceiverStats, JitterGrowsWithVariableDelay) {
+  rtp::RtpReceiverStats steady{8000};
+  rtp::RtpReceiverStats jittery{8000};
+  TimePoint t = TimePoint::origin();
+  sim::Random rng{9};
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    const TimePoint base = t + Duration::millis(20 * i);
+    steady.on_packet(header_at(i, i * 160u), base);
+    const auto wobble = Duration::from_millis(rng.uniform(0.0, 8.0));
+    jittery.on_packet(header_at(i, i * 160u), base + wobble);
+  }
+  EXPECT_GT(jittery.jitter().to_millis(), steady.jitter().to_millis());
+  EXPECT_GT(jittery.jitter().to_millis(), 0.5);
+}
+
+TEST(JitterBufferTest, OnTimePacketsPlay) {
+  rtp::JitterBuffer jb{rtp::g711_ulaw(), {.initial_delay = Duration::millis(40)}};
+  TimePoint t = TimePoint::origin();
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(jb.on_packet(header_at(i, i * 160u, i == 0), t + Duration::millis(20 * i)));
+  }
+  EXPECT_EQ(jb.played(), 50u);
+  EXPECT_EQ(jb.discarded_late(), 0u);
+  EXPECT_DOUBLE_EQ(jb.discard_fraction(), 0.0);
+}
+
+TEST(JitterBufferTest, LatePacketsDiscarded) {
+  rtp::JitterBuffer jb{rtp::g711_ulaw(), {.initial_delay = Duration::millis(40)}};
+  const TimePoint t = TimePoint::origin();
+  EXPECT_TRUE(jb.on_packet(header_at(0, 0, true), t));
+  // Packet 1 should play at t+40ms+20ms = t+60ms; it arrives at t+200ms.
+  EXPECT_FALSE(jb.on_packet(header_at(1, 160), t + Duration::millis(200)));
+  EXPECT_EQ(jb.discarded_late(), 1u);
+  EXPECT_GT(jb.discard_fraction(), 0.0);
+}
+
+TEST(JitterBufferTest, AdaptiveDelayTracksJitter) {
+  rtp::JitterBufferConfig cfg;
+  cfg.adaptive = true;
+  cfg.jitter_multiplier = 3.0;
+  cfg.min_delay = Duration::millis(20);
+  cfg.max_delay = Duration::millis(100);
+  rtp::JitterBuffer jb{rtp::g711_ulaw(), cfg};
+  jb.update_delay(Duration::millis(10));  // 3x10 = 30 ms
+  EXPECT_EQ(jb.playout_delay(), Duration::millis(30));
+  jb.update_delay(Duration::millis(100));  // clamped to max
+  EXPECT_EQ(jb.playout_delay(), Duration::millis(100));
+  jb.update_delay(Duration::zero());  // clamped to min
+  EXPECT_EQ(jb.playout_delay(), Duration::millis(20));
+}
+
+TEST(JitterBufferTest, NonAdaptiveIgnoresUpdates) {
+  rtp::JitterBuffer jb{rtp::g711_ulaw(), {.initial_delay = Duration::millis(60)}};
+  jb.update_delay(Duration::millis(1));
+  EXPECT_EQ(jb.playout_delay(), Duration::millis(60));
+}
+
+}  // namespace

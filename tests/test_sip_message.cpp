@@ -1,0 +1,268 @@
+// Unit tests for SIP message model, URI, SDP, and the wire codec.
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "sip/message.hpp"
+#include "sip/parse.hpp"
+#include "sip/sdp.hpp"
+#include "sip/types.hpp"
+#include "sip/uri.hpp"
+
+namespace {
+
+using namespace pbxcap;
+using sip::Message;
+using sip::Method;
+
+TEST(Uri, ParseBasicForms) {
+  const auto full = sip::Uri::parse("sip:alice@unb.br:5070");
+  ASSERT_TRUE(full);
+  EXPECT_EQ(full->user(), "alice");
+  EXPECT_EQ(full->host(), "unb.br");
+  EXPECT_EQ(full->port(), 5070);
+
+  const auto no_port = sip::Uri::parse("sip:bob@pbx.unb.br");
+  ASSERT_TRUE(no_port);
+  EXPECT_EQ(no_port->port(), 5060);
+
+  const auto no_user = sip::Uri::parse("sip:pbx.unb.br");
+  ASSERT_TRUE(no_user);
+  EXPECT_TRUE(no_user->user().empty());
+}
+
+TEST(Uri, RejectsMalformed) {
+  EXPECT_FALSE(sip::Uri::parse(""));
+  EXPECT_FALSE(sip::Uri::parse("http://x"));
+  EXPECT_FALSE(sip::Uri::parse("sip:"));
+  EXPECT_FALSE(sip::Uri::parse("sip:@host"));
+  EXPECT_FALSE(sip::Uri::parse("sip:u@host:0"));
+  EXPECT_FALSE(sip::Uri::parse("sip:u@host:99999"));
+}
+
+TEST(Uri, RoundTrips) {
+  for (const char* text : {"sip:alice@unb.br", "sip:bob@pbx.unb.br:5080", "sip:gw.unb.br"}) {
+    const auto uri = sip::Uri::parse(text);
+    ASSERT_TRUE(uri) << text;
+    EXPECT_EQ(uri->to_string(), text);
+  }
+}
+
+TEST(MethodStrings, RoundTrip) {
+  for (const Method m : {Method::kInvite, Method::kAck, Method::kBye, Method::kCancel,
+                         Method::kRegister, Method::kOptions, Method::kInfo}) {
+    EXPECT_EQ(sip::method_from_string(sip::to_string(m)), m);
+  }
+  EXPECT_EQ(sip::method_from_string("invite"), Method::kInvite);  // case-insensitive
+  EXPECT_EQ(sip::method_from_string("BOGUS"), Method::kUnknown);
+}
+
+TEST(StatusClasses, Predicates) {
+  EXPECT_TRUE(sip::is_provisional(100));
+  EXPECT_TRUE(sip::is_provisional(180));
+  EXPECT_FALSE(sip::is_provisional(200));
+  EXPECT_TRUE(sip::is_final(200));
+  EXPECT_TRUE(sip::is_success(200));
+  EXPECT_FALSE(sip::is_success(503));
+  EXPECT_TRUE(sip::is_error(503));
+  EXPECT_EQ(sip::reason_phrase(503), "Service Unavailable");
+  EXPECT_EQ(sip::reason_phrase(486), "Busy Here");
+}
+
+Message make_invite() {
+  Message invite = Message::request(Method::kInvite, *sip::Uri::parse("sip:recv-1@pbx.unb.br"));
+  invite.vias().push_back({"client.unb.br", "z9hG4bK-test-1"});
+  invite.from() = {*sip::Uri::parse("sip:caller-1@client.unb.br"), "tag-a"};
+  invite.to() = {*sip::Uri::parse("sip:recv-1@pbx.unb.br"), ""};
+  invite.set_call_id("call-1@client.unb.br");
+  invite.set_cseq({1, Method::kInvite});
+  invite.set_contact(*sip::Uri::parse("sip:caller-1@client.unb.br"));
+  invite.set_body("v=0\r\n", "application/sdp");
+  return invite;
+}
+
+TEST(MessageCodecTest, RequestRoundTrip) {
+  const Message invite = make_invite();
+  const std::string wire = sip::serialize(invite);
+  const auto parsed = sip::parse_message(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const Message& msg = *parsed.message;
+  EXPECT_TRUE(msg.is_request());
+  EXPECT_EQ(msg.method(), Method::kInvite);
+  EXPECT_EQ(msg.request_uri().user(), "recv-1");
+  ASSERT_EQ(msg.vias().size(), 1u);
+  EXPECT_EQ(msg.vias()[0].branch, "z9hG4bK-test-1");
+  EXPECT_EQ(msg.from().tag, "tag-a");
+  EXPECT_EQ(msg.to().tag, "");
+  EXPECT_EQ(msg.call_id(), "call-1@client.unb.br");
+  EXPECT_EQ(msg.cseq().number, 1u);
+  EXPECT_EQ(msg.cseq().method, Method::kInvite);
+  ASSERT_TRUE(msg.contact());
+  EXPECT_EQ(msg.contact()->user(), "caller-1");
+  EXPECT_EQ(msg.body(), "v=0\r\n");
+  EXPECT_EQ(msg.content_type(), "application/sdp");
+}
+
+TEST(MessageCodecTest, ResponseRoundTrip) {
+  const Message invite = make_invite();
+  Message ok = Message::response_to(invite, 200);
+  ok.to().tag = "tag-b";
+  const auto parsed = sip::parse_message(sip::serialize(ok));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_TRUE(parsed.message->is_response());
+  EXPECT_EQ(parsed.message->status_code(), 200);
+  EXPECT_EQ(parsed.message->reason(), "OK");
+  EXPECT_EQ(parsed.message->to().tag, "tag-b");
+  EXPECT_EQ(parsed.message->from().tag, "tag-a");
+  // Response copies the request's Via (RFC 3261 §8.2.6).
+  ASSERT_EQ(parsed.message->vias().size(), 1u);
+  EXPECT_EQ(parsed.message->vias()[0].branch, "z9hG4bK-test-1");
+}
+
+TEST(MessageCodecTest, ExtensionHeadersPreserved) {
+  Message invite = make_invite();
+  invite.add_header("User-Agent", "pbxcap/1.0");
+  invite.add_header("X-Custom", "a,b");
+  const auto parsed = sip::parse_message(sip::serialize(invite));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed.message->header("user-agent"), nullptr);
+  EXPECT_EQ(*parsed.message->header("User-Agent"), "pbxcap/1.0");
+  EXPECT_EQ(*parsed.message->header("X-Custom"), "a,b");
+  EXPECT_EQ(parsed.message->header("Missing"), nullptr);
+}
+
+TEST(MessageCodecTest, ParserRejectsMalformed) {
+  EXPECT_FALSE(sip::parse_message("").ok());
+  EXPECT_FALSE(sip::parse_message("NOT A SIP LINE\r\n\r\n").ok());
+  EXPECT_FALSE(sip::parse_message("SIP/2.0 9999 Bad\r\n\r\n").ok());
+  // Missing mandatory headers.
+  EXPECT_FALSE(
+      sip::parse_message("INVITE sip:a@b SIP/2.0\r\nCall-ID: x\r\nCSeq: 1 INVITE\r\n\r\n").ok());
+  // Truncated body vs Content-Length.
+  const std::string truncated =
+      "INVITE sip:a@b SIP/2.0\r\nFrom: <sip:c@d>;tag=1\r\nTo: <sip:a@b>\r\n"
+      "Call-ID: x\r\nCSeq: 1 INVITE\r\nContent-Length: 100\r\n\r\nshort";
+  EXPECT_FALSE(sip::parse_message(truncated).ok());
+}
+
+TEST(MessageCodecTest, ParserAcceptsCompactAndBareLf) {
+  const std::string wire =
+      "BYE sip:a@b SIP/2.0\n"
+      "v: SIP/2.0/UDP h;branch=z9hG4bK-1\n"
+      "f: <sip:c@d>;tag=t1\n"
+      "t: <sip:a@b>;tag=t2\n"
+      "i: cid-9\n"
+      "CSeq: 2 BYE\n\n";
+  const auto parsed = sip::parse_message(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.message->method(), Method::kBye);
+  EXPECT_EQ(parsed.message->call_id(), "cid-9");
+  EXPECT_EQ(parsed.message->to().tag, "t2");
+}
+
+TEST(MessageCodecTest, WireBytesMatchesSerializedSize) {
+  const Message invite = make_invite();
+  EXPECT_EQ(invite.wire_bytes(), sip::serialize(invite).size());
+  EXPECT_GT(invite.wire_bytes(), 200u);  // realistic SIP INVITE size
+}
+
+TEST(MessageCodecTest, RandomGarbageNeverCrashes) {
+  sim::Random rng{0xFACE};
+  for (int i = 0; i < 2000; ++i) {
+    std::string junk;
+    const auto len = rng.uniform_int(200);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      junk.push_back(static_cast<char>(rng.uniform_int(256)));
+    }
+    const auto result = sip::parse_message(junk);  // must not crash or UB
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST(MessageCodecTest, TruncationsNeverCrash) {
+  const std::string wire = sip::serialize(make_invite());
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const auto result = sip::parse_message(std::string_view{wire}.substr(0, cut));
+    (void)result;  // any outcome is fine; absence of crash is the property
+  }
+  // The full message parses.
+  EXPECT_TRUE(sip::parse_message(wire).ok());
+}
+
+TEST(MessageCodecTest, MutatedBytesNeverCrash) {
+  const std::string wire = sip::serialize(make_invite());
+  sim::Random rng{7777};
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = wire;
+    const auto pos = rng.uniform_int(mutated.size());
+    mutated[pos] = static_cast<char>(rng.uniform_int(256));
+    const auto result = sip::parse_message(mutated);
+    (void)result;
+  }
+}
+
+TEST(ViaHeader, ParseAndPrint) {
+  const auto via = sip::Via::parse("SIP/2.0/UDP pbx.unb.br;branch=z9hG4bK-42");
+  ASSERT_TRUE(via);
+  EXPECT_EQ(via->host, "pbx.unb.br");
+  EXPECT_EQ(via->branch, "z9hG4bK-42");
+  EXPECT_EQ(via->to_string(), "SIP/2.0/UDP pbx.unb.br;branch=z9hG4bK-42");
+  EXPECT_FALSE(sip::Via::parse("TCP host"));
+}
+
+TEST(CSeqHeader, ParseAndPrint) {
+  const auto cseq = sip::CSeq::parse("314 ACK");
+  ASSERT_TRUE(cseq);
+  EXPECT_EQ(cseq->number, 314u);
+  EXPECT_EQ(cseq->method, Method::kAck);
+  EXPECT_FALSE(sip::CSeq::parse("notanumber INVITE"));
+  EXPECT_FALSE(sip::CSeq::parse("1"));
+}
+
+TEST(NameAddrHeader, ParseForms) {
+  const auto tagged = sip::NameAddr::parse("<sip:alice@unb.br>;tag=abc");
+  ASSERT_TRUE(tagged);
+  EXPECT_EQ(tagged->uri.user(), "alice");
+  EXPECT_EQ(tagged->tag, "abc");
+  const auto bare = sip::NameAddr::parse("sip:bob@unb.br;tag=z");
+  ASSERT_TRUE(bare);
+  EXPECT_EQ(bare->tag, "z");
+  EXPECT_FALSE(sip::NameAddr::parse("<sip:unclosed@x"));
+}
+
+TEST(SdpTest, RoundTripWithSsrc) {
+  sip::Sdp sdp;
+  sdp.connection_host = "client.unb.br";
+  sdp.audio.rtp_port = 30'000;
+  sdp.audio.payload_types = {0, 8};
+  sdp.audio.ssrc = 1234;
+  const auto parsed = sip::Sdp::parse(sdp.to_string());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->connection_host, "client.unb.br");
+  EXPECT_EQ(parsed->audio.rtp_port, 30'000);
+  EXPECT_EQ(parsed->audio.payload_types, (std::vector<std::uint8_t>{0, 8}));
+  EXPECT_EQ(parsed->audio.ssrc, 1234u);
+}
+
+TEST(SdpTest, RejectsMissingMedia) {
+  EXPECT_FALSE(sip::Sdp::parse("v=0\r\nc=IN IP4 host\r\n"));
+  EXPECT_FALSE(sip::Sdp::parse(""));
+}
+
+TEST(SdpTest, NegotiatePrefersOfferOrder) {
+  sip::Sdp offer;
+  offer.connection_host = "a";
+  offer.audio.payload_types = {8, 0};
+  sip::Sdp answer;
+  answer.connection_host = "b";
+  answer.audio.payload_types = {0, 8};
+  const auto pt = sip::Sdp::negotiate(offer, answer);
+  ASSERT_TRUE(pt);
+  EXPECT_EQ(*pt, 8);  // offerer listed PCMA first
+
+  answer.audio.payload_types = {18};
+  EXPECT_FALSE(sip::Sdp::negotiate(offer, answer));
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// Unit tests for the SIP transaction layer: state machines, retransmission
+// timers, timeouts, ACK generation — over a fake lossy wire.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "sip/dialog.hpp"
+#include "sip/transaction.hpp"
+
+namespace {
+
+using namespace pbxcap;
+using sip::Message;
+using sip::Method;
+
+/// A fake transport that forwards messages to a peer layer after a delay,
+/// optionally dropping the first `drop_next` sends.
+class FakeWire final : public sip::Transport {
+ public:
+  FakeWire(sim::Simulator& simulator, net::NodeId self) : simulator_{simulator}, self_{self} {}
+
+  void connect(sip::TransactionLayer& peer_layer, net::NodeId peer_id) {
+    peer_ = &peer_layer;
+    peer_id_ = peer_id;
+  }
+
+  void send_sip(const Message& msg, net::NodeId dst) override {
+    ++sent;
+    last_sent = std::make_unique<Message>(msg);
+    if (drop_next > 0) {
+      --drop_next;
+      ++dropped;
+      return;
+    }
+    if (peer_ == nullptr || dst != peer_id_) return;
+    simulator_.schedule_in(delay, [this, msg] { peer_->on_message(msg, self_); });
+  }
+
+  int sent{0};
+  int dropped{0};
+  int drop_next{0};
+  Duration delay{Duration::millis(1)};
+  std::unique_ptr<Message> last_sent;
+
+ private:
+  sim::Simulator& simulator_;
+  net::NodeId self_;
+  sip::TransactionLayer* peer_{nullptr};
+  net::NodeId peer_id_{0};
+};
+
+struct TxnFixture : ::testing::Test {
+  sim::Simulator simulator;
+  FakeWire wire_a{simulator, 1};
+  FakeWire wire_b{simulator, 2};
+  sip::TransactionLayer layer_a{simulator, wire_a, "a.host"};
+  sip::TransactionLayer layer_b{simulator, wire_b, "b.host"};
+
+  void SetUp() override {
+    wire_a.connect(layer_b, 2);
+    wire_b.connect(layer_a, 1);
+  }
+
+  Message make_invite() {
+    Message invite = Message::request(Method::kInvite, sip::Uri{"callee", "b.host"});
+    invite.vias().push_back({"a.host", layer_a.new_branch()});
+    invite.from() = {sip::Uri{"caller", "a.host"}, "tag-a"};
+    invite.to() = {sip::Uri{"callee", "b.host"}, ""};
+    invite.set_call_id("cid-1");
+    invite.set_cseq({1, Method::kInvite});
+    return invite;
+  }
+
+  Message make_bye() {
+    Message bye = Message::request(Method::kBye, sip::Uri{"callee", "b.host"});
+    bye.vias().push_back({"a.host", layer_a.new_branch()});
+    bye.from() = {sip::Uri{"caller", "a.host"}, "tag-a"};
+    bye.to() = {sip::Uri{"callee", "b.host"}, "tag-b"};
+    bye.set_call_id("cid-1");
+    bye.set_cseq({2, Method::kBye});
+    return bye;
+  }
+};
+
+TEST_F(TxnFixture, InviteSuccessDeliversResponsesInOrder) {
+  std::vector<int> codes;
+  layer_b.on_request = [&](const Message& req, sip::ServerTransaction& txn) {
+    Message ringing = Message::response_to(req, 180);
+    ringing.to().tag = "tag-b";
+    txn.respond(ringing);
+    Message ok = Message::response_to(req, 200);
+    ok.to().tag = "tag-b";
+    txn.respond(ok);
+  };
+  layer_a.send_request(make_invite(), 2, [&](const Message& resp) {
+    codes.push_back(resp.status_code());
+  });
+  simulator.run();
+  EXPECT_EQ(codes, (std::vector<int>{180, 200}));
+  // No retransmissions on a clean wire.
+  EXPECT_EQ(layer_a.total_retransmissions(), 0u);
+}
+
+TEST_F(TxnFixture, LostInviteIsRetransmitted) {
+  wire_a.drop_next = 1;  // first INVITE vanishes
+  int finals = 0;
+  layer_b.on_request = [&](const Message& req, sip::ServerTransaction& txn) {
+    Message ok = Message::response_to(req, 200);
+    ok.to().tag = "tag-b";
+    txn.respond(ok);
+  };
+  layer_a.send_request(make_invite(), 2, [&](const Message& resp) {
+    if (sip::is_final(resp.status_code())) ++finals;
+  });
+  simulator.run();
+  EXPECT_EQ(finals, 1);
+  EXPECT_GE(layer_a.total_retransmissions(), 1u);
+}
+
+TEST_F(TxnFixture, InviteTimeoutFiresAfterTimerB) {
+  // No receiver: every send is ignored by dropping all packets.
+  wire_a.drop_next = 1'000'000;
+  bool timed_out = false;
+  layer_a.send_request(
+      make_invite(), 2, [](const Message&) { FAIL() << "no response expected"; },
+      [&] { timed_out = true; });
+  simulator.run();
+  EXPECT_TRUE(timed_out);
+  // Timer B is 64*T1 = 32 s: the loop must have ended at/after that.
+  EXPECT_GE(simulator.now().to_seconds(), 31.9);
+}
+
+TEST_F(TxnFixture, Non2xxFinalTriggersAck) {
+  layer_b.on_request = [&](const Message& req, sip::ServerTransaction& txn) {
+    Message busy = Message::response_to(req, 486);
+    busy.to().tag = "tag-b";
+    txn.respond(busy);
+  };
+  int final_code = 0;
+  layer_a.send_request(make_invite(), 2, [&](const Message& resp) {
+    if (sip::is_final(resp.status_code())) final_code = resp.status_code();
+  });
+  simulator.run_until(TimePoint::origin() + Duration::seconds(1));
+  EXPECT_EQ(final_code, 486);
+  // The client transaction ACKed the 486 automatically: layer_b saw the ACK
+  // inside the INVITE server transaction (no on_ack upcall for non-2xx).
+  ASSERT_NE(wire_a.last_sent, nullptr);
+  EXPECT_EQ(wire_a.last_sent->method(), Method::kAck);
+}
+
+TEST_F(TxnFixture, RetransmittedRequestAbsorbedByServerTransaction) {
+  int tu_deliveries = 0;
+  layer_b.on_request = [&](const Message& req, sip::ServerTransaction& txn) {
+    ++tu_deliveries;
+    Message ok = Message::response_to(req, 200);
+    txn.respond(ok);
+  };
+  // Send the same BYE twice (simulating a retransmission arriving late).
+  const Message bye = make_bye();
+  layer_b.on_message(bye, 1);
+  layer_b.on_message(bye, 1);
+  simulator.run_until(TimePoint::origin() + Duration::seconds(1));
+  EXPECT_EQ(tu_deliveries, 1);
+  // The second arrival triggered a response retransmission instead.
+  EXPECT_GE(layer_b.total_retransmissions(), 1u);
+}
+
+TEST_F(TxnFixture, NonInviteTransactionCompletes) {
+  int final_code = 0;
+  layer_b.on_request = [&](const Message& req, sip::ServerTransaction& txn) {
+    Message ok = Message::response_to(req, 200);
+    txn.respond(ok);
+  };
+  layer_a.send_request(make_bye(), 2, [&](const Message& resp) {
+    final_code = resp.status_code();
+  });
+  simulator.run();
+  EXPECT_EQ(final_code, 200);
+}
+
+TEST_F(TxnFixture, StrayResponseGoesToHandler) {
+  int strays = 0;
+  layer_a.on_stray_response = [&](const Message&) { ++strays; };
+  Message invite = make_invite();
+  Message late = Message::response_to(invite, 200);
+  layer_a.on_message(late, 2);
+  EXPECT_EQ(strays, 1);
+}
+
+TEST_F(TxnFixture, TwoHundredAckBypassesTransactions) {
+  int acks = 0;
+  layer_b.on_ack = [&](const Message& ack) {
+    EXPECT_EQ(ack.method(), Method::kAck);
+    ++acks;
+  };
+  Message ack = Message::request(Method::kAck, sip::Uri{"callee", "b.host"});
+  ack.vias().push_back({"a.host", layer_a.new_branch()});  // fresh branch = 2xx ACK
+  ack.from() = {sip::Uri{"caller", "a.host"}, "tag-a"};
+  ack.to() = {sip::Uri{"callee", "b.host"}, "tag-b"};
+  ack.set_call_id("cid-1");
+  ack.set_cseq({1, Method::kAck});
+  layer_b.on_message(ack, 1);
+  EXPECT_EQ(acks, 1);
+}
+
+TEST_F(TxnFixture, RequestWithoutBranchRejected) {
+  Message invite = Message::request(Method::kInvite, sip::Uri{"x", "b.host"});
+  invite.from() = {sip::Uri{"caller", "a.host"}, "tag-a"};
+  invite.to() = {sip::Uri{"x", "b.host"}, ""};
+  invite.set_call_id("cid");
+  invite.set_cseq({1, Method::kInvite});
+  EXPECT_THROW(layer_a.send_request(invite, 2, [](const Message&) {}), std::invalid_argument);
+}
+
+TEST_F(TxnFixture, BranchesAreUnique) {
+  EXPECT_NE(layer_a.new_branch(), layer_a.new_branch());
+  const std::string b = layer_a.new_branch();
+  EXPECT_EQ(b.rfind("z9hG4bK", 0), 0u) << "must carry the RFC 3261 magic cookie";
+}
+
+TEST(DialogTest, UacUasViewsAgree) {
+  Message invite = Message::request(Method::kInvite, sip::Uri{"callee", "b.host"});
+  invite.vias().push_back({"a.host", "z9hG4bK-d1"});
+  invite.from() = {sip::Uri{"caller", "a.host"}, "tag-a"};
+  invite.to() = {sip::Uri{"callee", "b.host"}, ""};
+  invite.set_call_id("cid-7");
+  invite.set_cseq({1, Method::kInvite});
+  invite.set_contact(sip::Uri{"caller", "a.host"});
+
+  Message ok = Message::response_to(invite, 200);
+  ok.to().tag = "tag-b";
+  ok.set_contact(sip::Uri{"callee", "b.host"});
+
+  sip::Dialog uac = sip::Dialog::from_uac(invite, ok);
+  sip::Dialog uas = sip::Dialog::from_uas(invite, ok);
+
+  EXPECT_EQ(uac.call_id(), "cid-7");
+  EXPECT_EQ(uac.local().tag, "tag-a");
+  EXPECT_EQ(uac.remote().tag, "tag-b");
+  EXPECT_EQ(uas.local().tag, "tag-b");
+  EXPECT_EQ(uas.remote().tag, "tag-a");
+  EXPECT_EQ(uac.remote_target().host(), "b.host");
+
+  // ACK reuses the INVITE CSeq number with the ACK method.
+  const Message ack = uac.make_ack();
+  EXPECT_EQ(ack.cseq().number, 1u);
+  EXPECT_EQ(ack.cseq().method, Method::kAck);
+  EXPECT_EQ(ack.call_id(), "cid-7");
+
+  // In-dialog BYE increments CSeq.
+  sip::Dialog uac2 = uac;
+  const Message bye = uac2.make_request(Method::kBye);
+  EXPECT_EQ(bye.cseq().number, 2u);
+  EXPECT_EQ(bye.to().tag, "tag-b");
+  EXPECT_EQ(bye.from().tag, "tag-a");
+}
+
+}  // namespace

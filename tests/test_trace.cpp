@@ -1,0 +1,127 @@
+// Tests for the packet trace capture and SIP ladder rendering.
+#include <gtest/gtest.h>
+
+#include "exp/testbed.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "monitor/trace.hpp"
+
+namespace {
+
+using namespace pbxcap;
+
+exp::TestbedConfig one_call_config() {
+  exp::TestbedConfig config;
+  config.scenario.arrival_rate_per_s = 1.0;
+  config.scenario.max_calls = 1;
+  config.scenario.placement_window = Duration::seconds(5);
+  config.scenario.hold_time = Duration::seconds(5);
+  config.seed = 42;
+  return config;
+}
+
+TEST(PacketTrace, RecordsFinalHopDeliveriesWithNames) {
+  monitor::PacketTrace trace;
+  auto config = one_call_config();
+  config.trace = &trace;
+  (void)exp::run_testbed(config);
+
+  ASSERT_FALSE(trace.events().empty());
+  // 13 SIP messages + RTP: one event per end-to-end delivery.
+  std::size_t sip_events = 0;
+  for (const auto& e : trace.events()) {
+    EXPECT_FALSE(e.src_name.empty());
+    EXPECT_FALSE(e.dst_name.empty());
+    if (e.kind == net::PacketKind::kSip) {
+      ++sip_events;
+      EXPECT_FALSE(e.call_id.empty());
+      EXPECT_FALSE(e.summary.empty());
+    }
+  }
+  EXPECT_EQ(sip_events, 13u);
+}
+
+class SinkNode final : public net::Node {
+ public:
+  explicit SinkNode(std::string name) : Node{std::move(name)} {}
+  void on_receive(const net::Packet&) override {}
+  void transmit(net::NodeId dst, net::PacketKind kind) {
+    net::Packet pkt;
+    pkt.dst = dst;
+    pkt.kind = kind;
+    pkt.size_bytes = 100;
+    send(std::move(pkt));
+  }
+};
+
+TEST(PacketTrace, SipOnlyFilterSkipsMedia) {
+  sim::Simulator simulator;
+  net::Network network{simulator, sim::Random{1}};
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+  network.attach(a);
+  network.attach(b);
+  network.connect(a, b, {});
+  monitor::PacketTrace trace;
+  trace.attach(network, /*sip_only=*/true);
+  a.transmit(b.id(), net::PacketKind::kRtp);
+  a.transmit(b.id(), net::PacketKind::kOther);
+  simulator.run();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(PacketTrace, UnfilteredCaptureSeesMedia) {
+  monitor::PacketTrace trace;
+  auto config = one_call_config();
+  config.trace = &trace;
+  (void)exp::run_testbed(config);
+  bool has_rtp = false;
+  for (const auto& e : trace.events()) {
+    if (e.kind == net::PacketKind::kRtp) has_rtp = true;
+  }
+  EXPECT_TRUE(has_rtp);
+}
+
+TEST(PacketTrace, CapDropsExcessEvents) {
+  monitor::PacketTrace trace{50};
+  auto config = one_call_config();
+  config.trace = &trace;
+  (void)exp::run_testbed(config);
+  EXPECT_EQ(trace.events().size(), 50u);
+  EXPECT_GT(trace.dropped(), 0u);
+}
+
+TEST(PacketTrace, LadderShowsFig2Sequence) {
+  monitor::PacketTrace trace;
+  auto config = one_call_config();
+  config.trace = &trace;
+  (void)exp::run_testbed(config);
+
+  const std::string leg_a = trace.sip_ladder("call-0");
+  EXPECT_NE(leg_a.find("INVITE"), std::string::npos);
+  EXPECT_NE(leg_a.find("100 Trying"), std::string::npos);
+  EXPECT_NE(leg_a.find("180 Ringing"), std::string::npos);
+  EXPECT_NE(leg_a.find("200 OK"), std::string::npos);
+  EXPECT_NE(leg_a.find("ACK"), std::string::npos);
+  EXPECT_NE(leg_a.find("BYE"), std::string::npos);
+  EXPECT_NE(leg_a.find("sipp-client"), std::string::npos);
+  EXPECT_NE(leg_a.find("asterisk"), std::string::npos);
+  // Leg B exists under the PBX-minted b2b Call-ID.
+  const std::string leg_b = trace.sip_ladder("b2b-");
+  EXPECT_NE(leg_b.find("sipp-server"), std::string::npos);
+  // Unknown call id yields an empty ladder.
+  EXPECT_TRUE(trace.sip_ladder("no-such-call").empty());
+}
+
+TEST(PacketTrace, CsvHasHeaderAndRows) {
+  monitor::PacketTrace trace;
+  auto config = one_call_config();
+  config.trace = &trace;
+  (void)exp::run_testbed(config);
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("time_s,id,kind,src,dst,bytes,summary,call_id"), std::string::npos);
+  EXPECT_NE(csv.find("SIP"), std::string::npos);
+  EXPECT_NE(csv.find("RTP"), std::string::npos);
+}
+
+}  // namespace
