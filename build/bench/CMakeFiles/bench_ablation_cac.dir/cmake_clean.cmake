@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cac.dir/bench_ablation_cac.cpp.o"
+  "CMakeFiles/bench_ablation_cac.dir/bench_ablation_cac.cpp.o.d"
+  "bench_ablation_cac"
+  "bench_ablation_cac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_erlang_c_queue.dir/bench_erlang_c_queue.cpp.o"
+  "CMakeFiles/bench_erlang_c_queue.dir/bench_erlang_c_queue.cpp.o.d"
+  "bench_erlang_c_queue"
+  "bench_erlang_c_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_erlang_c_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

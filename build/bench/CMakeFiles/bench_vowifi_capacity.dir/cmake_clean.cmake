@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vowifi_capacity.dir/bench_vowifi_capacity.cpp.o"
+  "CMakeFiles/bench_vowifi_capacity.dir/bench_vowifi_capacity.cpp.o.d"
+  "bench_vowifi_capacity"
+  "bench_vowifi_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vowifi_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

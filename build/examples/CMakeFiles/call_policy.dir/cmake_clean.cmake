@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_policy.dir/call_policy.cpp.o"
+  "CMakeFiles/call_policy.dir/call_policy.cpp.o.d"
+  "call_policy"
+  "call_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_dimensioning.dir/campus_dimensioning.cpp.o"
+  "CMakeFiles/campus_dimensioning.dir/campus_dimensioning.cpp.o.d"
+  "campus_dimensioning"
+  "campus_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

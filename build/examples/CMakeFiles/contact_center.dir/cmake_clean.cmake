@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_center.dir/contact_center.cpp.o"
+  "CMakeFiles/contact_center.dir/contact_center.cpp.o.d"
+  "contact_center"
+  "contact_center.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vowifi_stress.dir/vowifi_stress.cpp.o"
+  "CMakeFiles/vowifi_stress.dir/vowifi_stress.cpp.o.d"
+  "vowifi_stress"
+  "vowifi_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vowifi_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dimensioning.cpp" "src/core/CMakeFiles/pbxcap_core.dir/dimensioning.cpp.o" "gcc" "src/core/CMakeFiles/pbxcap_core.dir/dimensioning.cpp.o.d"
+  "/root/repo/src/core/engset.cpp" "src/core/CMakeFiles/pbxcap_core.dir/engset.cpp.o" "gcc" "src/core/CMakeFiles/pbxcap_core.dir/engset.cpp.o.d"
+  "/root/repo/src/core/erlang_b.cpp" "src/core/CMakeFiles/pbxcap_core.dir/erlang_b.cpp.o" "gcc" "src/core/CMakeFiles/pbxcap_core.dir/erlang_b.cpp.o.d"
+  "/root/repo/src/core/erlang_c.cpp" "src/core/CMakeFiles/pbxcap_core.dir/erlang_c.cpp.o" "gcc" "src/core/CMakeFiles/pbxcap_core.dir/erlang_c.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pbxcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_core.dir/dimensioning.cpp.o"
+  "CMakeFiles/pbxcap_core.dir/dimensioning.cpp.o.d"
+  "CMakeFiles/pbxcap_core.dir/engset.cpp.o"
+  "CMakeFiles/pbxcap_core.dir/engset.cpp.o.d"
+  "CMakeFiles/pbxcap_core.dir/erlang_b.cpp.o"
+  "CMakeFiles/pbxcap_core.dir/erlang_b.cpp.o.d"
+  "CMakeFiles/pbxcap_core.dir/erlang_c.cpp.o"
+  "CMakeFiles/pbxcap_core.dir/erlang_c.cpp.o.d"
+  "libpbxcap_core.a"
+  "libpbxcap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_exp.dir/cluster.cpp.o"
+  "CMakeFiles/pbxcap_exp.dir/cluster.cpp.o.d"
+  "CMakeFiles/pbxcap_exp.dir/paper.cpp.o"
+  "CMakeFiles/pbxcap_exp.dir/paper.cpp.o.d"
+  "CMakeFiles/pbxcap_exp.dir/sweep.cpp.o"
+  "CMakeFiles/pbxcap_exp.dir/sweep.cpp.o.d"
+  "CMakeFiles/pbxcap_exp.dir/testbed.cpp.o"
+  "CMakeFiles/pbxcap_exp.dir/testbed.cpp.o.d"
+  "libpbxcap_exp.a"
+  "libpbxcap_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

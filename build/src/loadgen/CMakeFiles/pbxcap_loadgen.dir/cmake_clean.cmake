@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_loadgen.dir/caller.cpp.o"
+  "CMakeFiles/pbxcap_loadgen.dir/caller.cpp.o.d"
+  "CMakeFiles/pbxcap_loadgen.dir/receiver.cpp.o"
+  "CMakeFiles/pbxcap_loadgen.dir/receiver.cpp.o.d"
+  "libpbxcap_loadgen.a"
+  "libpbxcap_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

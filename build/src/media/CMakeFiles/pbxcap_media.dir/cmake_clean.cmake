@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_media.dir/emodel.cpp.o"
+  "CMakeFiles/pbxcap_media.dir/emodel.cpp.o.d"
+  "CMakeFiles/pbxcap_media.dir/g711.cpp.o"
+  "CMakeFiles/pbxcap_media.dir/g711.cpp.o.d"
+  "libpbxcap_media.a"
+  "libpbxcap_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

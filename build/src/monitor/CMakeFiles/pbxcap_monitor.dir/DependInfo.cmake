@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/call_log.cpp" "src/monitor/CMakeFiles/pbxcap_monitor.dir/call_log.cpp.o" "gcc" "src/monitor/CMakeFiles/pbxcap_monitor.dir/call_log.cpp.o.d"
+  "/root/repo/src/monitor/capture.cpp" "src/monitor/CMakeFiles/pbxcap_monitor.dir/capture.cpp.o" "gcc" "src/monitor/CMakeFiles/pbxcap_monitor.dir/capture.cpp.o.d"
+  "/root/repo/src/monitor/report.cpp" "src/monitor/CMakeFiles/pbxcap_monitor.dir/report.cpp.o" "gcc" "src/monitor/CMakeFiles/pbxcap_monitor.dir/report.cpp.o.d"
+  "/root/repo/src/monitor/trace.cpp" "src/monitor/CMakeFiles/pbxcap_monitor.dir/trace.cpp.o" "gcc" "src/monitor/CMakeFiles/pbxcap_monitor.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sip/CMakeFiles/pbxcap_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/pbxcap_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pbxcap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pbxcap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbxcap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pbxcap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_monitor.dir/call_log.cpp.o"
+  "CMakeFiles/pbxcap_monitor.dir/call_log.cpp.o.d"
+  "CMakeFiles/pbxcap_monitor.dir/capture.cpp.o"
+  "CMakeFiles/pbxcap_monitor.dir/capture.cpp.o.d"
+  "CMakeFiles/pbxcap_monitor.dir/report.cpp.o"
+  "CMakeFiles/pbxcap_monitor.dir/report.cpp.o.d"
+  "CMakeFiles/pbxcap_monitor.dir/trace.cpp.o"
+  "CMakeFiles/pbxcap_monitor.dir/trace.cpp.o.d"
+  "libpbxcap_monitor.a"
+  "libpbxcap_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

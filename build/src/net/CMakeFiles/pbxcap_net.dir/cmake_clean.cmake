@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_net.dir/link.cpp.o"
+  "CMakeFiles/pbxcap_net.dir/link.cpp.o.d"
+  "CMakeFiles/pbxcap_net.dir/network.cpp.o"
+  "CMakeFiles/pbxcap_net.dir/network.cpp.o.d"
+  "CMakeFiles/pbxcap_net.dir/switch_node.cpp.o"
+  "CMakeFiles/pbxcap_net.dir/switch_node.cpp.o.d"
+  "CMakeFiles/pbxcap_net.dir/wifi_cell.cpp.o"
+  "CMakeFiles/pbxcap_net.dir/wifi_cell.cpp.o.d"
+  "libpbxcap_net.a"
+  "libpbxcap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

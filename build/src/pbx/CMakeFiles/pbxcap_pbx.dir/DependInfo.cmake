@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbx/admission.cpp" "src/pbx/CMakeFiles/pbxcap_pbx.dir/admission.cpp.o" "gcc" "src/pbx/CMakeFiles/pbxcap_pbx.dir/admission.cpp.o.d"
+  "/root/repo/src/pbx/asterisk_pbx.cpp" "src/pbx/CMakeFiles/pbxcap_pbx.dir/asterisk_pbx.cpp.o" "gcc" "src/pbx/CMakeFiles/pbxcap_pbx.dir/asterisk_pbx.cpp.o.d"
+  "/root/repo/src/pbx/cdr.cpp" "src/pbx/CMakeFiles/pbxcap_pbx.dir/cdr.cpp.o" "gcc" "src/pbx/CMakeFiles/pbxcap_pbx.dir/cdr.cpp.o.d"
+  "/root/repo/src/pbx/cpu_model.cpp" "src/pbx/CMakeFiles/pbxcap_pbx.dir/cpu_model.cpp.o" "gcc" "src/pbx/CMakeFiles/pbxcap_pbx.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/pbx/dialplan.cpp" "src/pbx/CMakeFiles/pbxcap_pbx.dir/dialplan.cpp.o" "gcc" "src/pbx/CMakeFiles/pbxcap_pbx.dir/dialplan.cpp.o.d"
+  "/root/repo/src/pbx/directory.cpp" "src/pbx/CMakeFiles/pbxcap_pbx.dir/directory.cpp.o" "gcc" "src/pbx/CMakeFiles/pbxcap_pbx.dir/directory.cpp.o.d"
+  "/root/repo/src/pbx/registrar.cpp" "src/pbx/CMakeFiles/pbxcap_pbx.dir/registrar.cpp.o" "gcc" "src/pbx/CMakeFiles/pbxcap_pbx.dir/registrar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pbxcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/pbxcap_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/pbxcap_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pbxcap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pbxcap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbxcap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pbxcap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

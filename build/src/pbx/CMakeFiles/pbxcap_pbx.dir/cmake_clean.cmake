@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_pbx.dir/admission.cpp.o"
+  "CMakeFiles/pbxcap_pbx.dir/admission.cpp.o.d"
+  "CMakeFiles/pbxcap_pbx.dir/asterisk_pbx.cpp.o"
+  "CMakeFiles/pbxcap_pbx.dir/asterisk_pbx.cpp.o.d"
+  "CMakeFiles/pbxcap_pbx.dir/cdr.cpp.o"
+  "CMakeFiles/pbxcap_pbx.dir/cdr.cpp.o.d"
+  "CMakeFiles/pbxcap_pbx.dir/cpu_model.cpp.o"
+  "CMakeFiles/pbxcap_pbx.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/pbxcap_pbx.dir/dialplan.cpp.o"
+  "CMakeFiles/pbxcap_pbx.dir/dialplan.cpp.o.d"
+  "CMakeFiles/pbxcap_pbx.dir/directory.cpp.o"
+  "CMakeFiles/pbxcap_pbx.dir/directory.cpp.o.d"
+  "CMakeFiles/pbxcap_pbx.dir/registrar.cpp.o"
+  "CMakeFiles/pbxcap_pbx.dir/registrar.cpp.o.d"
+  "libpbxcap_pbx.a"
+  "libpbxcap_pbx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_pbx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

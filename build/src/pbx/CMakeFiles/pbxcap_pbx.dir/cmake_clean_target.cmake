@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpbxcap_pbx.a"
+)

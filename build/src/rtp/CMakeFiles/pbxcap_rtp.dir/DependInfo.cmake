@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtp/codec.cpp" "src/rtp/CMakeFiles/pbxcap_rtp.dir/codec.cpp.o" "gcc" "src/rtp/CMakeFiles/pbxcap_rtp.dir/codec.cpp.o.d"
+  "/root/repo/src/rtp/jitter_buffer.cpp" "src/rtp/CMakeFiles/pbxcap_rtp.dir/jitter_buffer.cpp.o" "gcc" "src/rtp/CMakeFiles/pbxcap_rtp.dir/jitter_buffer.cpp.o.d"
+  "/root/repo/src/rtp/rtcp.cpp" "src/rtp/CMakeFiles/pbxcap_rtp.dir/rtcp.cpp.o" "gcc" "src/rtp/CMakeFiles/pbxcap_rtp.dir/rtcp.cpp.o.d"
+  "/root/repo/src/rtp/stream.cpp" "src/rtp/CMakeFiles/pbxcap_rtp.dir/stream.cpp.o" "gcc" "src/rtp/CMakeFiles/pbxcap_rtp.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pbxcap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pbxcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbxcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_rtp.dir/codec.cpp.o"
+  "CMakeFiles/pbxcap_rtp.dir/codec.cpp.o.d"
+  "CMakeFiles/pbxcap_rtp.dir/jitter_buffer.cpp.o"
+  "CMakeFiles/pbxcap_rtp.dir/jitter_buffer.cpp.o.d"
+  "CMakeFiles/pbxcap_rtp.dir/rtcp.cpp.o"
+  "CMakeFiles/pbxcap_rtp.dir/rtcp.cpp.o.d"
+  "CMakeFiles/pbxcap_rtp.dir/stream.cpp.o"
+  "CMakeFiles/pbxcap_rtp.dir/stream.cpp.o.d"
+  "libpbxcap_rtp.a"
+  "libpbxcap_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

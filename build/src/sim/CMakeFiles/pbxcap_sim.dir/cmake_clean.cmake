@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_sim.dir/random.cpp.o"
+  "CMakeFiles/pbxcap_sim.dir/random.cpp.o.d"
+  "CMakeFiles/pbxcap_sim.dir/rng.cpp.o"
+  "CMakeFiles/pbxcap_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/pbxcap_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pbxcap_sim.dir/simulator.cpp.o.d"
+  "libpbxcap_sim.a"
+  "libpbxcap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sip/dialog.cpp" "src/sip/CMakeFiles/pbxcap_sip.dir/dialog.cpp.o" "gcc" "src/sip/CMakeFiles/pbxcap_sip.dir/dialog.cpp.o.d"
+  "/root/repo/src/sip/endpoint.cpp" "src/sip/CMakeFiles/pbxcap_sip.dir/endpoint.cpp.o" "gcc" "src/sip/CMakeFiles/pbxcap_sip.dir/endpoint.cpp.o.d"
+  "/root/repo/src/sip/message.cpp" "src/sip/CMakeFiles/pbxcap_sip.dir/message.cpp.o" "gcc" "src/sip/CMakeFiles/pbxcap_sip.dir/message.cpp.o.d"
+  "/root/repo/src/sip/parse.cpp" "src/sip/CMakeFiles/pbxcap_sip.dir/parse.cpp.o" "gcc" "src/sip/CMakeFiles/pbxcap_sip.dir/parse.cpp.o.d"
+  "/root/repo/src/sip/sdp.cpp" "src/sip/CMakeFiles/pbxcap_sip.dir/sdp.cpp.o" "gcc" "src/sip/CMakeFiles/pbxcap_sip.dir/sdp.cpp.o.d"
+  "/root/repo/src/sip/transaction.cpp" "src/sip/CMakeFiles/pbxcap_sip.dir/transaction.cpp.o" "gcc" "src/sip/CMakeFiles/pbxcap_sip.dir/transaction.cpp.o.d"
+  "/root/repo/src/sip/types.cpp" "src/sip/CMakeFiles/pbxcap_sip.dir/types.cpp.o" "gcc" "src/sip/CMakeFiles/pbxcap_sip.dir/types.cpp.o.d"
+  "/root/repo/src/sip/uri.cpp" "src/sip/CMakeFiles/pbxcap_sip.dir/uri.cpp.o" "gcc" "src/sip/CMakeFiles/pbxcap_sip.dir/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pbxcap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pbxcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbxcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_sip.dir/dialog.cpp.o"
+  "CMakeFiles/pbxcap_sip.dir/dialog.cpp.o.d"
+  "CMakeFiles/pbxcap_sip.dir/endpoint.cpp.o"
+  "CMakeFiles/pbxcap_sip.dir/endpoint.cpp.o.d"
+  "CMakeFiles/pbxcap_sip.dir/message.cpp.o"
+  "CMakeFiles/pbxcap_sip.dir/message.cpp.o.d"
+  "CMakeFiles/pbxcap_sip.dir/parse.cpp.o"
+  "CMakeFiles/pbxcap_sip.dir/parse.cpp.o.d"
+  "CMakeFiles/pbxcap_sip.dir/sdp.cpp.o"
+  "CMakeFiles/pbxcap_sip.dir/sdp.cpp.o.d"
+  "CMakeFiles/pbxcap_sip.dir/transaction.cpp.o"
+  "CMakeFiles/pbxcap_sip.dir/transaction.cpp.o.d"
+  "CMakeFiles/pbxcap_sip.dir/types.cpp.o"
+  "CMakeFiles/pbxcap_sip.dir/types.cpp.o.d"
+  "CMakeFiles/pbxcap_sip.dir/uri.cpp.o"
+  "CMakeFiles/pbxcap_sip.dir/uri.cpp.o.d"
+  "libpbxcap_sip.a"
+  "libpbxcap_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pbxcap_sip.
+# This may be replaced when dependencies are built.

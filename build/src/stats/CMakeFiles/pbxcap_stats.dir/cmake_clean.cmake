@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_stats.dir/confidence.cpp.o"
+  "CMakeFiles/pbxcap_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/pbxcap_stats.dir/histogram.cpp.o"
+  "CMakeFiles/pbxcap_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/pbxcap_stats.dir/summary.cpp.o"
+  "CMakeFiles/pbxcap_stats.dir/summary.cpp.o.d"
+  "libpbxcap_stats.a"
+  "libpbxcap_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_util.dir/log.cpp.o"
+  "CMakeFiles/pbxcap_util.dir/log.cpp.o.d"
+  "CMakeFiles/pbxcap_util.dir/strings.cpp.o"
+  "CMakeFiles/pbxcap_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pbxcap_util.dir/table.cpp.o"
+  "CMakeFiles/pbxcap_util.dir/table.cpp.o.d"
+  "CMakeFiles/pbxcap_util.dir/time.cpp.o"
+  "CMakeFiles/pbxcap_util.dir/time.cpp.o.d"
+  "libpbxcap_util.a"
+  "libpbxcap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

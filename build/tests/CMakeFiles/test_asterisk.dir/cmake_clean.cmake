@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asterisk.dir/test_asterisk.cpp.o"
+  "CMakeFiles/test_asterisk.dir/test_asterisk.cpp.o.d"
+  "test_asterisk"
+  "test_asterisk.pdb"
+  "test_asterisk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asterisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_g711.dir/test_g711.cpp.o"
+  "CMakeFiles/test_g711.dir/test_g711.cpp.o.d"
+  "test_g711"
+  "test_g711.pdb"
+  "test_g711[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_g711.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbx.dir/test_pbx.cpp.o"
+  "CMakeFiles/test_pbx.dir/test_pbx.cpp.o.d"
+  "test_pbx"
+  "test_pbx.pdb"
+  "test_pbx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/pbxcap_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbx/CMakeFiles/pbxcap_pbx.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pbxcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadgen/CMakeFiles/pbxcap_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/pbxcap_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/pbxcap_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pbxcap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/pbxcap_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/pbxcap_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pbxcap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pbxcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbxcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtcp.dir/test_rtcp.cpp.o"
+  "CMakeFiles/test_rtcp.dir/test_rtcp.cpp.o.d"
+  "test_rtcp"
+  "test_rtcp.pdb"
+  "test_rtcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtp.dir/test_rtp.cpp.o"
+  "CMakeFiles/test_rtp.dir/test_rtp.cpp.o.d"
+  "test_rtp"
+  "test_rtp.pdb"
+  "test_rtp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_message.dir/test_sip_message.cpp.o"
+  "CMakeFiles/test_sip_message.dir/test_sip_message.cpp.o.d"
+  "test_sip_message"
+  "test_sip_message.pdb"
+  "test_sip_message[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

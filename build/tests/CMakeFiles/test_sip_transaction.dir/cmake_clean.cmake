@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_transaction.dir/test_sip_transaction.cpp.o"
+  "CMakeFiles/test_sip_transaction.dir/test_sip_transaction.cpp.o.d"
+  "test_sip_transaction"
+  "test_sip_transaction.pdb"
+  "test_sip_transaction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_transaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

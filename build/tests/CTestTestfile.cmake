@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_erlang[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_wifi[1]_include.cmake")
+include("/root/repo/build/tests/test_sip_message[1]_include.cmake")
+include("/root/repo/build/tests/test_sip_transaction[1]_include.cmake")
+include("/root/repo/build/tests/test_endpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_rtp[1]_include.cmake")
+include("/root/repo/build/tests/test_rtcp[1]_include.cmake")
+include("/root/repo/build/tests/test_media[1]_include.cmake")
+include("/root/repo/build/tests/test_g711[1]_include.cmake")
+include("/root/repo/build/tests/test_pbx[1]_include.cmake")
+include("/root/repo/build/tests/test_admission[1]_include.cmake")
+include("/root/repo/build/tests/test_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_asterisk[1]_include.cmake")
+include("/root/repo/build/tests/test_loadgen[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_exp[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")

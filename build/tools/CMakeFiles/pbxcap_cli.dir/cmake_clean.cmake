@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbxcap_cli.dir/pbxcap_cli.cpp.o"
+  "CMakeFiles/pbxcap_cli.dir/pbxcap_cli.cpp.o.d"
+  "pbxcap"
+  "pbxcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbxcap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
