@@ -4,17 +4,66 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "core/erlang_b.hpp"
+#include "exp/testbed.hpp"
 #include "rtp/stream.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sip/parse.hpp"
 
+// ---- counting allocator hook -----------------------------------------------
+// Replaces global new/delete for this binary so the simulator benchmarks can
+// report allocs/event. The engine's SBO-callback contract ("the hot path never
+// touches the allocator") is verified here, not just claimed.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace pbxcap;
 
+/// Attaches allocs/event and callback-heap-fallbacks/event counters.
+class AllocScope {
+ public:
+  explicit AllocScope(benchmark::State& state) : state_{state} {
+    start_allocs_ = g_allocs.load(std::memory_order_relaxed);
+    start_cb_heap_ = sim::Callback::heap_allocations();
+  }
+  ~AllocScope() {
+    const auto events =
+        static_cast<double>(state_.iterations() * state_.range(0));
+    if (events <= 0.0) return;
+    const auto allocs = static_cast<double>(g_allocs.load(std::memory_order_relaxed) - start_allocs_);
+    const auto cb_heap = static_cast<double>(sim::Callback::heap_allocations() - start_cb_heap_);
+    state_.counters["allocs_per_event"] = allocs / events;
+    state_.counters["cb_heap_per_event"] = cb_heap / events;
+  }
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t start_allocs_{0};
+  std::uint64_t start_cb_heap_{0};
+};
+
 void BM_SimulatorEventThroughput(benchmark::State& state) {
+  AllocScope allocs{state};
   for (auto _ : state) {
     sim::Simulator simulator;
     const auto n = static_cast<int>(state.range(0));
@@ -30,21 +79,77 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 BENCHMARK(BM_SimulatorEventThroughput)->Arg(1'000)->Arg(100'000);
 
 void BM_SimulatorSelfScheduling(benchmark::State& state) {
-  // The RTP-sender pattern: each event schedules its successor.
+  // The RTP-sender pattern: each event schedules its successor. The closure
+  // captures two pointers, exactly the shape rtp::RtpSender's tick takes.
+  struct Tick {
+    sim::Simulator* simulator;
+    std::int64_t* remaining;
+    void operator()() const {
+      if (--*remaining > 0) simulator->schedule_in(Duration::micros(20), *this);
+    }
+  };
+  static_assert(sim::Callback::stores_inline<Tick>());
+  AllocScope allocs{state};
   for (auto _ : state) {
     sim::Simulator simulator;
-    const auto n = static_cast<std::int64_t>(state.range(0));
-    std::int64_t remaining = n;
-    std::function<void()> tick = [&] {
-      if (--remaining > 0) simulator.schedule_in(Duration::micros(20), tick);
-    };
-    simulator.schedule_in(Duration::micros(20), tick);
+    std::int64_t remaining = state.range(0);
+    simulator.schedule_in(Duration::micros(20), Tick{&simulator, &remaining});
     simulator.run();
     benchmark::DoNotOptimize(remaining);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SimulatorSelfScheduling)->Arg(100'000);
+
+void BM_SimulatorPeriodicTimerWheel(benchmark::State& state) {
+  // Table-I-shaped event mix: `range` concurrent bidirectional G.711 calls,
+  // each direction self-scheduling a 20 ms tick — the exact population the
+  // timer-wheel fast path exists for. Runs 10 simulated seconds per iteration.
+  struct Stream {
+    sim::Simulator* simulator;
+    std::uint64_t* fired;
+    void operator()() const {
+      ++*fired;
+      simulator->schedule_in(Duration::millis(20), *this);
+    }
+  };
+  static_assert(sim::Callback::stores_inline<Stream>());
+  const auto streams = static_cast<int>(state.range(0)) * 2;
+  std::uint64_t fired = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < streams; ++i) {
+      simulator.schedule_in(Duration::micros(200) * i, Stream{&simulator, &fired});
+    }
+    simulator.run_until(TimePoint::origin() + Duration::seconds(10));
+    events = simulator.events_processed();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) * state.iterations());
+}
+BENCHMARK(BM_SimulatorPeriodicTimerWheel)->Arg(165);
+
+void BM_Table1MacroPoint(benchmark::State& state) {
+  // End-to-end Table-I operating point (offered load in Erlangs) through the
+  // full packet-level testbed: SIP signalling, per-packet link events, RTP
+  // pacing, CDR/monitor accounting. Wall-clock here is what bounds every
+  // paper artifact; placement window scaled to 20 s to keep iterations short.
+  const double offered = static_cast<double>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::TestbedConfig config;
+    config.scenario = loadgen::CallScenario::for_offered_load(offered);
+    config.scenario.placement_window = Duration::seconds(20);
+    config.seed = 4242;
+    const auto report = exp::run_testbed(config);
+    events += report.events_processed;
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["sim_events"] = static_cast<double>(events) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Table1MacroPoint)->Arg(240)->Unit(benchmark::kMillisecond);
 
 void BM_ErlangB(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

@@ -2,8 +2,9 @@
 //
 // Each simulation run is strictly single-threaded and self-contained, so
 // replications and sweep points parallelize embarrassingly: a small worker
-// pool pulls indices from an atomic counter (CP.* guidance: share nothing
-// mutable between threads except the counter and the preallocated results).
+// pool pulls index chunks from an atomic counter (CP.* guidance: share
+// nothing mutable between threads except the counter and the preallocated
+// results).
 #pragma once
 
 #include <algorithm>
@@ -22,32 +23,44 @@ namespace pbxcap::exp {
   return hw == 0 ? 1 : hw;
 }
 
-/// Runs fn(i) for i in [0, n) across `threads` workers. fn must write only
-/// to per-index state. The first exception thrown by any worker is rethrown
-/// on the calling thread after all workers join.
+/// Runs fn(i) for i in [0, n) across up to `threads` workers. fn must write
+/// only to per-index state. The first exception thrown by any worker is
+/// rethrown on the calling thread after all workers join.
+///
+/// Workers claim contiguous chunks of indices rather than one index per
+/// fetch_add: with many cheap items (fine-grained sweep points) a single
+/// shared counter line ping-pongs between cores; handing out ~8 chunks per
+/// worker keeps contention negligible while still load-balancing tail
+/// imbalance from uneven run lengths.
 template <typename Fn>
 void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
   if (n == 0) return;
-  if (threads <= 1 || n == 1) {
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(std::max(threads, 1u), n));
+  if (workers == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  const std::size_t chunk = std::max<std::size_t>(1, n / (std::size_t{workers} * 8));
+
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  const unsigned workers = static_cast<unsigned>(
-      std::min<std::size_t>(threads, n));
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
       while (!failed.load(std::memory_order_relaxed)) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = std::min(begin + chunk, n);
         try {
-          fn(i);
+          for (std::size_t i = begin; i < end; ++i) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            fn(i);
+          }
         } catch (...) {
           const std::scoped_lock lock{error_mutex};
           if (!first_error) first_error = std::current_exception();

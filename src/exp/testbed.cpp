@@ -132,6 +132,8 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
                                caller.transactions().total_retransmissions() +
                                receiver.transactions().total_retransmissions();
 
+  report.events_processed = simulator.events_processed();
+
   if (wifi_out != nullptr && config.wifi_cell) {
     wifi_out->medium_utilization = wifi_cell.medium_utilization(simulator.now());
     wifi_out->frames_forwarded = wifi_cell.frames_forwarded();

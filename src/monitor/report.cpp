@@ -71,6 +71,7 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
   out.jitter_ms = {};
   double rtp_at_pbx = 0.0;
   double rtp_relayed = 0.0;
+  double events = 0.0;
   double sip_total = 0.0;
   double sip_invite = 0.0;
   double sip_100 = 0.0;
@@ -106,6 +107,7 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
     sip_bye += static_cast<double>(r.sip_bye);
     sip_errors += static_cast<double>(r.sip_errors);
     sip_rtx += static_cast<double>(r.sip_retransmissions);
+    events += static_cast<double>(r.events_processed);
   }
 
   out.blocking_probability =
@@ -131,6 +133,7 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
   out.sip_bye = mean_u64(sip_bye);
   out.sip_errors = mean_u64(sip_errors);
   out.sip_retransmissions = mean_u64(sip_rtx);
+  out.events_processed = mean_u64(events);
   return out;
 }
 

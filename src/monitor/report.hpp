@@ -55,6 +55,10 @@ struct ExperimentReport {
   std::uint64_t sip_errors{0};
   std::uint64_t sip_retransmissions{0};
 
+  /// DES kernel events the run consumed — the denominator for engine
+  /// throughput (events/s wall-clock) in performance tracking.
+  std::uint64_t events_processed{0};
+
   /// Formats "lo% to hi%" for the CPU row, as Table I reports ranges.
   [[nodiscard]] std::string cpu_range_string() const;
 };

@@ -68,7 +68,10 @@ void Link::transmit(NodeId from, Packet pkt) {
   }
 
   const TimePoint delivery = serialized + config_.propagation + extra;
-  sim.schedule_at(serialized, [this, from] { --direction_from(from).backlog; });
+  auto drain = [this, from] { --direction_from(from).backlog; };
+  static_assert(sim::Callback::stores_inline<decltype(drain)>(),
+                "backlog drain closure must stay on the allocation-free SBO path");
+  sim.schedule_at(serialized, std::move(drain));
 
   if (lost) {
     ++dir.stats.dropped_random_loss;
@@ -77,9 +80,15 @@ void Link::transmit(NodeId from, Packet pkt) {
 
   ++dir.stats.packets_sent;
   dir.stats.bytes_sent += pkt.size_bytes;
-  sim.schedule_at(delivery, [this, from, to, pkt = std::move(pkt)]() mutable {
+  auto deliver = [this, from, to, pkt = std::move(pkt)]() mutable {
     network_.deliver(pkt, from, to);
-  });
+  };
+  // Fired once per packet at Table-I scale (~100 pkt/s per call direction):
+  // the capture must fit sim::Callback's inline buffer or every RTP packet
+  // pays a heap allocation. Packet is 48 bytes; this capture is exactly 64.
+  static_assert(sim::Callback::stores_inline<decltype(deliver)>(),
+                "per-packet delivery closure must stay on the allocation-free SBO path");
+  sim.schedule_at(delivery, std::move(deliver));
 }
 
 }  // namespace pbxcap::net

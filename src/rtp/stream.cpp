@@ -35,7 +35,12 @@ void RtpSender::emit_one(bool first) {
   timestamp_ += codec_.timestamp_step();
   ++sent_;
   emit_(header, codec_.wire_bytes());
-  next_event_ = simulator_.schedule_in(codec_.packet_interval(), [this] { emit_one(false); });
+  auto tick = [this] { emit_one(false); };
+  // The 20 ms pacing tick dominates the event population at Table-I scale
+  // (~3M events per operating point); it must never touch the allocator.
+  static_assert(sim::Callback::stores_inline<decltype(tick)>(),
+                "RTP pacing tick must stay on the allocation-free SBO path");
+  next_event_ = simulator_.schedule_in(codec_.packet_interval(), std::move(tick));
 }
 
 void RtpReceiverStats::on_packet(const RtpHeader& header, TimePoint arrival) {

@@ -1,61 +1,301 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace pbxcap::sim {
 
-EventId Simulator::schedule_at(TimePoint at, Callback fn) {
-  if (at < now_) throw std::invalid_argument{"Simulator::schedule_at: time is in the past"};
-  if (!fn) throw std::invalid_argument{"Simulator::schedule_at: empty callback"};
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, id, std::move(fn)});
+namespace {
+constexpr std::int64_t kNoHorizon = std::numeric_limits<std::int64_t>::max();
+}  // namespace
+
+void Simulator::grow_nodes() {
+  // A fresh chunk of stable-address nodes; indices join the free list
+  // descending so the lowest index is handed out first.
+  const auto base = static_cast<std::uint32_t>(chunks_.size()) << kChunkShift;
+  chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+  chunk0_ = chunks_.front().get();
+  free_.reserve(free_.size() + kChunkSize);
+  for (std::uint32_t i = 0; i < kChunkSize; ++i) free_.push_back(base + kChunkSize - 1 - i);
+}
+
+EventId Simulator::schedule_far(std::int64_t at_ns, std::uint64_t seq, std::uint32_t idx) {
+  Node& node = node_at(idx);
+  const EventId id = (static_cast<EventId>(node.gen) << 32) | idx;
+
+  const std::int64_t abs0 = at_ns >> kSlotBits0;
+  for (int attempt = 0;; ++attempt) {
+    if (abs0 > drained0_ && abs0 >= end0_ - kSlots && abs0 < end0_) {
+      // Level 0 after all — a resync below re-anchored the window onto it.
+      const auto phys = static_cast<std::uint32_t>(abs0) & kSlotMask;
+      auto& slot = wheel0_[phys];
+      node.loc = Loc::kWheel0;
+      node.slot = static_cast<std::uint8_t>(phys);
+      node.pos = static_cast<std::uint32_t>(slot.size());
+      slot.push_back(WheelItem{at_ns, seq, idx, node.gen});
+      set_bit(bits0_, phys);
+      ++wheel0_count_;
+      ++wheel_live_;
+      return id;
+    }
+    const std::int64_t abs1 = at_ns >> kSlotBits1;
+    if (abs0 >= end0_ && abs1 < next1_ + kSlots) {
+      // Level 1: waits coarsely, cascades into level 0 as the clock nears.
+      const auto phys = static_cast<std::uint32_t>(abs1) & kSlotMask;
+      auto& slot = wheel1_[phys];
+      node.loc = Loc::kWheel1;
+      node.slot = static_cast<std::uint8_t>(phys);
+      node.pos = static_cast<std::uint32_t>(slot.size());
+      slot.push_back(WheelItem{at_ns, seq, idx, node.gen});
+      set_bit(bits1_, phys);
+      ++wheel1_count_;
+      ++wheel_live_;
+      return id;
+    }
+    // If the wheel is idle its windows may lag the clock; re-anchor them at
+    // `now` once and reclassify. Cheap and rare: skipped whenever the windows
+    // are already anchored to the current level-0 slot.
+    if (attempt == 0 && (now_.ns() >> kSlotBits0) != drained0_ && wheel_is_empty()) {
+      resync_wheel();
+      continue;
+    }
+    break;
+  }
+
+  // Heap path: beyond the level-1 horizon, or past a wheel window that
+  // cascading has already advanced over.
+  node.loc = Loc::kHeap;
+  heap_push(HeapItem{at_ns, seq, idx});
   return id;
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Lazy deletion: mark and skip at pop time. The set is pruned as marked
-  // entries surface, so memory stays bounded by pending cancellations.
-  return cancelled_.insert(id).second;
-}
+  const auto idx = static_cast<std::uint32_t>(id);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= (static_cast<std::uint64_t>(chunks_.size()) << kChunkShift)) return false;
+  Node& node = node_at(idx);
+  if (node.gen != gen || node.loc == Loc::kFree) return false;
 
-bool Simulator::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the Entry must be moved out via pop, so
-    // copy the cheap fields first and steal the callback with const_cast —
-    // contained entries are never observed again after pop.
-    const Entry& top = queue_.top();
-    const TimePoint at = top.at;
-    const EventId id = top.id;
-    if (const auto it = cancelled_.find(id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    Callback fn = std::move(const_cast<Entry&>(top).fn);
-    queue_.pop();
-    now_ = at;
-    ++processed_;
-    fn();
-    return true;
+  switch (node.loc) {
+    case Loc::kHeap:
+      heap_remove(node.pos);
+      break;
+    case Loc::kWheel0:
+      slot_remove(wheel0_.data(), bits0_, wheel0_count_, node);
+      --wheel_live_;
+      break;
+    case Loc::kWheel1:
+      slot_remove(wheel1_.data(), bits1_, wheel1_count_, node);
+      --wheel_live_;
+      break;
+    case Loc::kRun:
+      // Lazy: the generation bump below invalidates the run_ entry, which
+      // wheel_peek() discards when it surfaces.
+      --wheel_live_;
+      break;
+    case Loc::kFree:
+      break;  // unreachable; handled above
   }
-  return false;
+  node.cb = Callback{};
+  recycle_node(idx);
+  ++cancelled_;
+  return true;
 }
 
 void Simulator::run() {
   stopped_ = false;
-  while (!stopped_ && step()) {
+  while (!stopped_ && fire_next(kNoHorizon)) {
   }
 }
 
 void Simulator::run_until(TimePoint horizon) {
   if (horizon < now_) throw std::invalid_argument{"Simulator::run_until: horizon is in the past"};
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().at <= horizon) {
-    step();
+  while (!stopped_ && fire_next(horizon.ns())) {
   }
   if (!stopped_) now_ = horizon;
+}
+
+bool Simulator::fire_next_general(std::int64_t horizon_ns) {
+  const WheelItem* wheel_min = wheel_peek();
+
+  bool from_wheel;
+  if (wheel_min != nullptr && !heap_.empty()) {
+    from_wheel = earlier(wheel_min->at, wheel_min->seq, heap_[0].at, heap_[0].seq);
+  } else if (wheel_min != nullptr) {
+    from_wheel = true;
+  } else if (!heap_.empty()) {
+    from_wheel = false;
+  } else {
+    return false;
+  }
+
+  std::int64_t at;
+  std::uint32_t idx;
+  if (from_wheel) {
+    at = wheel_min->at;
+    idx = wheel_min->idx;
+  } else {
+    at = heap_[0].at;
+    idx = heap_[0].idx;
+  }
+  if (at > horizon_ns) return false;
+
+  if (from_wheel) {
+    ++run_pos_;
+    --wheel_live_;
+  } else {
+    heap_pop_root();
+  }
+  finish_fire(at, idx);
+  return true;
+}
+
+const Simulator::WheelItem* Simulator::wheel_peek() {
+  for (;;) {
+    while (run_pos_ < run_.size()) {
+      const WheelItem& item = run_[run_pos_];
+      if (node_at(item.idx).gen == item.gen) return &item;
+      ++run_pos_;  // cancelled while activated; node already recycled
+    }
+    if (wheel0_count_ == 0 && wheel1_count_ == 0) return nullptr;
+    run_.clear();
+    run_pos_ = 0;
+
+    if (wheel0_count_ != 0) {
+      const std::int64_t found = scan_bits(bits0_, cursor0_, end0_);
+      if (found >= 0) {
+        activate_slot0(found);
+        continue;
+      }
+    }
+    if (wheel1_count_ == 0) return nullptr;  // defensive; level 0 scan covers the window
+    const std::int64_t found1 = scan_bits(bits1_, next1_, next1_ + kSlots);
+    cascade_slot1(found1);
+  }
+}
+
+void Simulator::activate_slot0(std::int64_t abs_slot) {
+  const auto phys = static_cast<std::uint32_t>(abs_slot) & kSlotMask;
+  auto& slot = wheel0_[phys];
+  run_.swap(slot);  // run_ is empty; recycles capacities both ways
+  clear_bit(bits0_, phys);
+  wheel0_count_ -= run_.size();
+  std::sort(run_.begin(), run_.end(), [](const WheelItem& a, const WheelItem& b) noexcept {
+    return earlier(a.at, a.seq, b.at, b.seq);
+  });
+  for (const WheelItem& item : run_) node_at(item.idx).loc = Loc::kRun;
+  drained0_ = abs_slot;
+  cursor0_ = abs_slot + 1;
+}
+
+void Simulator::cascade_slot1(std::int64_t abs_slot) {
+  const auto phys = static_cast<std::uint32_t>(abs_slot) & kSlotMask;
+  auto& slot = wheel1_[phys];
+  for (const WheelItem& item : slot) {
+    const std::int64_t abs0 = item.at >> kSlotBits0;
+    const auto phys0 = static_cast<std::uint32_t>(abs0) & kSlotMask;
+    auto& dst = wheel0_[phys0];
+    Node& node = node_at(item.idx);
+    node.loc = Loc::kWheel0;
+    node.slot = static_cast<std::uint8_t>(phys0);
+    node.pos = static_cast<std::uint32_t>(dst.size());
+    dst.push_back(item);
+    set_bit(bits0_, phys0);
+  }
+  wheel0_count_ += slot.size();
+  wheel1_count_ -= slot.size();
+  slot.clear();
+  clear_bit(bits1_, phys);
+  next1_ = abs_slot + 1;
+  end0_ = (abs_slot + 1) * kL0PerL1;
+  cursor0_ = abs_slot * kL0PerL1;
+}
+
+void Simulator::resync_wheel() noexcept {
+  // Only valid while the wheel holds nothing: re-anchor both windows at now.
+  const std::int64_t abs0 = now_.ns() >> kSlotBits0;
+  const std::int64_t abs1 = now_.ns() >> kSlotBits1;
+  drained0_ = abs0;  // the in-progress slot routes to the heap
+  cursor0_ = abs0 + 1;
+  next1_ = abs1 + 1;
+  end0_ = (abs1 + 1) * kL0PerL1;
+}
+
+void Simulator::heap_remove(std::uint32_t pos) {
+  const HeapItem last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    heap_[pos] = last;
+    node_at(last.idx).pos = pos;
+    heap_sift_up(pos);
+    heap_sift_down(pos);
+  }
+}
+
+void Simulator::heap_sift_up(std::uint32_t pos) {
+  const HeapItem item = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    if (!earlier(item.at, item.seq, heap_[parent].at, heap_[parent].seq)) break;
+    heap_[pos] = heap_[parent];
+    node_at(heap_[pos].idx).pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = item;
+  node_at(item.idx).pos = pos;
+}
+
+void Simulator::heap_sift_down(std::uint32_t pos) {
+  const HeapItem item = heap_[pos];
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    std::uint32_t best = first;
+    const std::uint32_t limit = std::min(first + 4, n);
+    for (std::uint32_t child = first + 1; child < limit; ++child) {
+      if (earlier(heap_[child].at, heap_[child].seq, heap_[best].at, heap_[best].seq)) {
+        best = child;
+      }
+    }
+    if (!earlier(heap_[best].at, heap_[best].seq, item.at, item.seq)) break;
+    heap_[pos] = heap_[best];
+    node_at(heap_[pos].idx).pos = pos;
+    pos = best;
+  }
+  heap_[pos] = item;
+  node_at(item.idx).pos = pos;
+}
+
+void Simulator::slot_remove(std::vector<WheelItem>* wheel, SlotBits& bits, std::uint64_t& count,
+                            const Node& node) noexcept {
+  auto& slot = wheel[node.slot];
+  const std::uint32_t pos = node.pos;
+  if (pos + 1 < slot.size()) {
+    slot[pos] = slot.back();
+    node_at(slot[pos].idx).pos = pos;
+  }
+  slot.pop_back();
+  if (slot.empty()) clear_bit(bits, node.slot);
+  --count;
+}
+
+std::int64_t Simulator::scan_bits(const SlotBits& bits, std::int64_t from, std::int64_t to) noexcept {
+  std::int64_t abs = from;
+  while (abs < to) {
+    const std::uint32_t phys = static_cast<std::uint32_t>(abs) & kSlotMask;
+    const std::uint32_t off = phys & 63;
+    const std::int64_t span = std::min<std::int64_t>(to - abs, 64 - off);
+    std::uint64_t word = bits[phys >> 6] >> off;
+    if (span < 64) word &= (std::uint64_t{1} << span) - 1;
+    if (word != 0) return abs + std::countr_zero(word);
+    abs += span;
+  }
+  return -1;
 }
 
 }  // namespace pbxcap::sim

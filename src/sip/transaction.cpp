@@ -105,7 +105,13 @@ ClientTransaction::ClientTransaction(TransactionLayer& layer, Message request, n
 void ClientTransaction::start() {
   layer_.transport().send_sip(request_, dst_);
   auto& sim = layer_.simulator();
-  retransmit_timer_ = sim.schedule_in(retransmit_interval_, [this] { retransmit(); });
+  auto rearm = [this] { retransmit(); };
+  // Timers A/B (E/F) arm on every request; [this] captures ride the
+  // sim::Callback inline buffer, and the A/E retransmit timers land on the
+  // timer-wheel fast path (T1 = 500 ms sits inside the level-1 window).
+  static_assert(sim::Callback::stores_inline<decltype(rearm)>(),
+                "SIP timer closures must stay on the allocation-free SBO path");
+  retransmit_timer_ = sim.schedule_in(retransmit_interval_, std::move(rearm));
   const Duration overall =
       method() == Method::kInvite ? layer_.timers().timer_b() : layer_.timers().timer_f();
   timeout_timer_ = sim.schedule_in(overall, [this] { fire_timeout(); });

@@ -1,0 +1,184 @@
+// Unit tests for sim::Callback — the SBO, move-only callable the event
+// engine stores inside every event node. These pin down the allocation
+// contract (inline for small captures, one heap allocation beyond
+// kInlineBytes), move semantics for both paths, and the in-place
+// emplace/invoke_and_reset cycle the scheduler's hot path relies on.
+#include "sim/callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace pbxcap::sim {
+namespace {
+
+TEST(SimCallback, DefaultConstructedIsEmpty) {
+  Callback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  Callback null_cb{nullptr};
+  EXPECT_FALSE(static_cast<bool>(null_cb));
+}
+
+TEST(SimCallback, InvokesSmallCapture) {
+  int hits = 0;
+  Callback cb{[&hits] { ++hits; }};
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SimCallback, SmallCaptureStaysInline) {
+  // A couple of pointers: the dominant closure shape on the hot path.
+  struct Small {
+    int* a;
+    int* b;
+    void operator()() const { *a += *b; }
+  };
+  static_assert(Callback::stores_inline<Small>());
+
+  const std::uint64_t before = Callback::heap_allocations();
+  int x = 1;
+  int y = 41;
+  Callback cb{Small{&x, &y}};
+  cb();
+  EXPECT_EQ(x, 42);
+  EXPECT_EQ(Callback::heap_allocations(), before);
+}
+
+TEST(SimCallback, ExactlyInlineBoundaryStaysInline) {
+  struct Exact {
+    std::array<unsigned char, Callback::kInlineBytes> bytes;
+    void operator()() const {}
+  };
+  static_assert(sizeof(Exact) == Callback::kInlineBytes);
+  static_assert(Callback::stores_inline<Exact>());
+
+  const std::uint64_t before = Callback::heap_allocations();
+  Callback cb{Exact{}};
+  cb();
+  EXPECT_EQ(Callback::heap_allocations(), before);
+}
+
+TEST(SimCallback, OversizedCaptureTakesHeapFallbackOnce) {
+  struct Big {
+    std::array<unsigned char, Callback::kInlineBytes + 1> bytes{};
+    int* hit;
+    void operator()() const { ++*hit; }
+  };
+  static_assert(!Callback::stores_inline<Big>());
+
+  const std::uint64_t before = Callback::heap_allocations();
+  int hits = 0;
+  Big big{};
+  big.hit = &hits;
+  Callback cb{big};
+  EXPECT_EQ(Callback::heap_allocations(), before + 1);
+  cb();
+  EXPECT_EQ(hits, 1);
+
+  // Moving a heap-backed callback hands off the pointer: no new allocation.
+  Callback moved{std::move(cb)};
+  EXPECT_EQ(Callback::heap_allocations(), before + 1);
+  moved();
+  EXPECT_EQ(hits, 2);
+  EXPECT_FALSE(static_cast<bool>(cb));  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SimCallback, MoveTransfersInlineCallable) {
+  int hits = 0;
+  Callback a{[&hits] { ++hits; }};
+  Callback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  Callback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SimCallback, MoveOnlyCaptureIsSupported) {
+  // std::function cannot hold this at all; Callback must, inline.
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  Callback cb{[p = std::move(owned), &seen] { seen = *p; }};
+  cb();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(SimCallback, NonTrivialCaptureDestroyedExactlyOnce) {
+  int alive = 0;
+  struct Token {
+    int* alive;
+    explicit Token(int* a) noexcept : alive(a) { ++*alive; }
+    Token(const Token& o) noexcept : alive(o.alive) { ++*alive; }
+    Token(Token&& o) noexcept : alive(o.alive) { ++*alive; }
+    ~Token() { --*alive; }
+  };
+  {
+    Callback cb{[t = Token{&alive}] { (void)t; }};
+    EXPECT_GT(alive, 0);
+    Callback moved{std::move(cb)};
+    EXPECT_GT(alive, 0);
+    moved();
+    EXPECT_GT(alive, 0);  // invocation does not destroy
+  }
+  EXPECT_EQ(alive, 0);  // all copies gone once both shells are dead
+}
+
+TEST(SimCallback, EmplaceThenInvokeAndResetRunsInPlace) {
+  int hits = 0;
+  Callback cb;
+  cb.emplace([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb.invoke_and_reset();
+  EXPECT_EQ(hits, 1);
+  EXPECT_FALSE(static_cast<bool>(cb));
+
+  // The emptied shell is reusable: the scheduler recycles nodes this way.
+  cb.emplace([&hits] { hits += 10; });
+  cb.invoke_and_reset();
+  EXPECT_EQ(hits, 11);
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(SimCallback, InvokeAndResetDestroysNonTrivialCapture) {
+  int alive = 0;
+  struct Token {
+    int* alive;
+    explicit Token(int* a) noexcept : alive(a) { ++*alive; }
+    Token(Token&& o) noexcept : alive(o.alive) { ++*alive; }
+    Token(const Token&) = delete;
+    ~Token() { --*alive; }
+  };
+  Callback cb;
+  cb.emplace([t = Token{&alive}] { (void)t; });
+  EXPECT_GT(alive, 0);
+  cb.invoke_and_reset();
+  EXPECT_EQ(alive, 0);
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(SimCallback, MoveAssignmentDestroysPreviousCallable) {
+  int alive = 0;
+  struct Token {
+    int* alive;
+    explicit Token(int* a) noexcept : alive(a) { ++*alive; }
+    Token(Token&& o) noexcept : alive(o.alive) { ++*alive; }
+    Token(const Token&) = delete;
+    ~Token() { --*alive; }
+  };
+  Callback cb{[t = Token{&alive}] { (void)t; }};
+  EXPECT_GT(alive, 0);
+  cb = Callback{};  // overwriting must release the old capture
+  EXPECT_EQ(alive, 0);
+}
+
+}  // namespace
+}  // namespace pbxcap::sim

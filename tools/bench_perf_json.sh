@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Dumps the event-engine microbenchmark suite as google-benchmark JSON.
+#
+# Usage: tools/bench_perf_json.sh [build-dir] [output-json]
+#
+# Runs bench_perf_engine (engine hot-path benchmarks: self-scheduling churn,
+# periodic timer-wheel ticks, bulk throughput, and the Table-I-scale macro
+# point) and writes the machine-readable results where CI can archive them
+# and where successive commits can be diffed.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_perf.json}"
+
+bench="${build_dir}/bench/bench_perf_engine"
+if [[ ! -x "${bench}" ]]; then
+  echo "error: ${bench} not found or not executable; build the project first:" >&2
+  echo "  cmake -B ${build_dir} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+"${bench}" \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "wrote ${out}"
