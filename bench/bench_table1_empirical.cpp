@@ -10,29 +10,82 @@
 //   blocked      : 0%      0%      0%      6%      21%     29%
 //   RTP msgs     : ~12,037 per 120 s call (100 pkt/s)
 //
-// Usage: bench_table1_empirical [--fast]
-//   --fast : quarter-scale placement window (45 s) for quick smoke runs.
+// Usage: bench_table1_empirical [--fast] [--metrics-out F] [--series-out F]
+//                               [--trace-out F]
+//   --fast        : quarter-scale placement window (45 s) for quick smoke runs.
+//   --metrics-out : Prometheus text (or JSON when F ends in .json) snapshot of
+//                   the A = 200 E replication-0 run.
+//   --series-out  : per-second CSV series of the same run.
+//   --trace-out   : Chrome trace-event JSON (Perfetto-loadable) of the same run.
+//
+// Telemetry is attached to exactly one job (A = 200 E, replication 0): the
+// Telemetry object, like the Simulator, is per-run state and the jobs run on
+// a thread pool.
 
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/erlang_b.hpp"
 #include "exp/parallel.hpp"
 #include "exp/testbed.hpp"
 #include "monitor/report.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pbxcap;
 
   bool fast = false;
+  std::string metrics_out, series_out, trace_out;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    const auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = next("--metrics-out");
+    } else if (std::strcmp(argv[i], "--series-out") == 0) {
+      series_out = next("--series-out");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = next("--trace-out");
+    }
   }
 
   const std::vector<double> workloads{40, 80, 120, 160, 200, 240};
   const std::size_t replications = fast ? 1 : 3;
   std::vector<monitor::ExperimentReport> raw(workloads.size() * replications);
+
+  const bool want_telemetry = !metrics_out.empty() || !series_out.empty() || !trace_out.empty();
+  telemetry::Config tel_config;
+  tel_config.tracing = !trace_out.empty();
+  telemetry::Telemetry tel{tel_config};
+  // A = 200 E is the paper's saturation point (21% blocked): the most
+  // interesting load to put under the microscope.
+  const std::size_t telemetry_job = 4 * replications;  // A = 200, replication 0
 
   std::printf("== Table I: empirical method, packet-level testbed%s ==\n",
               fast ? " (fast mode)" : "");
@@ -45,8 +98,24 @@ int main(int argc, char** argv) {
     config.scenario = loadgen::CallScenario::for_offered_load(workloads[job / replications]);
     if (fast) config.scenario.placement_window = Duration::seconds(45);
     config.seed = 1000 + 17 * job;
+    if (want_telemetry && job == telemetry_job) config.telemetry = &tel;
     raw[job] = exp::run_testbed(config);
   });
+
+  bool exports_ok = true;
+  if (!metrics_out.empty()) {
+    const std::string text = std::string_view{metrics_out}.ends_with(".json")
+                                 ? telemetry::to_json(tel.registry())
+                                 : telemetry::to_prometheus(tel.registry());
+    exports_ok = write_file(metrics_out, text) && exports_ok;
+  }
+  if (!series_out.empty()) {
+    exports_ok = write_file(series_out, tel.sampler().to_csv()) && exports_ok;
+  }
+  if (!trace_out.empty() && tel.tracer() != nullptr) {
+    exports_ok = write_file(trace_out, telemetry::to_chrome_trace(*tel.tracer())) && exports_ok;
+  }
+  if (!exports_ok) return 1;
 
   std::vector<monitor::ExperimentReport> reports(workloads.size());
   for (std::size_t i = 0; i < workloads.size(); ++i) {

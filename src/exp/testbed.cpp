@@ -60,6 +60,44 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
   rtp_capture.attach(network);
   if (config.trace != nullptr) config.trace->attach(network);
 
+  telemetry::Telemetry* tel = config.telemetry;
+  if (tel != nullptr && tel->enabled()) {
+    pbx.set_telemetry(tel);
+    caller.set_telemetry(tel);
+    receiver.set_telemetry(tel);
+
+    // Per-second series. Probes capture locals of this frame; they only run
+    // while the simulator below is running, so the references stay valid.
+    auto& sampler = tel->sampler();
+    const Duration period = tel->config().sample_period;
+    sampler.add_gauge("active_channels",
+                      [&pbx] { return static_cast<double>(pbx.channels().in_use()); });
+    sampler.add_gauge("cpu_utilization", [&pbx, &simulator, period] {
+      // Utilization over the elapsed part of the last sample period.
+      const TimePoint now = simulator.now();
+      const Duration back = std::min(period, now - TimePoint::origin());
+      return back > Duration::zero() ? pbx.cpu().utilization(now - back, now).mean() : 0.0;
+    });
+    // Live cumulative P_b = blocked so far / placed so far. The call log's
+    // own blocking_probability() only counts *finalized* calls in its
+    // denominator — blocked calls finalize instantly but completed ones only
+    // at teardown, which would spike the mid-run curve toward 1.0 right when
+    // the pool first saturates.
+    const telemetry::Counter& offered =
+        tel->registry().counter("pbxcap_caller_calls_offered_total");
+    sampler.add_gauge("blocking_probability", [&caller, &offered] {
+      const auto placed = static_cast<double>(offered.value());
+      return placed > 0.0 ? static_cast<double>(caller.log().blocked()) / placed : 0.0;
+    });
+    sampler.add_rate("calls_blocked_per_s",
+                     [&caller] { return static_cast<double>(caller.log().blocked()); });
+    sampler.add_rate("sip_msgs_per_s",
+                     [&sip_capture] { return static_cast<double>(sip_capture.total()); });
+    sampler.add_rate("rtp_pkts_per_s",
+                     [&rtp_capture] { return static_cast<double>(rtp_capture.packets_in()); });
+    sampler.start(simulator, period);
+  }
+
   caller.start();
   // Hold tail: deterministic holds end exactly at window + h; stochastic
   // models need slack for the distribution's tail before the drain cutoff.
@@ -71,6 +109,31 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
       config.drain;
   simulator.run_until(TimePoint::at(horizon_d));
   caller.finalize_remaining();
+
+  if (tel != nullptr && tel->enabled()) {
+    tel->sampler().stop();  // cancel the pending tick before the sim dies
+    // Mirror the NIC-tap message census and ring drop counts into the
+    // registry so one Prometheus snapshot carries the full picture.
+    auto& reg = tel->registry();
+    for (const auto& [key, v] : sip_capture.counters().all()) {
+      reg.counter("pbxcap_sip_messages_observed_total", {{"type", key}},
+                  "SIP messages by method/status observed at the PBX NIC")
+          .add(v);
+    }
+    reg.counter("pbxcap_sip_errors_observed_total", {},
+                "Error responses (>= 400) observed at the PBX NIC")
+        .add(sip_capture.errors());
+    if (config.trace != nullptr) {
+      reg.counter("pbxcap_trace_events_dropped_total", {},
+                  "Packet-trace ring overwrites (oldest events lost)")
+          .add(config.trace->dropped());
+    }
+    if (tel->tracer() != nullptr) {
+      reg.counter("pbxcap_trace_spans_dropped_total", {},
+                  "Span-ring overwrites (oldest spans lost)")
+          .add(tel->tracer()->dropped());
+    }
+  }
 
   // Merge receiver-side heard quality into the caller's per-call records.
   for (auto& record : caller.log().records_mutable()) {

@@ -17,6 +17,7 @@
 #include "net/link.hpp"
 #include "net/wifi_cell.hpp"
 #include "pbx/asterisk_pbx.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
 namespace pbxcap::exp {
@@ -38,6 +39,12 @@ struct TestbedConfig {
   /// Optional capture: when non-null, attached to the network before the
   /// run so callers can dump CSV traces or Fig.-2-style SIP ladders.
   monitor::PacketTrace* trace{nullptr};
+  /// Optional telemetry sink: when non-null and enabled, every endpoint is
+  /// instrumented, the sim-time sampler records per-second series (active
+  /// channels, CPU, blocking, SIP/RTP rates), and call-lifecycle spans land
+  /// in the tracer. The Telemetry instance is owned by the caller and is not
+  /// thread-safe — give each run its own, like the Simulator.
+  telemetry::Telemetry* telemetry{nullptr};
 };
 
 /// Extra observations available when the testbed ran with a Wi-Fi cell.

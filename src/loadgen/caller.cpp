@@ -38,6 +38,30 @@ SipCaller::SipCaller(std::string host, std::vector<std::string> pbx_hosts,
   transactions().on_ack = [](const Message&) {};
 }
 
+void SipCaller::set_telemetry(telemetry::Telemetry* tel) {
+  sip::SipEndpoint::set_telemetry(tel);
+  tm_offered_ = tm_completed_ = tm_blocked_ = tm_failed_ = tm_abandoned_ = tm_rtp_sent_ =
+      nullptr;
+  tm_setup_delay_ms_ = tm_mos_ = nullptr;
+  if (tel == nullptr || !tel->enabled()) return;
+  auto& reg = tel->registry();
+  tm_offered_ = &reg.counter("pbxcap_caller_calls_offered_total", {},
+                             "Calls placed by the load generator");
+  tm_completed_ = &reg.counter("pbxcap_caller_calls_total", {{"outcome", "completed"}},
+                               "Finished calls by outcome");
+  tm_blocked_ = &reg.counter("pbxcap_caller_calls_total", {{"outcome", "blocked"}});
+  tm_failed_ = &reg.counter("pbxcap_caller_calls_total", {{"outcome", "failed"}});
+  tm_abandoned_ = &reg.counter("pbxcap_caller_calls_total", {{"outcome", "abandoned"}});
+  tm_rtp_sent_ = &reg.counter("pbxcap_rtp_packets_sent_total", {{"host", sip_host()}},
+                              "RTP packets emitted by this endpoint's senders");
+  tm_setup_delay_ms_ =
+      &reg.histogram("pbxcap_caller_setup_delay_ms",
+                     telemetry::log_linear_buckets(1.0, 10'000.0, 5), {},
+                     "INVITE to 200 OK setup delay of answered calls (ms)");
+  tm_mos_ = &reg.histogram("pbxcap_caller_mos", telemetry::linear_buckets(1.0, 5.0, 8), {},
+                           "Caller-heard MOS of answered calls");
+}
+
 void SipCaller::start() {
   if (started_) return;
   started_ = true;
@@ -88,6 +112,7 @@ void SipCaller::place_call() {
   }
 
   const std::uint64_t index = next_call_index_++;
+  if (tm_offered_ != nullptr) tm_offered_->add();
   auto call = std::make_unique<Call>();
   call->index = index;
   call->pbx_host = pbx_hosts_[static_cast<std::size_t>(index) % pbx_hosts_.size()];
@@ -174,6 +199,7 @@ void SipCaller::start_media(Call& call) {
         pkt.payload = std::make_shared<rtp::RtpPayload>(header, network()->simulator().now());
         send(std::move(pkt));
       });
+  call.sender->set_packet_counter(tm_rtp_sent_);
   call.sender->start();
   if (scenario_.rtcp) {
     call.rtcp = std::make_unique<rtp::RtcpSession>(
@@ -211,6 +237,21 @@ void SipCaller::finish(std::uint64_t index, monitor::CallOutcome outcome) {
   if (it == calls_.end()) return;
   Call& call = *it->second;
 
+  switch (outcome) {
+    case monitor::CallOutcome::kCompleted:
+      if (tm_completed_ != nullptr) tm_completed_->add();
+      break;
+    case monitor::CallOutcome::kBlocked:
+      if (tm_blocked_ != nullptr) tm_blocked_->add();
+      break;
+    case monitor::CallOutcome::kFailed:
+      if (tm_failed_ != nullptr) tm_failed_->add();
+      break;
+    case monitor::CallOutcome::kAbandoned:
+      if (tm_abandoned_ != nullptr) tm_abandoned_->add();
+      break;
+  }
+
   monitor::CallRecord record;
   record.call_index = index;
   record.offered_at = call.offered_at;
@@ -231,6 +272,8 @@ void SipCaller::finish(std::uint64_t index, monitor::CallOutcome outcome) {
         call.codec, Duration::from_seconds(call.transit_s.mean()), call.jbuf.playout_delay(),
         record.loss_caller_heard);
     record.mos_caller_heard = media::estimate_mos(inputs);
+    if (tm_setup_delay_ms_ != nullptr) tm_setup_delay_ms_->observe(record.setup_delay.to_millis());
+    if (tm_mos_ != nullptr && record.mos_caller_heard) tm_mos_->observe(*record.mos_caller_heard);
   }
   log_.add(std::move(record));
 

@@ -42,6 +42,10 @@ class SipCaller final : public sip::SipEndpoint {
 
   void on_receive(const net::Packet& pkt) override;
 
+  /// Adds per-outcome call counters, setup-delay / MOS histograms, and the
+  /// caller-side RTP send counter on top of the base instrumentation.
+  void set_telemetry(telemetry::Telemetry* tel) override;
+
   /// Marks still-open calls as abandoned; call at the experiment horizon.
   void finalize_remaining();
 
@@ -104,6 +108,16 @@ class SipCaller final : public sip::SipEndpoint {
   sim::EventId arrival_timer_{0};
   bool started_{false};
   bool window_closed_{false};
+
+  // Telemetry handles; null when telemetry is absent or disabled.
+  telemetry::Counter* tm_offered_{nullptr};
+  telemetry::Counter* tm_completed_{nullptr};
+  telemetry::Counter* tm_blocked_{nullptr};
+  telemetry::Counter* tm_failed_{nullptr};
+  telemetry::Counter* tm_abandoned_{nullptr};
+  telemetry::Counter* tm_rtp_sent_{nullptr};
+  telemetry::Histogram* tm_setup_delay_ms_{nullptr};
+  telemetry::Histogram* tm_mos_{nullptr};
 };
 
 }  // namespace pbxcap::loadgen

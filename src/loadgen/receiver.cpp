@@ -106,6 +106,18 @@ void SipReceiver::answer(const Message& invite, sip::ServerTransaction& txn) {
   if (session->remote_ssrc != 0) by_remote_ssrc_[session->remote_ssrc] = session.get();
   sessions_.emplace(invite.call_id(), std::move(session));
   ++answered_;
+  if (tm_answered_ != nullptr) tm_answered_->add();
+}
+
+void SipReceiver::set_telemetry(telemetry::Telemetry* tel) {
+  sip::SipEndpoint::set_telemetry(tel);
+  tm_answered_ = tm_rtp_sent_ = nullptr;
+  if (tel == nullptr || !tel->enabled()) return;
+  auto& reg = tel->registry();
+  tm_answered_ = &reg.counter("pbxcap_receiver_calls_answered_total", {},
+                              "Calls answered by the receiver host");
+  tm_rtp_sent_ = &reg.counter("pbxcap_rtp_packets_sent_total", {{"host", sip_host()}},
+                              "RTP packets emitted by this endpoint's senders");
 }
 
 void SipReceiver::handle_ack(const Message& ack) {
@@ -127,6 +139,7 @@ void SipReceiver::start_media(Session& session) {
             std::make_shared<rtp::RtpPayload>(header, network()->simulator().now());
         send(std::move(pkt));
       });
+  session.sender->set_packet_counter(tm_rtp_sent_);
   session.sender->start();
   if (scenario_.rtcp) {
     session.rtcp = std::make_unique<rtp::RtcpSession>(

@@ -41,6 +41,10 @@ class SipReceiver final : public sip::SipEndpoint {
 
   void on_receive(const net::Packet& pkt) override;
 
+  /// Adds the answered-call counter and the receiver-side RTP send counter
+  /// on top of the base endpoint instrumentation.
+  void set_telemetry(telemetry::Telemetry* tel) override;
+
   /// Received-side quality for the call with the given index ("recv-<idx>"
   /// user part), available once the call has been torn down.
   [[nodiscard]] const HeardQuality* finished(std::uint64_t call_index) const;
@@ -81,6 +85,10 @@ class SipReceiver final : public sip::SipEndpoint {
   std::unordered_map<std::uint64_t, HeardQuality> finished_;
   std::uint64_t answered_{0};
   sim::Random rtcp_rng_{0xACE5};
+
+  // Telemetry handles; null when telemetry is absent or disabled.
+  telemetry::Counter* tm_answered_{nullptr};
+  telemetry::Counter* tm_rtp_sent_{nullptr};
 };
 
 /// Extracts <idx> from a "recv-<idx>" / "caller-<idx>" style user part.

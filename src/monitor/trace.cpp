@@ -33,10 +33,6 @@ void PacketTrace::attach(net::Network& network, bool sip_only) {
       [this, sip_only, net_ptr](const net::Packet& pkt, net::NodeId from, net::NodeId to) {
         if (to != pkt.dst) return;  // record final-hop deliveries only
         if (sip_only && pkt.kind != net::PacketKind::kSip) return;
-        if (events_.size() >= max_events_) {
-          ++dropped_;
-          return;
-        }
         TraceEvent event;
         event.at = net_ptr->simulator().now();
         event.packet_id = pkt.id;
@@ -49,29 +45,51 @@ void PacketTrace::attach(net::Network& network, bool sip_only) {
         event.src_name = net_ptr->node(pkt.src).name();
         event.dst_name = net_ptr->node(pkt.dst).name();
         event.summary = summarize(pkt, event.call_id);
-        events_.push_back(std::move(event));
+        record(std::move(event));
       });
+}
+
+void PacketTrace::record(TraceEvent event) {
+  if (max_events_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (ring_.size() < max_events_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+std::vector<TraceEvent> PacketTrace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for_each([&out](const TraceEvent& e) { out.push_back(e); });
+  return out;
 }
 
 std::string PacketTrace::to_csv() const {
   util::TextTable table{{"time_s", "id", "kind", "src", "dst", "bytes", "summary", "call_id"}};
-  for (const auto& e : events_) {
+  for_each([&table](const TraceEvent& e) {
     table.add_row({util::format("%.6f", e.at.to_seconds()),
                    util::format("%llu", (unsigned long long)e.packet_id),
                    std::string{to_string(e.kind)}, e.src_name, e.dst_name,
                    util::format("%u", e.size_bytes), e.summary, e.call_id});
-  }
+  });
   return table.to_csv();
 }
 
 std::string PacketTrace::sip_ladder(const std::string& call_id_fragment) const {
   std::ostringstream os;
-  for (const auto& e : events_) {
-    if (e.kind != net::PacketKind::kSip) continue;
-    if (e.call_id.find(call_id_fragment) == std::string::npos) continue;
+  for_each([&os, &call_id_fragment](const TraceEvent& e) {
+    if (e.kind != net::PacketKind::kSip) return;
+    if (e.call_id.find(call_id_fragment) == std::string::npos) return;
     os << util::format("%10.4fs  %-12s ---[ %-28s ]--> %s\n", e.at.to_seconds(),
                        e.src_name.c_str(), e.summary.c_str(), e.dst_name.c_str());
-  }
+  });
   return os.str();
 }
 

@@ -32,17 +32,23 @@ struct TraceEvent {
 
 class PacketTrace {
  public:
-  /// `max_events` caps memory; older events are kept, new ones dropped once
-  /// full (a capture that stops when the buffer is full, like a ring-less
-  /// pcap with -c).
+  /// `max_events` caps memory. The capture is a true ring buffer: once full,
+  /// each new event overwrites the oldest one (tcpdump -W 1 semantics), so
+  /// the retained window always ends at the most recent delivery. `dropped()`
+  /// counts the overwritten events; testbed runs export it as the
+  /// `pbxcap_trace_events_dropped_total` telemetry metric.
   explicit PacketTrace(std::size_t max_events = 100'000) : max_events_{max_events} {}
 
   /// Installs the tap. Records only final-hop deliveries (one event per
   /// end-to-end message per receiving node), optionally filtered by kind.
   void attach(net::Network& network, bool sip_only = false);
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  /// Retained events, oldest first (chronological even after wrap-around).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Number of events overwritten because the ring was full.
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return max_events_; }
 
   [[nodiscard]] std::string to_csv() const;
 
@@ -51,8 +57,18 @@ class PacketTrace {
   [[nodiscard]] std::string sip_ladder(const std::string& call_id_fragment) const;
 
  private:
+  void record(TraceEvent event);
+  /// Applies `fn` to each retained event in chronological order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      fn(ring_[(head_ + i) % ring_.size()]);
+    }
+  }
+
   std::size_t max_events_;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_{0};  // index of the oldest retained event once full
   std::uint64_t dropped_{0};
 };
 

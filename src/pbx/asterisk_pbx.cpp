@@ -26,6 +26,46 @@ AsteriskPbx::AsteriskPbx(PbxConfig config, sim::Simulator& simulator,
   transactions().on_ack = [](const Message&) { /* leg A established; nothing to do */ };
 }
 
+void AsteriskPbx::set_telemetry(telemetry::Telemetry* tel) {
+  sip::SipEndpoint::set_telemetry(tel);
+  tm_invites_ = tm_blocked_policy_ = tm_blocked_cac_ = tm_blocked_channels_ =
+      tm_blocked_queue_full_ = tm_answered_ = tm_failed_ = tm_queued_ = tm_queue_served_ =
+          tm_queue_timeouts_ = tm_rtp_relayed_ = tm_rtp_dropped_ = nullptr;
+  tm_active_channels_ = nullptr;
+  tracer_ = nullptr;
+  if (tel == nullptr || !tel->enabled()) return;
+  auto& reg = tel->registry();
+  tm_invites_ = &reg.counter("pbxcap_pbx_invites_total", {},
+                             "INVITEs reaching the PBX admission path");
+  tm_blocked_policy_ =
+      &reg.counter("pbxcap_pbx_calls_blocked_total", {{"reason", "policy"}},
+                   "Calls rejected by admission control, by reason");
+  tm_blocked_cac_ = &reg.counter("pbxcap_pbx_calls_blocked_total", {{"reason", "cac"}});
+  tm_blocked_channels_ = &reg.counter("pbxcap_pbx_calls_blocked_total", {{"reason", "channels"}});
+  tm_blocked_queue_full_ =
+      &reg.counter("pbxcap_pbx_calls_blocked_total", {{"reason", "queue_full"}});
+  tm_answered_ = &reg.counter("pbxcap_pbx_calls_answered_total", {},
+                              "Bridged calls that reached 200 OK on leg A");
+  tm_failed_ = &reg.counter("pbxcap_pbx_calls_failed_total", {},
+                            "Bridges folded on a leg B error or timeout");
+  tm_queued_ = &reg.counter("pbxcap_pbx_queue_events_total", {{"event", "enqueued"}},
+                            "Queue-when-busy admission events");
+  tm_queue_served_ = &reg.counter("pbxcap_pbx_queue_events_total", {{"event", "served"}});
+  tm_queue_timeouts_ = &reg.counter("pbxcap_pbx_queue_events_total", {{"event", "timeout"}});
+  tm_rtp_relayed_ = &reg.counter("pbxcap_pbx_rtp_relayed_total", {},
+                                 "RTP/RTCP packets relayed between call legs");
+  tm_rtp_dropped_ = &reg.counter("pbxcap_pbx_rtp_dropped_total", {},
+                                 "RTP/RTCP packets dropped for lack of a session");
+  tm_active_channels_ =
+      &reg.gauge("pbxcap_pbx_active_channels", {}, "Channels currently held by bridges");
+  tracer_ = tel->tracer();
+  if (tracer_ != nullptr) {
+    span_setup_name_ = tracer_->name_id("call.setup");
+    span_media_name_ = tracer_->name_id("call.media");
+    span_teardown_name_ = tracer_->name_id("call.teardown");
+  }
+}
+
 void AsteriskPbx::send_sip(const Message& msg, net::NodeId dst) {
   cpu_.on_sip_message(network() != nullptr ? network()->simulator().now() : TimePoint{});
   sip::SipEndpoint::send_sip(msg, dst);
@@ -74,6 +114,7 @@ void AsteriskPbx::reject(const Message& req, sip::ServerTransaction& txn, int co
 }
 
 void AsteriskPbx::handle_invite(const Message& req, sip::ServerTransaction& txn) {
+  if (tm_invites_ != nullptr) tm_invites_->add();
   if (!config_.require_auth) {
     admit_invite(req, txn);
     return;
@@ -133,6 +174,7 @@ void AsteriskPbx::admit_invite(const Message& req, sip::ServerTransaction& txn) 
     const auto it = active_calls_by_user_.find(caller_user);
     if (it != active_calls_by_user_.end() && it->second >= user->max_concurrent_calls) {
       ++policy_rejections_;
+      if (tm_blocked_policy_ != nullptr) tm_blocked_policy_->add();
       cdrs_.close(cdr, Disposition::kRejected, now);
       reject(req, txn, sip::status::kBusyHere);
       return;
@@ -143,6 +185,7 @@ void AsteriskPbx::admit_invite(const Message& req, sip::ServerTransaction& txn) 
   // predicts blocking above target, before the pool is exhausted.
   if (config_.admission == AdmissionPolicy::kErlangPredictive &&
       !cac_.admit(now, channels_.capacity())) {
+    if (tm_blocked_cac_ != nullptr) tm_blocked_cac_->add();
     cdrs_.close(cdr, Disposition::kCongestion, now);
     reject(req, txn, sip::status::kServiceUnavailable);
     return;
@@ -154,6 +197,7 @@ void AsteriskPbx::admit_invite(const Message& req, sip::ServerTransaction& txn) 
       enqueue_call(req, txn, cdr);
       return;
     }
+    if (tm_blocked_channels_ != nullptr) tm_blocked_channels_->add();
     cdrs_.close(cdr, Disposition::kCongestion, now);
     reject(req, txn, sip::status::kServiceUnavailable);
     return;
@@ -238,6 +282,14 @@ void AsteriskPbx::start_bridge(const Message& req, sip::ServerTransaction& txn,
   ++active_bridges_;
   by_call_id_a_.emplace(bridges_[idx]->call_id_a, idx);
   by_call_id_b_.emplace(bridges_[idx]->call_id_b, idx);
+  if (tm_active_channels_ != nullptr) {
+    tm_active_channels_->set(static_cast<double>(channels_.in_use()));
+  }
+  if (tracer_ != nullptr) {
+    Bridge& b = *bridges_[idx];
+    b.span_track = tracer_->track_id(b.call_id_a);
+    b.setup_span = tracer_->begin(span_setup_name_, b.span_track, now);
+  }
 
   send_request_to(
       std::move(invite_b), *route,
@@ -253,12 +305,14 @@ void AsteriskPbx::enqueue_call(const Message& req, sip::ServerTransaction& txn,
     if (qc->live) ++live;
   }
   if (live >= config_.max_queue_length) {
+    if (tm_blocked_queue_full_ != nullptr) tm_blocked_queue_full_->add();
     cdrs_.close(cdr, Disposition::kCongestion, now);
     reject(req, txn, sip::status::kServiceUnavailable);
     return;
   }
 
   ++queued_total_;
+  if (tm_queued_ != nullptr) tm_queued_->add();
   auto queued = std::make_unique<QueuedCall>();
   queued->invite = req;
   queued->txn = &txn;
@@ -277,6 +331,7 @@ void AsteriskPbx::enqueue_call(const Message& req, sip::ServerTransaction& txn,
         if (!raw->live) return;
         raw->live = false;
         ++queue_timeouts_;
+        if (tm_queue_timeouts_ != nullptr) tm_queue_timeouts_->add();
         queue_wait_s_.add(config_.queue_timeout.to_seconds());
         cdrs_.close(raw->cdr, Disposition::kCongestion, network()->simulator().now());
         reject(raw->invite, *raw->txn, sip::status::kServiceUnavailable);
@@ -293,6 +348,7 @@ void AsteriskPbx::serve_queue() {
   network()->simulator().cancel(queued->timeout_event);
   if (!channels_.try_acquire()) return;  // raced away; caller times out later
   ++queue_served_;
+  if (tm_queue_served_ != nullptr) tm_queue_served_->add();
   queue_wait_s_.add((network()->simulator().now() - queued->enqueued_at).to_seconds());
   start_bridge(queued->invite, *queued->txn, queued->cdr);
 }
@@ -350,12 +406,20 @@ void AsteriskPbx::on_leg_b_response(std::size_t bridge_idx, const Message& resp)
 
     bridge.state = Bridge::State::kAnswered;
     cdrs_.mark_answered(bridge.cdr, network()->simulator().now());
+    if (tm_answered_ != nullptr) tm_answered_->add();
+    if (tracer_ != nullptr) {
+      const TimePoint now = network()->simulator().now();
+      tracer_->end(bridge.setup_span, now);
+      bridge.setup_span = 0;
+      bridge.media_span = tracer_->begin(span_media_name_, bridge.span_track, now);
+    }
     register_media(bridge);
     return;
   }
 
   // Error final from leg B: mirror it on leg A and fold the bridge.
   cpu_.on_error_event(network()->simulator().now());
+  if (tm_failed_ != nullptr) tm_failed_->add();
   if (bridge.invite_txn_a != nullptr) {
     Message err = Message::response_to(bridge.invite_a, code);
     err.to().tag = bridge.to_tag_a;
@@ -369,6 +433,7 @@ void AsteriskPbx::on_leg_b_timeout(std::size_t bridge_idx) {
   Bridge& bridge = *bridges_.at(bridge_idx);
   if (bridge.state == Bridge::State::kClosed) return;
   cpu_.on_error_event(network()->simulator().now());
+  if (tm_failed_ != nullptr) tm_failed_->add();
   if (bridge.invite_txn_a != nullptr) {
     Message err = Message::response_to(bridge.invite_a, 504);
     err.to().tag = bridge.to_tag_a;
@@ -407,12 +472,29 @@ void AsteriskPbx::handle_bye(const Message& req, sip::ServerTransaction& txn) {
   Message ok = Message::response_to(req, sip::status::kOk);
   txn.respond(ok);
 
+  // Teardown span: BYE received until the forwarded BYE's transaction
+  // resolves on the other leg. The id is captured by value — the bridge is
+  // folded below, long before the response arrives.
+  telemetry::SpanTracer::SpanId teardown = 0;
+  if (tracer_ != nullptr) {
+    const TimePoint now = network()->simulator().now();
+    tracer_->end(bridge->media_span, now);
+    bridge->media_span = 0;
+    teardown = tracer_->begin(span_teardown_name_, bridge->span_track, now);
+  }
+
   sip::Dialog& other = is_leg_a ? bridge->dialog_b : bridge->dialog_a;
   const std::string& other_host = is_leg_a ? bridge->callee_host : bridge->caller_host;
   Message bye = other.make_request(Method::kBye);
   send_request_to(
-      bye, other_host, [](const Message&) { /* teardown confirmed */ },
-      [this] { cpu_.on_error_event(network()->simulator().now()); });
+      bye, other_host,
+      [this, teardown](const Message&) {
+        if (tracer_ != nullptr) tracer_->end(teardown, network()->simulator().now());
+      },
+      [this, teardown] {
+        cpu_.on_error_event(network()->simulator().now());
+        if (tracer_ != nullptr) tracer_->end(teardown, network()->simulator().now());
+      });
 
   close_bridge(idx, Disposition::kAnswered);
 }
@@ -425,6 +507,10 @@ void AsteriskPbx::register_media(Bridge& bridge) {
 
 void AsteriskPbx::relay_rtp(const net::Packet& pkt) {
   cpu_.on_rtp_packet(network()->simulator().now());
+  const auto drop = [this] {
+    ++rtp_dropped_no_session_;
+    if (tm_rtp_dropped_ != nullptr) tm_rtp_dropped_->add();
+  };
   // Media and control share the SSRC routing table: RTCP for a stream
   // follows the same path as its RTP (RFC 3550 pairs the two flows).
   std::uint32_t ssrc = 0;
@@ -433,27 +519,28 @@ void AsteriskPbx::relay_rtp(const net::Packet& pkt) {
   } else if (const auto* rtcp = pkt.payload_as<rtp::RtcpPayload>()) {
     ssrc = rtcp->routing_ssrc();
   } else {
-    ++rtp_dropped_no_session_;
+    drop();
     return;
   }
   const auto it = by_ssrc_.find(ssrc);
   if (it == by_ssrc_.end()) {
-    ++rtp_dropped_no_session_;
+    drop();
     return;
   }
   Bridge& bridge = *bridges_[it->second];
   if (bridge.state != Bridge::State::kAnswered &&
       bridge.state != Bridge::State::kTearingDown) {
-    ++rtp_dropped_no_session_;
+    drop();
     return;
   }
   const bool from_caller = ssrc == bridge.ssrc_a;
   const net::NodeId dst = from_caller ? bridge.callee_node : bridge.caller_node;
   if (dst == net::kInvalidNode) {
-    ++rtp_dropped_no_session_;
+    drop();
     return;
   }
   ++rtp_relayed_;
+  if (tm_rtp_relayed_ != nullptr) tm_rtp_relayed_->add();
   net::Packet out;
   out.dst = dst;
   out.kind = pkt.kind;
@@ -469,6 +556,21 @@ void AsteriskPbx::close_bridge(std::size_t idx, Disposition disposition) {
   if (bridge.channel_held) {
     channels_.release();
     bridge.channel_held = false;
+  }
+  if (tm_active_channels_ != nullptr) {
+    tm_active_channels_->set(static_cast<double>(channels_.in_use()));
+  }
+  if (tracer_ != nullptr) {
+    // Failure paths can fold the bridge with lifecycle spans still open.
+    const TimePoint now = network()->simulator().now();
+    if (bridge.setup_span != 0) {
+      tracer_->end(bridge.setup_span, now);
+      bridge.setup_span = 0;
+    }
+    if (bridge.media_span != 0) {
+      tracer_->end(bridge.media_span, now);
+      bridge.media_span = 0;
+    }
   }
   if (const auto it = active_calls_by_user_.find(bridge.caller_user);
       it != active_calls_by_user_.end() && it->second > 0) {

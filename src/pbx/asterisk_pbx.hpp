@@ -60,6 +60,11 @@ class AsteriskPbx final : public sip::SipEndpoint {
   void on_receive(const net::Packet& pkt) override;
   void send_sip(const sip::Message& msg, net::NodeId dst) override;
 
+  /// Adds the PBX's call-lifecycle spans (setup / media / teardown per
+  /// bridged call, tracked by the leg A Call-ID) and admission/relay metrics
+  /// on top of the base endpoint instrumentation.
+  void set_telemetry(telemetry::Telemetry* tel) override;
+
   [[nodiscard]] ChannelPool& channels() noexcept { return channels_; }
   [[nodiscard]] const ChannelPool& channels() const noexcept { return channels_; }
   [[nodiscard]] CpuModel& cpu() noexcept { return cpu_; }
@@ -112,6 +117,10 @@ class AsteriskPbx final : public sip::SipEndpoint {
     net::NodeId callee_node{net::kInvalidNode};
     std::size_t cdr{0};
     bool channel_held{false};
+    // Call-lifecycle tracing (0 = no span open / tracing disabled).
+    std::uint64_t span_track{0};
+    telemetry::SpanTracer::SpanId setup_span{0};
+    telemetry::SpanTracer::SpanId media_span{0};
   };
 
   void handle_request(const sip::Message& req, sip::ServerTransaction& txn);
@@ -168,6 +177,25 @@ class AsteriskPbx final : public sip::SipEndpoint {
   std::uint64_t rtp_relayed_{0};
   std::uint64_t rtp_dropped_no_session_{0};
   std::size_t active_bridges_{0};
+
+  // Telemetry handles; null when telemetry is absent or disabled.
+  telemetry::Counter* tm_invites_{nullptr};
+  telemetry::Counter* tm_blocked_policy_{nullptr};
+  telemetry::Counter* tm_blocked_cac_{nullptr};
+  telemetry::Counter* tm_blocked_channels_{nullptr};
+  telemetry::Counter* tm_blocked_queue_full_{nullptr};
+  telemetry::Counter* tm_answered_{nullptr};
+  telemetry::Counter* tm_failed_{nullptr};
+  telemetry::Counter* tm_queued_{nullptr};
+  telemetry::Counter* tm_queue_served_{nullptr};
+  telemetry::Counter* tm_queue_timeouts_{nullptr};
+  telemetry::Counter* tm_rtp_relayed_{nullptr};
+  telemetry::Counter* tm_rtp_dropped_{nullptr};
+  telemetry::Gauge* tm_active_channels_{nullptr};
+  telemetry::SpanTracer* tracer_{nullptr};
+  std::uint32_t span_setup_name_{0};
+  std::uint32_t span_media_name_{0};
+  std::uint32_t span_teardown_name_{0};
 };
 
 }  // namespace pbxcap::pbx

@@ -34,6 +34,7 @@ void RtpSender::emit_one(bool first) {
   header.marker = first;
   timestamp_ += codec_.timestamp_step();
   ++sent_;
+  if (packet_counter_ != nullptr) packet_counter_->add();
   emit_(header, codec_.wire_bytes());
   auto tick = [this] { emit_one(false); };
   // The 20 ms pacing tick dominates the event population at Table-I scale

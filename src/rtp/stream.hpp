@@ -13,6 +13,7 @@
 #include "rtp/codec.hpp"
 #include "rtp/packet.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/time.hpp"
 
 namespace pbxcap::rtp {
@@ -36,6 +37,11 @@ class RtpSender {
   [[nodiscard]] const Codec& codec() const noexcept { return codec_; }
   [[nodiscard]] std::uint32_t ssrc() const noexcept { return ssrc_; }
 
+  /// Optional telemetry counter bumped once per emitted packet. The owning
+  /// endpoint shares one counter across its senders; nullptr (the default)
+  /// keeps the pacing tick on a single predictable branch.
+  void set_packet_counter(telemetry::Counter* counter) noexcept { packet_counter_ = counter; }
+
  private:
   void emit_one(bool first);
 
@@ -48,6 +54,7 @@ class RtpSender {
   std::uint32_t timestamp_{0};
   std::uint64_t sent_{0};
   sim::EventId next_event_{0};
+  telemetry::Counter* packet_counter_{nullptr};
 };
 
 /// Per-stream receiver statistics (RFC 3550 §6.4.1 / A.8).

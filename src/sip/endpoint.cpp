@@ -19,6 +19,17 @@ void SipEndpoint::bind() {
   resolver_.add(host_, id());
 }
 
+void SipEndpoint::set_telemetry(telemetry::Telemetry* tel) {
+  layer_.set_telemetry(tel);
+  tm_sent_ = tm_received_ = nullptr;
+  if (tel == nullptr || !tel->enabled()) return;
+  auto& reg = tel->registry();
+  tm_sent_ = &reg.counter("pbxcap_sip_messages_total", {{"host", host_}, {"direction", "tx"}},
+                          "SIP messages sent/received at each endpoint");
+  tm_received_ =
+      &reg.counter("pbxcap_sip_messages_total", {{"host", host_}, {"direction", "rx"}});
+}
+
 std::string SipEndpoint::new_tag() {
   return util::format("%s-tag%llu", host_.c_str(), static_cast<unsigned long long>(++tag_counter_));
 }
@@ -29,6 +40,7 @@ void SipEndpoint::send_sip(const Message& msg, net::NodeId dst) {
     return;
   }
   ++sent_;
+  if (tm_sent_ != nullptr) tm_sent_->add();
   net::Packet pkt;
   pkt.dst = dst;
   pkt.kind = net::PacketKind::kSip;
@@ -45,6 +57,7 @@ void SipEndpoint::on_receive(const net::Packet& pkt) {
     return;
   }
   ++received_;
+  if (tm_received_ != nullptr) tm_received_->add();
   layer_.on_message(payload->msg, pkt.src);
 }
 

@@ -6,6 +6,14 @@
 #include "util/strings.hpp"
 
 namespace pbxcap::sip {
+namespace {
+
+/// Interns a "uac:INVITE"-style span name (side prefix + method).
+std::uint32_t txn_span_name(telemetry::SpanTracer& tracer, const char* side, Method method) {
+  return tracer.name_id(std::string{side} + std::string{to_string(method)});
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- layer ----
 
@@ -30,6 +38,24 @@ std::string TransactionLayer::client_key(const std::string& branch, Method metho
 void TransactionLayer::remove_client(const std::string& key) { clients_.erase(key); }
 void TransactionLayer::remove_server(const std::string& key) { servers_.erase(key); }
 
+void TransactionLayer::set_telemetry(telemetry::Telemetry* tel) {
+  tm_client_started_ = tm_server_started_ = tm_retransmissions_ = tm_timeouts_ = nullptr;
+  tracer_ = nullptr;
+  if (tel == nullptr || !tel->enabled()) return;
+  auto& reg = tel->registry();
+  tm_client_started_ =
+      &reg.counter("pbxcap_sip_transactions_total", {{"host", local_host_}, {"side", "client"}},
+                   "SIP transactions started, by endpoint and side");
+  tm_server_started_ = &reg.counter("pbxcap_sip_transactions_total",
+                                    {{"host", local_host_}, {"side", "server"}});
+  tm_retransmissions_ =
+      &reg.counter("pbxcap_sip_retransmissions_total", {{"host", local_host_}},
+                   "SIP message retransmissions (timers A/E/G + server re-sends)");
+  tm_timeouts_ = &reg.counter("pbxcap_sip_transaction_timeouts_total", {{"host", local_host_}},
+                              "Client transactions abandoned on timer B/F");
+  tracer_ = tel->tracer();
+}
+
 ClientTransaction& TransactionLayer::send_request(
     Message request, net::NodeId dst, ClientTransaction::ResponseHandler on_response,
     ClientTransaction::TimeoutHandler on_timeout) {
@@ -42,6 +68,7 @@ ClientTransaction& TransactionLayer::send_request(
   ClientTransaction& ref = *txn;
   const auto [it, inserted] = clients_.emplace(key, std::move(txn));
   if (!inserted) throw std::logic_error{"send_request: duplicate client transaction branch"};
+  if (tm_client_started_ != nullptr) tm_client_started_->add();
   it->second->start();
   return ref;
 }
@@ -86,6 +113,7 @@ void TransactionLayer::on_message(const Message& msg, net::NodeId from) {
   auto txn = std::unique_ptr<ServerTransaction>{new ServerTransaction{*this, msg, from}};
   ServerTransaction& ref = *txn;
   servers_.emplace(key, std::move(txn));
+  if (tm_server_started_ != nullptr) tm_server_started_->add();
   if (on_request) on_request(msg, ref);
 }
 
@@ -105,6 +133,11 @@ ClientTransaction::ClientTransaction(TransactionLayer& layer, Message request, n
 void ClientTransaction::start() {
   layer_.transport().send_sip(request_, dst_);
   auto& sim = layer_.simulator();
+  if (layer_.tracer_ != nullptr) {
+    auto& tracer = *layer_.tracer_;
+    span_ = tracer.begin(txn_span_name(tracer, "uac:", method()),
+                         tracer.track_id(request_.call_id()), sim.now());
+  }
   auto rearm = [this] { retransmit(); };
   // Timers A/B (E/F) arm on every request; [this] captures ride the
   // sim::Callback inline buffer, and the A/E retransmit timers land on the
@@ -138,6 +171,11 @@ void ClientTransaction::fire_timeout() {
                            ? state_ == State::kCalling
                            : state_ == State::kTrying || state_ == State::kProceeding;
   if (!applies) return;
+  if (layer_.tm_timeouts_ != nullptr) layer_.tm_timeouts_->add();
+  if (layer_.tracer_ != nullptr) {
+    layer_.tracer_->end(span_, layer_.simulator().now());
+    span_ = 0;
+  }
   if (on_timeout_) on_timeout_();
   terminate();
 }
@@ -170,6 +208,13 @@ void ClientTransaction::handle_response(const Message& response) {
     return;
   }
 
+  // Final response reached the TU: the measured transaction span ends here,
+  // not at terminate() — timers D/K absorb retransmissions and would inflate
+  // the visible duration by tens of seconds.
+  if (layer_.tracer_ != nullptr) {
+    layer_.tracer_->end(span_, layer_.simulator().now());
+    span_ = 0;
+  }
   if (method() == Method::kInvite && !is_success(code)) ack_non_2xx(response);
   if (on_response_) on_response_(response);
 
@@ -216,7 +261,13 @@ ServerTransaction::ServerTransaction(TransactionLayer& layer, const Message& req
       method_{request.method()},
       peer_{peer},
       state_{method_ == Method::kInvite ? State::kProceeding : State::kTrying},
-      retransmit_interval_{layer.timers().t1} {}
+      retransmit_interval_{layer.timers().t1} {
+  if (layer_.tracer_ != nullptr) {
+    auto& tracer = *layer_.tracer_;
+    span_ = tracer.begin(txn_span_name(tracer, "uas:", method_),
+                         tracer.track_id(request.call_id()), layer_.simulator().now());
+  }
+}
 
 void ServerTransaction::respond(const Message& response) {
   if (state_ == State::kTerminated) {
@@ -229,6 +280,10 @@ void ServerTransaction::respond(const Message& response) {
   if (is_provisional(code)) {
     state_ = State::kProceeding;
     return;
+  }
+  if (layer_.tracer_ != nullptr) {
+    layer_.tracer_->end(span_, layer_.simulator().now());
+    span_ = 0;
   }
   if (method_ == Method::kInvite) {
     if (is_success(code)) {

@@ -17,6 +17,7 @@
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sip/message.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
 namespace pbxcap::sip {
@@ -82,6 +83,7 @@ class ClientTransaction {
   sim::EventId retransmit_timer_{0};
   sim::EventId timeout_timer_{0};
   std::uint32_t retransmissions_{0};
+  telemetry::SpanTracer::SpanId span_{0};  // request -> final response
 };
 
 /// Server transaction: absorbs request retransmissions and re-sends the last
@@ -116,6 +118,7 @@ class ServerTransaction {
   Duration retransmit_interval_;
   sim::EventId retransmit_timer_{0};
   sim::EventId timeout_timer_{0};
+  telemetry::SpanTracer::SpanId span_{0};  // request -> final response sent
 };
 
 /// Per-endpoint transaction manager.
@@ -160,7 +163,15 @@ class TransactionLayer {
   [[nodiscard]] std::size_t active_client_transactions() const noexcept { return clients_.size(); }
   [[nodiscard]] std::size_t active_server_transactions() const noexcept { return servers_.size(); }
   [[nodiscard]] std::uint64_t total_retransmissions() const noexcept { return retransmissions_; }
-  void note_retransmission() noexcept { ++retransmissions_; }
+  void note_retransmission() noexcept {
+    ++retransmissions_;
+    if (tm_retransmissions_ != nullptr) tm_retransmissions_->add();
+  }
+
+  /// Registers transaction counters and per-transaction span tracing.
+  /// nullptr (or a disabled Telemetry) clears every handle, so each
+  /// instrumentation site is a single predictable null-pointer branch.
+  void set_telemetry(telemetry::Telemetry* tel);
 
  private:
   friend class ClientTransaction;
@@ -178,6 +189,13 @@ class TransactionLayer {
   std::unordered_map<std::string, std::unique_ptr<ServerTransaction>> servers_;
   std::uint64_t branch_counter_{0};
   std::uint64_t retransmissions_{0};
+
+  // Telemetry handles; null when telemetry is absent or disabled.
+  telemetry::Counter* tm_client_started_{nullptr};
+  telemetry::Counter* tm_server_started_{nullptr};
+  telemetry::Counter* tm_retransmissions_{nullptr};
+  telemetry::Counter* tm_timeouts_{nullptr};
+  telemetry::SpanTracer* tracer_{nullptr};
 };
 
 }  // namespace pbxcap::sip

@@ -11,14 +11,26 @@ namespace pbxcap::stats {
 /// A registry of named uint64 counters. Deterministic (ordered) iteration so
 /// reports are stable across runs. Not thread-safe: each simulation run owns
 /// its own registry.
+///
+/// Legacy shim: new code should prefer telemetry::MetricsRegistry, whose
+/// interned handles avoid per-update map lookups entirely. Lookups here use
+/// transparent comparison (std::less<>) so a string is only materialised when
+/// a genuinely new counter name is first seen.
 class CounterSet {
  public:
+  using Map = std::map<std::string, std::uint64_t, std::less<>>;
+
   void increment(std::string_view name, std::uint64_t by = 1) {
-    counters_[std::string{name}] += by;
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      it->second += by;
+    } else {
+      counters_.emplace(std::string{name}, by);
+    }
   }
 
   [[nodiscard]] std::uint64_t value(std::string_view name) const {
-    const auto it = counters_.find(std::string{name});
+    const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
@@ -28,12 +40,10 @@ class CounterSet {
 
   void reset() { counters_.clear(); }
 
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const noexcept {
-    return counters_;
-  }
+  [[nodiscard]] const Map& all() const noexcept { return counters_; }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  Map counters_;
 };
 
 }  // namespace pbxcap::stats

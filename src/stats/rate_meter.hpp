@@ -1,6 +1,7 @@
 // Event-rate measurement over the simulation clock.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "util/time.hpp"
@@ -21,11 +22,14 @@ class RateMeter {
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
 
   /// Events per second over [first, horizon]. Pass the experiment horizon so
-  /// quiet tails are included in the denominator.
+  /// quiet tails are included in the denominator. The span is floored at one
+  /// simulator tick (1 ns): a burst recorded at a single instant reports a
+  /// finite rate rather than silently collapsing to zero.
   [[nodiscard]] double rate_per_second(TimePoint horizon) const noexcept {
     if (count_ == 0) return 0.0;
-    const double span = (horizon - first_).to_seconds();
-    return span <= 0.0 ? 0.0 : static_cast<double>(count_) / span;
+    constexpr double kMinSpanSeconds = 1e-9;  // one Duration tick
+    const double span = std::max((horizon - first_).to_seconds(), kMinSpanSeconds);
+    return static_cast<double>(count_) / span;
   }
 
   [[nodiscard]] TimePoint first_event() const noexcept { return first_; }

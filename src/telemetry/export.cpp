@@ -1,0 +1,190 @@
+#include "telemetry/export.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace pbxcap::telemetry {
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+/// Escapes a Prometheus label value / JSON string body (shared rules: both
+/// escape backslash, double quote, and newline).
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders {k="v",...} including the given extra label, or "" when empty.
+std::string prom_labels(const LabelSet& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out{"{"};
+  bool first = true;
+  for (const auto& label : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += label.key;
+    out += "=\"";
+    out += escaped(label.value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += escaped(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string prom_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return util::format("%.17g", v);
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  // Rows of one family (same name, different labels) may have been
+  // registered at different times by different components; the exposition
+  // format wants each family's HELP/TYPE header exactly once, so group rows
+  // by family in first-registration order.
+  std::vector<std::string> family_order;
+  std::map<std::string, std::vector<const MetricsRegistry::Row*>, std::less<>> families;
+  for (const auto& row : registry.rows()) {
+    auto& rows = families[row.name];
+    if (rows.empty()) family_order.push_back(row.name);
+    rows.push_back(&row);
+  }
+
+  std::string out;
+  for (const auto& family : family_order) {
+    bool header_done = false;
+    for (const MetricsRegistry::Row* row_ptr : families.at(family)) {
+      const auto& row = *row_ptr;
+      if (!header_done) {
+        header_done = true;
+        if (!row.help.empty()) {
+          out += "# HELP " + row.name + " " + row.help + "\n";
+        }
+        out += "# TYPE " + row.name + " " + kind_name(row.kind) + "\n";
+      }
+      switch (row.kind) {
+      case MetricKind::kCounter:
+        out += row.name + prom_labels(row.labels) +
+               util::format(" %llu\n", static_cast<unsigned long long>(row.counter->value()));
+        break;
+      case MetricKind::kGauge:
+        out += row.name + prom_labels(row.labels) + " " + prom_number(row.gauge->value()) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *row.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.counts()[i];
+          out += row.name + "_bucket" +
+                 prom_labels(row.labels, "le", util::format("%g", h.bounds()[i])) +
+                 util::format(" %llu\n", static_cast<unsigned long long>(cumulative));
+        }
+        cumulative += h.counts().back();
+        out += row.name + "_bucket" + prom_labels(row.labels, "le", "+Inf") +
+               util::format(" %llu\n", static_cast<unsigned long long>(cumulative));
+        out += row.name + "_sum" + prom_labels(row.labels) + " " + prom_number(h.sum()) + "\n";
+        out += row.name + "_count" + prom_labels(row.labels) +
+               util::format(" %llu\n", static_cast<unsigned long long>(h.count()));
+        break;
+      }
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  std::string out{"{\"metrics\":["};
+  bool first_row = true;
+  for (const auto& row : registry.rows()) {
+    if (!first_row) out += ',';
+    first_row = false;
+    out += "{\"name\":\"" + escaped(row.name) + "\",\"kind\":\"" + kind_name(row.kind) +
+           "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& label : row.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += "\"" + escaped(label.key) + "\":\"" + escaped(label.value) + "\"";
+    }
+    out += "}";
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        out += util::format(",\"value\":%llu",
+                            static_cast<unsigned long long>(row.counter->value()));
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + util::format("%.17g", row.gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *row.histogram;
+        out += util::format(",\"count\":%llu,\"sum\":%.17g,\"buckets\":[",
+                            static_cast<unsigned long long>(h.count()), h.sum());
+        for (std::size_t i = 0; i < h.counts().size(); ++i) {
+          if (i != 0) out += ',';
+          const std::string le =
+              i < h.bounds().size() ? util::format("%g", h.bounds()[i]) : std::string{"+Inf"};
+          out += util::format("{\"le\":\"%s\",\"n\":%llu}", le.c_str(),
+                              static_cast<unsigned long long>(h.counts()[i]));
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_chrome_trace(const SpanTracer& tracer) {
+  std::string out{"{\"traceEvents\":[\n"};
+  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"pbxcap\"}}";
+  const auto& tracks = tracer.track_keys();
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    out += util::format(",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,\"name\":\"thread_name\","
+                        "\"args\":{\"name\":\"%s\"}}",
+                        static_cast<unsigned long long>(i + 1), escaped(tracks[i]).c_str());
+  }
+  for (const auto& span : tracer.spans()) {
+    if (span.end_ns < span.start_ns) continue;  // never ended; not exportable
+    out += util::format(
+        ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+        static_cast<unsigned long long>(span.track),
+        escaped(tracer.name_of(span.name)).c_str(), static_cast<double>(span.start_ns) / 1e3,
+        static_cast<double>(span.end_ns - span.start_ns) / 1e3);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace pbxcap::telemetry

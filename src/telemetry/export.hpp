@@ -1,0 +1,31 @@
+// Exporters for the telemetry subsystem.
+//
+//   * Prometheus text exposition (0.0.4) of the metrics registry — scrape
+//     format, also the easiest to diff in golden tests;
+//   * a JSON rendering of the registry for programmatic consumers;
+//   * Chrome trace-event JSON of the span ring, loadable in Perfetto
+//     (ui.perfetto.dev) with one named thread per call track.
+//
+// All output is a pure function of registry/tracer state: identical-seed
+// runs export byte-identical bytes (asserted by tests/test_telemetry.cpp).
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace pbxcap::telemetry {
+
+/// Prometheus text exposition: # HELP / # TYPE preamble per metric family,
+/// histogram as cumulative _bucket{le=...} / _sum / _count.
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// {"metrics":[{"name":...,"kind":...,"labels":{...},"value":...}]}
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+/// Chrome trace-event JSON: "X" complete events (ph/ts/dur/pid/tid/name)
+/// plus process/thread name metadata. Open-ended spans are omitted.
+[[nodiscard]] std::string to_chrome_trace(const SpanTracer& tracer);
+
+}  // namespace pbxcap::telemetry

@@ -1,0 +1,121 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pbxcap::telemetry {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_{std::move(upper_bounds)} {
+  if (bounds_.empty()) throw std::invalid_argument{"Histogram: need at least one bound"};
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument{"Histogram: bounds must ascend"};
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) noexcept {
+  // First bucket whose upper bound admits x; the trailing bucket is +inf.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+std::vector<double> log_linear_buckets(double min_upper, double max_upper, int per_decade) {
+  if (min_upper <= 0.0 || max_upper < min_upper || per_decade < 1) {
+    throw std::invalid_argument{"log_linear_buckets: bad shape"};
+  }
+  std::vector<double> bounds;
+  double decade = min_upper;
+  while (true) {
+    const double step = decade * 9.0 / static_cast<double>(per_decade);
+    for (int i = 0; i < per_decade; ++i) {
+      const double b = decade + step * static_cast<double>(i);
+      bounds.push_back(b);
+      if (b >= max_upper) return bounds;
+    }
+    decade *= 10.0;
+  }
+}
+
+std::vector<double> linear_buckets(double lo, double hi, std::size_t n) {
+  if (hi <= lo || n == 0) throw std::invalid_argument{"linear_buckets: bad shape"};
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  const double width = (hi - lo) / static_cast<double>(n);
+  for (std::size_t i = 1; i <= n; ++i) bounds.push_back(lo + width * static_cast<double>(i));
+  return bounds;
+}
+
+namespace {
+
+std::string metric_key(std::string_view name, const LabelSet& labels) {
+  std::string key{name};
+  key += '{';
+  for (const auto& label : labels) {
+    key += label.key;
+    key += '=';
+    key += label.value;
+    key += ',';
+  }
+  key += '}';
+  return key;
+}
+
+}  // namespace
+
+std::size_t MetricsRegistry::intern(std::string_view name, LabelSet& labels,
+                                    std::string_view help, MetricKind kind, bool& existed) {
+  std::string key = metric_key(name, labels);
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    if (rows_[it->second].kind != kind) {
+      throw std::invalid_argument{"MetricsRegistry: metric re-registered with another kind"};
+    }
+    existed = true;
+    return it->second;
+  }
+  existed = false;
+  Row row;
+  row.name = std::string{name};
+  row.labels = std::move(labels);
+  row.help = std::string{help};
+  row.kind = kind;
+  rows_.push_back(std::move(row));
+  by_key_.emplace(std::move(key), rows_.size() - 1);
+  return rows_.size() - 1;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, LabelSet labels,
+                                  std::string_view help) {
+  bool existed = false;
+  const std::size_t idx = intern(name, labels, help, MetricKind::kCounter, existed);
+  if (!existed) {
+    counters_.emplace_back();
+    rows_[idx].counter = &counters_.back();
+  }
+  return const_cast<Counter&>(*rows_[idx].counter);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, LabelSet labels, std::string_view help) {
+  bool existed = false;
+  const std::size_t idx = intern(name, labels, help, MetricKind::kGauge, existed);
+  if (!existed) {
+    gauges_.emplace_back();
+    rows_[idx].gauge = &gauges_.back();
+  }
+  return const_cast<Gauge&>(*rows_[idx].gauge);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> upper_bounds,
+                                      LabelSet labels, std::string_view help) {
+  bool existed = false;
+  const std::size_t idx = intern(name, labels, help, MetricKind::kHistogram, existed);
+  if (!existed) {
+    histograms_.emplace_back(std::move(upper_bounds));
+    rows_[idx].histogram = &histograms_.back();
+  }
+  return const_cast<Histogram&>(*rows_[idx].histogram);
+}
+
+}  // namespace pbxcap::telemetry

@@ -1,0 +1,57 @@
+#include "telemetry/span.hpp"
+
+#include <stdexcept>
+
+namespace pbxcap::telemetry {
+
+SpanTracer::SpanTracer(std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument{"SpanTracer: capacity must be positive"};
+  ring_.resize(capacity);
+}
+
+std::uint32_t SpanTracer::name_id(std::string_view name) {
+  if (const auto it = name_ids_.find(name); it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(std::string{name}, id);
+  return id;
+}
+
+std::uint64_t SpanTracer::track_id(std::string_view key) {
+  if (const auto it = track_ids_.find(key); it != track_ids_.end()) return it->second;
+  track_keys_.emplace_back(key);
+  const std::uint64_t id = track_keys_.size();  // 1-based
+  track_ids_.emplace(std::string{key}, id);
+  return id;
+}
+
+SpanTracer::SpanId SpanTracer::begin(std::uint32_t name, std::uint64_t track, TimePoint at) {
+  Span& slot = ring_[seq_ % ring_.size()];
+  slot.name = name;
+  slot.track = track;
+  slot.start_ns = at.ns();
+  slot.end_ns = -1;
+  slot.seq = seq_;
+  ++seq_;
+  return seq_;  // id = seq of this span + 1, never 0
+}
+
+void SpanTracer::end(SpanId id, TimePoint at) {
+  if (id == 0) return;
+  const std::uint64_t seq = id - 1;
+  Span& slot = ring_[seq % ring_.size()];
+  if (slot.seq != seq) return;  // overwritten by ring wrap; drop silently
+  slot.end_ns = at.ns();
+}
+
+std::vector<SpanTracer::Span> SpanTracer::spans() const {
+  std::vector<Span> out;
+  const std::uint64_t retained = seq_ < ring_.size() ? seq_ : ring_.size();
+  out.reserve(retained);
+  for (std::uint64_t i = seq_ - retained; i < seq_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace pbxcap::telemetry

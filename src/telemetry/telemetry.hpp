@@ -1,0 +1,54 @@
+// Telemetry facade — one object per simulation run bundling the metrics
+// registry, the sim-time sampler, and the span tracer.
+//
+// Components take a nullable `Telemetry*` via set_telemetry(): with nullptr
+// (or enabled == false) they register nothing and every instrumentation site
+// reduces to one predictable null-handle branch — the fully-disabled path
+// measured by bench_telemetry_overhead. Not thread-safe: like the Simulator,
+// each run owns its own instance; parallelism happens across runs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/span.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::telemetry {
+
+struct Config {
+  bool enabled{true};
+  /// Span tracing can be switched off independently (the ring costs memory).
+  bool tracing{true};
+  Duration sample_period{Duration::seconds(1)};
+  std::size_t trace_capacity{1u << 16};
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(Config config = {})
+      : config_{config},
+        tracer_{config.enabled && config.tracing
+                    ? std::make_unique<SpanTracer>(config.trace_capacity)
+                    : nullptr} {}
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] MetricsRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] TimeSeriesSampler& sampler() noexcept { return sampler_; }
+  [[nodiscard]] const TimeSeriesSampler& sampler() const noexcept { return sampler_; }
+  /// Null when tracing (or telemetry entirely) is disabled.
+  [[nodiscard]] SpanTracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] const SpanTracer* tracer() const noexcept { return tracer_.get(); }
+
+ private:
+  Config config_;
+  MetricsRegistry registry_;
+  TimeSeriesSampler sampler_;
+  std::unique_ptr<SpanTracer> tracer_;
+};
+
+}  // namespace pbxcap::telemetry

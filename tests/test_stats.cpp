@@ -163,6 +163,18 @@ TEST(CounterTest, IncrementAndMerge) {
   EXPECT_EQ(a.value("INVITE"), 0u);
 }
 
+TEST(CounterTest, HeterogeneousLookupDoesNotAllocateNames) {
+  // increment()/value() accept string_view directly; a name is materialised
+  // into a std::string exactly once, at first-seen time.
+  stats::CounterSet set;
+  const std::string_view name{"INVITE/200"};
+  set.increment(name);
+  set.increment(name.substr(0, 6));  // "INVITE" — distinct key
+  EXPECT_EQ(set.value(std::string_view{"INVITE/200"}), 1u);
+  EXPECT_EQ(set.value(std::string_view{"INVITE"}), 1u);
+  EXPECT_EQ(set.all().size(), 2u);
+}
+
 TEST(RateMeterTest, RateOverHorizon) {
   stats::RateMeter meter;
   const TimePoint t0 = TimePoint::origin();
@@ -172,6 +184,19 @@ TEST(RateMeterTest, RateOverHorizon) {
   EXPECT_NEAR(meter.rate_per_second(t0 + Duration::seconds(2)), 50.0, 1e-9);
   const stats::RateMeter empty;
   EXPECT_DOUBLE_EQ(empty.rate_per_second(t0 + Duration::seconds(1)), 0.0);
+}
+
+TEST(RateMeterTest, InstantBurstReportsFiniteRate) {
+  // Regression: all events at one instant used to divide by a zero span.
+  // The span is floored at one simulator tick (1 ns).
+  stats::RateMeter meter;
+  const TimePoint t = TimePoint::origin() + Duration::seconds(5);
+  meter.record(t, 10);
+  const double rate = meter.rate_per_second(t);  // horizon == first event
+  EXPECT_TRUE(std::isfinite(rate));
+  EXPECT_DOUBLE_EQ(rate, 10.0 / 1e-9);
+  // A horizon before the first event must not produce a negative rate.
+  EXPECT_GT(meter.rate_per_second(TimePoint::origin()), 0.0);
 }
 
 }  // namespace

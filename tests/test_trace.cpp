@@ -91,6 +91,27 @@ TEST(PacketTrace, CapDropsExcessEvents) {
   EXPECT_GT(trace.dropped(), 0u);
 }
 
+TEST(PacketTrace, RingKeepsNewestInChronologicalOrder) {
+  // tcpdump -W 1 semantics: when the ring is full, the OLDEST events are
+  // overwritten; what remains is the tail of the capture, still in time
+  // order. The tail must contain the end-of-call BYE handshake that a
+  // head-keeping cap would have discarded.
+  monitor::PacketTrace trace{50};
+  auto config = one_call_config();
+  config.trace = &trace;
+  (void)exp::run_testbed(config);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 50u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at.ns(), events[i].at.ns());
+  }
+  bool has_bye = false;
+  for (const auto& e : events) {
+    if (e.summary.find("BYE") != std::string::npos) has_bye = true;
+  }
+  EXPECT_TRUE(has_bye);
+}
+
 TEST(PacketTrace, LadderShowsFig2Sequence) {
   monitor::PacketTrace trace;
   auto config = one_call_config();

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Dumps the event-engine microbenchmark suite as google-benchmark JSON.
+# Dumps the event-engine microbenchmark suite as google-benchmark JSON, plus
+# the telemetry-overhead numbers (disabled-path branch cost and enabled-path
+# cost on the Table-I macro workload).
 #
-# Usage: tools/bench_perf_json.sh [build-dir] [output-json]
+# Usage: tools/bench_perf_json.sh [build-dir] [output-json] [telemetry-json]
 #
 # Runs bench_perf_engine (engine hot-path benchmarks: self-scheduling churn,
 # periodic timer-wheel ticks, bulk throughput, and the Table-I-scale macro
-# point) and writes the machine-readable results where CI can archive them
-# and where successive commits can be diffed.
+# point) and bench_telemetry_overhead, and writes the machine-readable
+# results where CI can archive them and where successive commits can be
+# diffed. Comparing BM_SimulatorSelfScheduling (no instrumentation site)
+# against bench_telemetry_overhead's self_scheduling OFF row (one null-handle
+# branch) measures the telemetry-disabled overhead directly.
 set -euo pipefail
 
 build_dir="${1:-build}"
 out="${2:-BENCH_perf.json}"
+tel_out="${3:-BENCH_telemetry_overhead.json}"
 
 bench="${build_dir}/bench/bench_perf_engine"
 if [[ ! -x "${bench}" ]]; then
@@ -25,3 +31,10 @@ fi
   --benchmark_format=console
 
 echo "wrote ${out}"
+
+tel_bench="${build_dir}/bench/bench_telemetry_overhead"
+if [[ -x "${tel_bench}" ]]; then
+  "${tel_bench}" --json "${tel_out}"
+else
+  echo "warning: ${tel_bench} not built; skipping telemetry overhead" >&2
+fi

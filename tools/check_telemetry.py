@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validates the three telemetry artefacts a Table-I run exports.
+
+Usage: check_telemetry.py METRICS.prom SERIES.csv TRACE.json
+
+Checks, in order:
+  * the Prometheus text exposition is well-formed (every family has exactly
+    one TYPE header, samples parse) and carries the headline capacity
+    metrics: SIP message counts by method/status, blocked-call counters by
+    reason, and the active-channel gauge;
+  * the per-second CSV has the standard sampler columns, at least one row,
+    and a strictly increasing time axis;
+  * the Chrome trace JSON is Perfetto-loadable in shape (process/thread
+    metadata, complete "X" events with ph/pid/tid/name/ts/dur) and contains
+    at least one call track with a complete setup -> media -> teardown
+    lifecycle.
+
+Exits non-zero with a diagnostic on the first failure. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_prometheus(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty")
+
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    for line in lines:
+        if not line:
+            fail(f"{path}: blank line in exposition")
+        if line.startswith("# TYPE "):
+            _, _, family, kind = line.split(" ", 3)
+            if family in types:
+                fail(f"{path}: duplicate TYPE header for {family}")
+            if kind not in ("counter", "gauge", "histogram"):
+                fail(f"{path}: unknown TYPE {kind!r} for {family}")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        if not name_and_labels:
+            fail(f"{path}: malformed sample line {line!r}")
+        try:
+            v = float(value)
+        except ValueError:
+            fail(f"{path}: non-numeric value in {line!r}")
+        family = name_and_labels.split("{", 1)[0]
+        base = family
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base.removesuffix(suffix) in types:
+                base = base.removesuffix(suffix)
+        if base not in types:
+            fail(f"{path}: sample {family} has no TYPE header")
+        if types[base] in ("counter", "histogram") and v < 0:
+            fail(f"{path}: negative cumulative value in {line!r}")
+        samples[name_and_labels] = v
+
+    required = [
+        'pbxcap_sip_messages_observed_total{type="INVITE"}',
+        'pbxcap_sip_messages_observed_total{type="BYE"}',
+        'pbxcap_sip_messages_observed_total{type="200"}',
+        "pbxcap_pbx_active_channels",
+        "pbxcap_pbx_invites_total",
+    ]
+    for key in required:
+        if key not in samples:
+            fail(f"{path}: required metric {key} missing")
+    blocked = [k for k in samples if k.startswith("pbxcap_pbx_calls_blocked_total")]
+    if not blocked:
+        fail(f"{path}: no pbxcap_pbx_calls_blocked_total series")
+    print(
+        f"  {path}: {len(samples)} samples in {len(types)} families; "
+        f"INVITEs={samples[required[0]]:.0f} "
+        f"blocked={sum(samples[k] for k in blocked):.0f}"
+    )
+
+
+def check_series(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if len(lines) < 2:
+        fail(f"{path}: need a header plus at least one sample row")
+    header = lines[0].split(",")
+    required = [
+        "time_s",
+        "active_channels",
+        "cpu_utilization",
+        "blocking_probability",
+        "calls_blocked_per_s",
+        "sip_msgs_per_s",
+        "rtp_pkts_per_s",
+    ]
+    for col in required:
+        if col not in header:
+            fail(f"{path}: column {col} missing from header {header}")
+    prev_t = float("-inf")
+    for i, line in enumerate(lines[1:], start=2):
+        cells = line.split(",")
+        if len(cells) != len(header):
+            fail(f"{path}:{i}: {len(cells)} cells, header has {len(header)}")
+        try:
+            values = [float(c) for c in cells]
+        except ValueError:
+            fail(f"{path}:{i}: non-numeric cell in {line!r}")
+        if values[0] <= prev_t:
+            fail(f"{path}:{i}: time axis not strictly increasing")
+        prev_t = values[0]
+    print(f"  {path}: {len(lines) - 1} rows x {len(header)} columns, {prev_t:.0f} s span")
+
+
+def check_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+
+    have_process = False
+    tracks: dict[int, set[str]] = {}
+    complete = 0
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") == "process_name":
+                have_process = True
+            continue
+        if ph != "X":
+            fail(f"{path}: unexpected phase {ph!r}")
+        for field in ("pid", "tid", "name", "ts", "dur"):
+            if field not in e:
+                fail(f"{path}: X event missing {field}: {e}")
+        if e["dur"] < 0:
+            fail(f"{path}: negative duration: {e}")
+        complete += 1
+        tracks.setdefault(e["tid"], set()).add(e["name"])
+    if not have_process:
+        fail(f"{path}: no process_name metadata")
+
+    lifecycle = {"call.setup", "call.media", "call.teardown"}
+    full_calls = sum(1 for names in tracks.values() if lifecycle <= names)
+    if full_calls == 0:
+        fail(f"{path}: no track has a complete setup/media/teardown lifecycle")
+    print(
+        f"  {path}: {complete} spans on {len(tracks)} tracks; "
+        f"{full_calls} complete call lifecycles"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_prometheus(sys.argv[1])
+    check_series(sys.argv[2])
+    check_trace(sys.argv[3])
+    print("check_telemetry: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,12 +13,14 @@
 //   pbxcap simulate <A> [options]              packet-level testbed run
 //
 // simulate options: --channels N, --seed S, --window S, --hold S, --wifi,
-//                   --codec NAME, --rtcp
+//                   --codec NAME, --rtcp, --metrics-out F, --series-out F,
+//                   --trace-out F
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/dimensioning.hpp"
@@ -28,6 +30,8 @@
 #include "exp/testbed.hpp"
 #include "media/emodel.hpp"
 #include "rtp/codec.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -45,7 +49,9 @@ int usage() {
                "  pbxcap dimension <calls_per_hour> <duration_min> <target_Pb>\n"
                "  pbxcap mos <loss_percent> <delay_ms> [codec]\n"
                "  pbxcap simulate <A> [--channels N] [--seed S] [--window S] "
-               "[--hold S] [--codec NAME] [--wifi] [--rtcp]\n");
+               "[--hold S] [--codec NAME] [--wifi] [--rtcp]\n"
+               "                      [--metrics-out F(.prom|.json)] [--series-out F.csv] "
+               "[--trace-out F.json]\n");
   return 2;
 }
 
@@ -141,10 +147,23 @@ int cmd_mos(const std::vector<std::string>& args) {
   return 0;
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 int cmd_simulate(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   exp::TestbedConfig config;
   config.scenario = loadgen::CallScenario::for_offered_load(std::atof(args[0].c_str()));
+  std::string metrics_out, series_out, trace_out;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const auto next = [&](const char* flag) -> std::string {
       if (i + 1 >= args.size()) {
@@ -177,11 +196,26 @@ int cmd_simulate(const std::vector<std::string>& args) {
       config.wifi_cell = net::WifiCellConfig{};
     } else if (args[i] == "--rtcp") {
       config.scenario.rtcp = true;
+    } else if (args[i] == "--metrics-out") {
+      metrics_out = next("--metrics-out");
+    } else if (args[i] == "--series-out") {
+      series_out = next("--series-out");
+    } else if (args[i] == "--trace-out") {
+      trace_out = next("--trace-out");
     } else {
       std::fprintf(stderr, "unknown option %s\n", args[i].c_str());
       return 2;
     }
   }
+
+  // Any export flag turns the telemetry subsystem on for this run; span
+  // tracing only when a trace sink was actually requested (the ring costs
+  // memory).
+  const bool want_telemetry = !metrics_out.empty() || !series_out.empty() || !trace_out.empty();
+  telemetry::Config tel_config;
+  tel_config.tracing = !trace_out.empty();
+  telemetry::Telemetry tel{tel_config};
+  if (want_telemetry) config.telemetry = &tel;
 
   std::printf("simulating A = %.1f E (lambda %.3f/s, h %.0f s, window %.0f s, N = %u)...\n",
               config.scenario.offered_erlangs(), config.scenario.arrival_rate_per_s,
@@ -189,6 +223,21 @@ int cmd_simulate(const std::vector<std::string>& args) {
               config.scenario.placement_window.to_seconds(), config.pbx.max_channels);
   exp::WifiObservations wifi;
   const auto r = exp::run_testbed(config, &wifi);
+
+  bool exports_ok = true;
+  if (!metrics_out.empty()) {
+    const std::string text = std::string_view{metrics_out}.ends_with(".json")
+                                 ? telemetry::to_json(tel.registry())
+                                 : telemetry::to_prometheus(tel.registry());
+    exports_ok = write_file(metrics_out, text) && exports_ok;
+  }
+  if (!series_out.empty()) {
+    exports_ok = write_file(series_out, tel.sampler().to_csv()) && exports_ok;
+  }
+  if (!trace_out.empty() && tel.tracer() != nullptr) {
+    exports_ok = write_file(trace_out, telemetry::to_chrome_trace(*tel.tracer())) && exports_ok;
+  }
+  if (!exports_ok) return 1;
   std::printf("attempted %llu | completed %llu | blocked %llu (%.1f%%) | failed %llu\n",
               (unsigned long long)r.calls_attempted, (unsigned long long)r.calls_completed,
               (unsigned long long)r.calls_blocked, r.blocking_probability * 100.0,
