@@ -1,7 +1,9 @@
 #include "exp/testbed.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "fault/injector.hpp"
 #include "loadgen/caller.hpp"
 #include "loadgen/receiver.hpp"
 #include "monitor/capture.hpp"
@@ -34,18 +36,19 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
   network.attach(pbx);
   network.attach(caller);
   network.attach(receiver);
+  net::Link* client_link = nullptr;
   if (config.wifi_cell) {
     // VoWiFi access: caller -> AP (radio) -> switch (wired uplink).
     network.attach(wifi_cell);
-    network.connect(caller, wifi_cell, config.client_link);
+    client_link = &network.connect(caller, wifi_cell, config.client_link);
     net::Link& uplink = network.connect(wifi_cell, lan_switch, {});
     wifi_cell.set_uplink(uplink);
     lan_switch.add_route(caller.id(), uplink);
   } else {
-    network.connect(caller, lan_switch, config.client_link);
+    client_link = &network.connect(caller, lan_switch, config.client_link);
   }
-  network.connect(receiver, lan_switch, config.server_link);
-  network.connect(pbx, lan_switch, config.pbx_link);
+  net::Link& server_link = network.connect(receiver, lan_switch, config.server_link);
+  net::Link& pbx_link = network.connect(pbx, lan_switch, config.pbx_link);
   pbx.bind();
   caller.bind();
   receiver.bind();
@@ -95,7 +98,18 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
                      [&sip_capture] { return static_cast<double>(sip_capture.total()); });
     sampler.add_rate("rtp_pkts_per_s",
                      [&rtp_capture] { return static_cast<double>(rtp_capture.packets_in()); });
+    if (config.pbx.sip_service.enabled) {
+      sampler.add_gauge("sip_queue_depth",
+                        [&pbx] { return static_cast<double>(pbx.sip_backlog()); });
+    }
     sampler.start(simulator, period);
+  }
+
+  std::optional<fault::FaultInjector> injector;
+  if (config.faults != nullptr && !config.faults->empty()) {
+    injector.emplace(simulator, *config.faults,
+                     fault::FaultTargets{client_link, &server_link, &pbx_link, &pbx});
+    injector->arm();
   }
 
   caller.start();
@@ -132,6 +146,25 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
       reg.counter("pbxcap_trace_spans_dropped_total", {},
                   "Span-ring overwrites (oldest spans lost)")
           .add(tel->tracer()->dropped());
+    }
+    if (config.faults != nullptr) {
+      // Chaos runs get the per-link drop census; plain runs skip it so their
+      // exports stay byte-identical to the pre-fault-injection era.
+      const auto mirror = [&reg](const char* name, const net::Link& link) {
+        const net::LinkDirectionStats& fwd = link.stats_from(link.endpoint_a());
+        const net::LinkDirectionStats& rev = link.stats_from(link.endpoint_b());
+        const auto add = [&](const char* reason, std::uint64_t v) {
+          reg.counter("pbxcap_link_dropped_total", {{"link", name}, {"reason", reason}},
+                      "Packets dropped by testbed links, by cause")
+              .add(v);
+        };
+        add("queue_full", fwd.dropped_queue_full + rev.dropped_queue_full);
+        add("random_loss", fwd.dropped_random_loss + rev.dropped_random_loss);
+        add("impairment", fwd.dropped_impairment + rev.dropped_impairment);
+      };
+      if (client_link != nullptr) mirror("client", *client_link);
+      mirror("server", server_link);
+      mirror("pbx", pbx_link);
     }
   }
 
@@ -194,6 +227,16 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
   report.sip_retransmissions = pbx.transactions().total_retransmissions() +
                                caller.transactions().total_retransmissions() +
                                receiver.transactions().total_retransmissions();
+
+  report.overload_rejections = pbx.overload_rejections();
+  report.calls_retried = caller.retries();
+  report.sip_queue_dropped = pbx.sip_queue_dropped();
+  const auto impairment_drops = [](const net::Link& link) {
+    return link.stats_from(link.endpoint_a()).dropped_impairment +
+           link.stats_from(link.endpoint_b()).dropped_impairment;
+  };
+  report.link_dropped_impairment = impairment_drops(server_link) + impairment_drops(pbx_link) +
+                                   (client_link != nullptr ? impairment_drops(*client_link) : 0);
 
   report.events_processed = simulator.events_processed();
 

@@ -11,6 +11,7 @@
 
 #include <optional>
 
+#include "fault/plan.hpp"
 #include "loadgen/scenario.hpp"
 #include "monitor/report.hpp"
 #include "monitor/trace.hpp"
@@ -45,6 +46,12 @@ struct TestbedConfig {
   /// in the tracer. The Telemetry instance is owned by the caller and is not
   /// thread-safe — give each run its own, like the Simulator.
   telemetry::Telemetry* telemetry{nullptr};
+  /// Optional fault-injection schedule (see FAULTS.md). When non-null, every
+  /// event is armed on the simulator before the run starts: `link client`
+  /// addresses the caller's access link, `link server` the receiver's,
+  /// `link pbx` the PBX uplink, and `pbx stall`/`pbx crash` the PBX host.
+  /// Also enables the per-link drop-counter mirror in the telemetry export.
+  const fault::FaultPlan* faults{nullptr};
 };
 
 /// Extra observations available when the testbed ran with a Wi-Fi cell.

@@ -1,0 +1,59 @@
+#include "fault/injector.hpp"
+
+#include "net/link.hpp"
+#include "pbx/asterisk_pbx.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan, FaultTargets targets)
+    : simulator_{simulator}, plan_{std::move(plan)}, targets_{targets} {}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (std::size_t i = 0; i < plan_.events().size(); ++i) {
+    const auto fire = [this, i] { apply(plan_.events()[i]); };
+    static_assert(sim::Callback::stores_inline<decltype(fire)>());
+    simulator_.schedule_at(TimePoint::at(plan_.events()[i].at), fire);
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kLink: {
+      net::Link* link = nullptr;
+      switch (event.target) {
+        case LinkTarget::kClient: link = targets_.client_link; break;
+        case LinkTarget::kServer: link = targets_.server_link; break;
+        case LinkTarget::kPbx: link = targets_.pbx_link; break;
+      }
+      if (link == nullptr) {
+        ++skipped_;
+        return;
+      }
+      link->apply_impairment(event.change);
+      break;
+    }
+    case FaultKind::kStall:
+      if (targets_.pbx == nullptr) {
+        ++skipped_;
+        return;
+      }
+      targets_.pbx->stall_for(event.duration);
+      break;
+    case FaultKind::kCrash:
+      if (targets_.pbx == nullptr) {
+        ++skipped_;
+        return;
+      }
+      targets_.pbx->crash_restart(event.duration);
+      break;
+  }
+  ++applied_;
+  util::log_debug("fault", util::format("t=%.3fs applied %s", simulator_.now().to_seconds(),
+                                        to_string(event.kind)));
+}
+
+}  // namespace pbxcap::fault

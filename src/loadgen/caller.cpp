@@ -1,6 +1,7 @@
 #include "loadgen/caller.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "loadgen/receiver.hpp"  // call_index_of_user
@@ -40,8 +41,8 @@ SipCaller::SipCaller(std::string host, std::vector<std::string> pbx_hosts,
 
 void SipCaller::set_telemetry(telemetry::Telemetry* tel) {
   sip::SipEndpoint::set_telemetry(tel);
-  tm_offered_ = tm_completed_ = tm_blocked_ = tm_failed_ = tm_abandoned_ = tm_rtp_sent_ =
-      nullptr;
+  tm_offered_ = tm_completed_ = tm_blocked_ = tm_failed_ = tm_abandoned_ = tm_retried_ =
+      tm_rtp_sent_ = nullptr;
   tm_setup_delay_ms_ = tm_mos_ = nullptr;
   if (tel == nullptr || !tel->enabled()) return;
   auto& reg = tel->registry();
@@ -52,6 +53,8 @@ void SipCaller::set_telemetry(telemetry::Telemetry* tel) {
   tm_blocked_ = &reg.counter("pbxcap_caller_calls_total", {{"outcome", "blocked"}});
   tm_failed_ = &reg.counter("pbxcap_caller_calls_total", {{"outcome", "failed"}});
   tm_abandoned_ = &reg.counter("pbxcap_caller_calls_total", {{"outcome", "abandoned"}});
+  tm_retried_ = &reg.counter("pbxcap_caller_retries_total", {},
+                             "INVITE re-attempts after 503 + backoff");
   tm_rtp_sent_ = &reg.counter("pbxcap_rtp_packets_sent_total", {{"host", sip_host()}},
                               "RTP packets emitted by this endpoint's senders");
   tm_setup_delay_ms_ =
@@ -123,14 +126,29 @@ void SipCaller::place_call() {
   call->rx = rtp::RtpReceiverStats{scenario_.codec.sample_rate_hz};
   call->jbuf = rtp::JitterBuffer{scenario_.codec, scenario_.jitter_buffer};
 
-  const std::string caller_user = util::format("caller-%llu", static_cast<unsigned long long>(index));
-  const std::string callee_user = util::format("recv-%llu", static_cast<unsigned long long>(index));
+  Call& ref = *call;
+  calls_.emplace(index, std::move(call));
+  send_invite(ref);
+}
 
-  Message invite = Message::request(Method::kInvite, sip::Uri{callee_user, call->pbx_host});
+void SipCaller::send_invite(Call& call) {
+  const std::uint64_t index = call.index;
+  const std::string caller_user =
+      util::format("caller-%llu", static_cast<unsigned long long>(index));
+  const std::string callee_user =
+      util::format("recv-%llu", static_cast<unsigned long long>(index));
+
+  Message invite = Message::request(Method::kInvite, sip::Uri{callee_user, call.pbx_host});
   invite.from() = sip::NameAddr{sip::Uri{caller_user, sip_host()}, new_tag()};
-  invite.to() = sip::NameAddr{sip::Uri{callee_user, call->pbx_host}, ""};
-  invite.set_call_id(util::format("call-%llu@%s", static_cast<unsigned long long>(index),
-                                  sip_host().c_str()));
+  invite.to() = sip::NameAddr{sip::Uri{callee_user, call.pbx_host}, ""};
+  // A re-attempt after 503 is a new call (new Call-ID), per RFC 3261 §8.1:
+  // the previous transaction completed with a final response.
+  invite.set_call_id(
+      call.attempt == 1
+          ? util::format("call-%llu@%s", static_cast<unsigned long long>(index),
+                         sip_host().c_str())
+          : util::format("call-%llu-r%u@%s", static_cast<unsigned long long>(index),
+                         call.attempt - 1U, sip_host().c_str()));
   invite.set_cseq({1, Method::kInvite});
   invite.set_contact(sip::Uri{caller_user, sip_host()});
 
@@ -138,17 +156,28 @@ void SipCaller::place_call() {
   offer.connection_host = sip_host();
   offer.audio.rtp_port = static_cast<std::uint16_t>(30'000 + (index * 2) % 20'000);
   offer.audio.payload_types = {scenario_.codec.payload_type};
-  offer.audio.ssrc = call->local_ssrc;
+  offer.audio.ssrc = call.local_ssrc;
   invite.set_body(offer.to_string(), "application/sdp");
 
-  call->invite = invite;
-  const std::string pbx_host = call->pbx_host;
-  calls_.emplace(index, std::move(call));
-
+  call.invite = invite;
   send_request_to(
-      std::move(invite), pbx_host,
+      std::move(invite), call.pbx_host,
       [this, index](const Message& resp) { on_invite_response(index, resp); },
       [this, index] { on_invite_timeout(index); });
+}
+
+void SipCaller::schedule_retry(std::uint64_t index, Duration delay) {
+  Call* call = find(index);
+  if (call == nullptr) return;
+  ++call->attempt;
+  ++retries_;
+  if (tm_retried_ != nullptr) tm_retried_->add();
+  call->retry_timer = network()->simulator().schedule_in(delay, [this, index] {
+    Call* c = find(index);
+    if (c == nullptr) return;
+    c->retry_timer = 0;
+    send_invite(*c);
+  });
 }
 
 SipCaller::Call* SipCaller::find(std::uint64_t index) {
@@ -174,6 +203,28 @@ void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
     start_media(*call);
     call->bye_timer =
         network()->simulator().schedule_in(call->hold, [this, index] { send_bye(index); });
+    return;
+  }
+
+  // 503 with retry budget left: back off exponentially and re-attempt,
+  // honouring the server's Retry-After hint for the base delay (the client
+  // half of RFC 6357-style overload control).
+  if (code == sip::status::kServiceUnavailable && scenario_.retry.enabled &&
+      call->attempt < scenario_.retry.max_attempts &&
+      network()->simulator().now() < TimePoint::at(scenario_.placement_window)) {
+    Duration base = scenario_.retry.base_backoff;
+    if (const std::string* after = resp.header("Retry-After")) {
+      std::uint64_t secs = 0;
+      if (util::parse_u64(*after, secs) && secs > 0 && secs < 3600) {
+        base = Duration::seconds(static_cast<std::int64_t>(secs));
+      }
+    }
+    double delay_s =
+        base.to_seconds() *
+        std::pow(scenario_.retry.multiplier, static_cast<double>(call->attempt - 1));
+    delay_s = std::min(delay_s, scenario_.retry.max_backoff.to_seconds());
+    delay_s *= 1.0 + 0.1 * rng_.uniform();  // de-synchronise the herd
+    schedule_retry(index, Duration::from_seconds(delay_s));
     return;
   }
 
@@ -278,6 +329,7 @@ void SipCaller::finish(std::uint64_t index, monitor::CallOutcome outcome) {
   log_.add(std::move(record));
 
   if (call.bye_timer != 0) network()->simulator().cancel(call.bye_timer);
+  if (call.retry_timer != 0) network()->simulator().cancel(call.retry_timer);
   if (call.remote_ssrc != 0) by_remote_ssrc_.erase(call.remote_ssrc);
   if (call.sender != nullptr) call.sender->stop();
   if (call.rtcp != nullptr) {

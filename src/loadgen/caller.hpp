@@ -57,6 +57,8 @@ class SipCaller final : public sip::SipEndpoint {
   [[nodiscard]] const stats::Summary& rtcp_rtt_ms() const noexcept { return rtcp_rtt_ms_; }
   [[nodiscard]] std::uint64_t calls_offered() const noexcept { return next_call_index_; }
   [[nodiscard]] std::size_t active_calls() const noexcept { return calls_.size(); }
+  /// 503-triggered INVITE re-attempts (scenario_.retry must be enabled).
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
 
  private:
   struct Call {
@@ -77,11 +79,15 @@ class SipCaller final : public sip::SipEndpoint {
     stats::Summary transit_s;
     bool answered{false};
     sim::EventId bye_timer{0};
+    std::uint32_t attempt{1};        // INVITEs sent for this call so far
+    sim::EventId retry_timer{0};     // pending 503 backoff, 0 when none
     std::uint32_t population_user{0};  // finite mode: which user placed it
   };
 
   void schedule_next_arrival();
   void place_call();
+  void send_invite(Call& call);
+  void schedule_retry(std::uint64_t index, Duration delay);
   void on_invite_response(std::uint64_t index, const sip::Message& resp);
   void on_invite_timeout(std::uint64_t index);
   void start_media(Call& call);
@@ -101,6 +107,7 @@ class SipCaller final : public sip::SipEndpoint {
   std::unordered_map<std::uint64_t, std::unique_ptr<Call>> calls_;  // by index
   std::unordered_map<std::uint32_t, Call*> by_remote_ssrc_;
   std::uint64_t next_call_index_{0};
+  std::uint64_t retries_{0};
   std::uint64_t rtcp_sent_{0};
   std::uint64_t rtcp_received_{0};
   stats::Summary rtcp_rtt_ms_;
@@ -115,6 +122,7 @@ class SipCaller final : public sip::SipEndpoint {
   telemetry::Counter* tm_blocked_{nullptr};
   telemetry::Counter* tm_failed_{nullptr};
   telemetry::Counter* tm_abandoned_{nullptr};
+  telemetry::Counter* tm_retried_{nullptr};
   telemetry::Counter* tm_rtp_sent_{nullptr};
   telemetry::Histogram* tm_setup_delay_ms_{nullptr};
   telemetry::Histogram* tm_mos_{nullptr};

@@ -15,6 +15,20 @@
 
 namespace pbxcap::loadgen {
 
+/// Caller reaction to 503 Service Unavailable: exponential backoff with a
+/// retry budget (the client half of SIP overload control). The server's
+/// Retry-After header, when present, replaces `base_backoff` as the first
+/// delay; each further attempt doubles (times `multiplier`) up to
+/// `max_backoff`, with up to +10 % deterministic jitter so a cohort of
+/// callers rejected together does not return as one thundering herd.
+struct RetryPolicy {
+  bool enabled{false};
+  std::uint32_t max_attempts{4};  // total INVITEs per call, first included
+  Duration base_backoff{Duration::seconds(2)};
+  double multiplier{2.0};
+  Duration max_backoff{Duration::seconds(16)};
+};
+
 struct CallScenario {
   /// Mean call arrival rate (calls per second). For a target offered load A
   /// in Erlangs: lambda = A / h.
@@ -41,6 +55,9 @@ struct CallScenario {
   double per_user_rate_per_s{0.0};
   /// Hard cap on total attempts (0 = unlimited).
   std::uint64_t max_calls{0};
+  /// 503 backoff-and-retry behaviour (off by default: Table-I callers take
+  /// the blocking at face value, as the paper's SIPp scenario does).
+  RetryPolicy retry{};
 
   [[nodiscard]] double offered_erlangs() const noexcept {
     return arrival_rate_per_s * hold_time.to_seconds();

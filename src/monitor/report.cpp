@@ -81,6 +81,10 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
   double sip_bye = 0.0;
   double sip_errors = 0.0;
   double sip_rtx = 0.0;
+  double overload_503 = 0.0;
+  double queue_dropped = 0.0;
+  double impairment_dropped = 0.0;
+  out.calls_retried = 0;
 
   for (const auto& r : runs) {
     out.calls_attempted += r.calls_attempted;
@@ -107,6 +111,10 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
     sip_bye += static_cast<double>(r.sip_bye);
     sip_errors += static_cast<double>(r.sip_errors);
     sip_rtx += static_cast<double>(r.sip_retransmissions);
+    overload_503 += static_cast<double>(r.overload_rejections);
+    queue_dropped += static_cast<double>(r.sip_queue_dropped);
+    impairment_dropped += static_cast<double>(r.link_dropped_impairment);
+    out.calls_retried += r.calls_retried;  // call-scale count: sums like outcomes
     events += static_cast<double>(r.events_processed);
   }
 
@@ -133,6 +141,9 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
   out.sip_bye = mean_u64(sip_bye);
   out.sip_errors = mean_u64(sip_errors);
   out.sip_retransmissions = mean_u64(sip_rtx);
+  out.overload_rejections = mean_u64(overload_503);
+  out.sip_queue_dropped = mean_u64(queue_dropped);
+  out.link_dropped_impairment = mean_u64(impairment_dropped);
   out.events_processed = mean_u64(events);
   return out;
 }

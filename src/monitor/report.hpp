@@ -55,6 +55,13 @@ struct ExperimentReport {
   std::uint64_t sip_errors{0};
   std::uint64_t sip_retransmissions{0};
 
+  // Fault / overload-control observations (zero without faults or overload
+  // control; see FAULTS.md).
+  std::uint64_t overload_rejections{0};   // 503s from the PBX's overload gate
+  std::uint64_t calls_retried{0};         // caller re-attempts after 503
+  std::uint64_t sip_queue_dropped{0};     // SIP service-queue overflows
+  std::uint64_t link_dropped_impairment{0};  // packets lost to blackouts
+
   /// DES kernel events the run consumed — the denominator for engine
   /// throughput (events/s wall-clock) in performance tracking.
   std::uint64_t events_processed{0};

@@ -16,6 +16,26 @@ Link::Link(Network& network, NodeId a, NodeId b, const LinkConfig& config)
   }
 }
 
+void Link::apply_impairment(const LinkImpairment& impairment) {
+  if (impairment.bandwidth_bps && *impairment.bandwidth_bps <= 0.0) {
+    throw std::invalid_argument{"Link: impairment bandwidth must be positive"};
+  }
+  if (impairment.queue_limit_packets && *impairment.queue_limit_packets == 0) {
+    throw std::invalid_argument{"Link: impairment queue limit must be at least 1"};
+  }
+  if (impairment.loss_probability &&
+      (*impairment.loss_probability < 0.0 || *impairment.loss_probability > 1.0)) {
+    throw std::invalid_argument{"Link: impairment loss probability must be in [0, 1]"};
+  }
+  if (impairment.loss_probability) config_.loss_probability = *impairment.loss_probability;
+  if (impairment.bandwidth_bps) config_.bandwidth_bps = *impairment.bandwidth_bps;
+  if (impairment.propagation) config_.propagation = *impairment.propagation;
+  if (impairment.jitter_mean) config_.jitter_mean = *impairment.jitter_mean;
+  if (impairment.jitter_stddev) config_.jitter_stddev = *impairment.jitter_stddev;
+  if (impairment.queue_limit_packets) config_.queue_limit_packets = *impairment.queue_limit_packets;
+  if (impairment.blackout) blackout_ = *impairment.blackout;
+}
+
 Link::Direction& Link::direction_from(NodeId from) {
   if (from == a_) return directions_[0];
   if (from == b_) return directions_[1];
@@ -39,6 +59,14 @@ void Link::transmit(NodeId from, Packet pkt) {
   const NodeId to = peer_of(from);
   auto& sim = network_.simulator();
   const TimePoint now = sim.now();
+
+  // Injected blackout: the segment is down; every frame offered to it dies.
+  // Counted per direction so the loss is visible in the stats (and in the
+  // telemetry counters the testbed mirrors them into), not silent.
+  if (blackout_) {
+    ++dir.stats.dropped_impairment;
+    return;
+  }
 
   // Drop-tail: refuse the packet if the serialization backlog is full.
   if (dir.backlog >= config_.queue_limit_packets) {

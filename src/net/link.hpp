@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "net/packet.hpp"
@@ -27,16 +28,31 @@ struct LinkConfig {
   Duration jitter_stddev{Duration::zero()};
 };
 
+/// Partial overlay applied onto a live link's LinkConfig mid-run (fault
+/// injection: loss bursts, jitter ramps, bandwidth drops). Unset fields keep
+/// their current value. `blackout` is link state, not config: while engaged
+/// the link silently eats every packet in both directions.
+struct LinkImpairment {
+  std::optional<double> loss_probability;
+  std::optional<double> bandwidth_bps;
+  std::optional<Duration> propagation;
+  std::optional<Duration> jitter_mean;
+  std::optional<Duration> jitter_stddev;
+  std::optional<std::uint32_t> queue_limit_packets;
+  std::optional<bool> blackout;
+};
+
 /// Per-direction transmission statistics.
 struct LinkDirectionStats {
   std::uint64_t packets_sent{0};
   std::uint64_t bytes_sent{0};
   std::uint64_t dropped_queue_full{0};
   std::uint64_t dropped_random_loss{0};
+  std::uint64_t dropped_impairment{0};  // injected blackout ate the packet
   Duration busy_time{Duration::zero()};  // cumulative serialization time
 
   [[nodiscard]] std::uint64_t dropped_total() const noexcept {
-    return dropped_queue_full + dropped_random_loss;
+    return dropped_queue_full + dropped_random_loss + dropped_impairment;
   }
 };
 
@@ -54,7 +70,15 @@ class Link {
   [[nodiscard]] NodeId peer_of(NodeId node) const noexcept { return node == a_ ? b_ : a_; }
   [[nodiscard]] bool attaches(NodeId node) const noexcept { return node == a_ || node == b_; }
 
+  /// Mutates the live configuration (fault-injection path). Set fields
+  /// overlay the current config and affect every packet offered from now on;
+  /// packets already serialized keep their original delivery schedule.
+  /// Validates like the constructor; throws std::invalid_argument on bad
+  /// values (non-positive bandwidth, zero queue limit, loss outside [0,1]).
+  void apply_impairment(const LinkImpairment& impairment);
+
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool blacked_out() const noexcept { return blackout_; }
   /// Stats for the direction whose source is `from`.
   [[nodiscard]] const LinkDirectionStats& stats_from(NodeId from) const;
 
@@ -75,6 +99,7 @@ class Link {
   NodeId a_;
   NodeId b_;
   LinkConfig config_;
+  bool blackout_{false};
   std::array<Direction, 2> directions_{};  // [0]: a->b, [1]: b->a
 };
 

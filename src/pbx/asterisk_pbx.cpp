@@ -30,7 +30,8 @@ void AsteriskPbx::set_telemetry(telemetry::Telemetry* tel) {
   sip::SipEndpoint::set_telemetry(tel);
   tm_invites_ = tm_blocked_policy_ = tm_blocked_cac_ = tm_blocked_channels_ =
       tm_blocked_queue_full_ = tm_answered_ = tm_failed_ = tm_queued_ = tm_queue_served_ =
-          tm_queue_timeouts_ = tm_rtp_relayed_ = tm_rtp_dropped_ = nullptr;
+          tm_queue_timeouts_ = tm_rtp_relayed_ = tm_rtp_dropped_ = tm_overload_503_ =
+              tm_sip_queue_dropped_ = nullptr;
   tm_active_channels_ = nullptr;
   tracer_ = nullptr;
   if (tel == nullptr || !tel->enabled()) return;
@@ -56,6 +57,10 @@ void AsteriskPbx::set_telemetry(telemetry::Telemetry* tel) {
                                  "RTP/RTCP packets relayed between call legs");
   tm_rtp_dropped_ = &reg.counter("pbxcap_pbx_rtp_dropped_total", {},
                                  "RTP/RTCP packets dropped for lack of a session");
+  tm_overload_503_ = &reg.counter("pbxcap_pbx_overload_rejections_total", {},
+                                  "INVITEs shed by the 503+Retry-After overload gate");
+  tm_sip_queue_dropped_ = &reg.counter("pbxcap_pbx_sip_queue_dropped_total", {},
+                                       "SIP messages dropped on service-queue overflow");
   tm_active_channels_ =
       &reg.gauge("pbxcap_pbx_active_channels", {}, "Channels currently held by bridges");
   tracer_ = tel->tracer();
@@ -72,14 +77,150 @@ void AsteriskPbx::send_sip(const Message& msg, net::NodeId dst) {
 }
 
 void AsteriskPbx::on_receive(const net::Packet& pkt) {
+  const TimePoint now = network()->simulator().now();
+  if (now < dead_until_) {
+    // Crashed: the host is off the network until restart.
+    ++dropped_dead_;
+    return;
+  }
+  if (now < stall_until_) {
+    if (pkt.kind == net::PacketKind::kSip) {
+      // The socket buffer holds signalling across the stall; it is all
+      // processed in arrival order the instant the process unwedges.
+      auto deferred = [this, pkt] { on_receive(pkt); };
+      static_assert(sim::Callback::stores_inline<decltype(deferred)>(),
+                    "stall deferral closure must stay on the allocation-free SBO path");
+      network()->simulator().schedule_at(stall_until_, std::move(deferred));
+    } else {
+      ++rtp_dropped_stall_;  // the relay thread is wedged; media overruns
+    }
+    return;
+  }
   if (pkt.kind == net::PacketKind::kRtp || pkt.kind == net::PacketKind::kRtcp) {
     relay_rtp(pkt);
     return;
   }
   if (pkt.kind == net::PacketKind::kSip) {
-    cpu_.on_sip_message(network()->simulator().now());
+    cpu_.on_sip_message(now);
+    if (config_.sip_service.enabled) {
+      enqueue_sip(pkt);
+      return;
+    }
   }
   sip::SipEndpoint::on_receive(pkt);
+}
+
+void AsteriskPbx::enqueue_sip(const net::Packet& pkt) {
+  auto& sim = network()->simulator();
+  const TimePoint now = sim.now();
+
+  // Overload gate ahead of the queue: shedding a new INVITE with a stateless
+  // 503 costs almost nothing, unlike a full rejection that would first wait
+  // in line and then run the expensive error path.
+  if (const auto* payload = pkt.payload_as<sip::SipPayload>();
+      payload != nullptr && payload->msg.is_request() && payload->msg.top_via() != nullptr) {
+    if (payload->msg.method() == Method::kAck &&
+        shed_invite_branches_.erase(payload->msg.top_via()->branch) > 0) {
+      // ACK for a gate 503 (non-2xx ACK reuses the INVITE branch). Absorbed
+      // at the front door: queueing it would hand every shed call a service
+      // slot after all, and the ACK flood would re-congest the queue the
+      // gate exists to protect.
+      return;
+    }
+    if (overload_gate_rejects(payload->msg, now)) {
+      ++overload_rejections_;
+      if (tm_overload_503_ != nullptr) tm_overload_503_->add();
+      shed_invite_branches_.insert(payload->msg.top_via()->branch);
+      Message resp = Message::response_to(payload->msg, sip::status::kServiceUnavailable);
+      resp.to().tag = new_tag();
+      resp.add_header("Retry-After",
+                      util::format("%lld", static_cast<long long>(
+                                               config_.overload.retry_after.to_seconds() + 0.5)));
+      send_sip(resp, pkt.src);
+      return;
+    }
+  }
+
+  if (sip_backlog_ >= config_.sip_service.queue_limit) {
+    ++sip_queue_dropped_;
+    if (tm_sip_queue_dropped_ != nullptr) tm_sip_queue_dropped_->add();
+    return;
+  }
+  sip_busy_until_ = std::max(now, sip_busy_until_) + config_.sip_service.service_time;
+  ++sip_backlog_;
+  if (const auto* payload = pkt.payload_as<sip::SipPayload>();
+      payload != nullptr && payload->msg.is_request() &&
+      payload->msg.method() == Method::kInvite && payload->msg.top_via() != nullptr) {
+    queued_invite_branches_.insert(payload->msg.top_via()->branch);
+  }
+  auto service = [this, pkt, epoch = boot_epoch_] {
+    if (epoch != boot_epoch_) return;  // message died with the crashed process
+    --sip_backlog_;
+    if (const auto* payload = pkt.payload_as<sip::SipPayload>();
+        payload != nullptr && payload->msg.is_request() &&
+        payload->msg.method() == Method::kInvite && payload->msg.top_via() != nullptr) {
+      queued_invite_branches_.erase(payload->msg.top_via()->branch);
+    }
+    if (network()->simulator().now() < dead_until_) {
+      ++dropped_dead_;
+      return;
+    }
+    sip::SipEndpoint::on_receive(pkt);
+  };
+  static_assert(sim::Callback::stores_inline<decltype(service)>(),
+                "SIP service closure must stay on the allocation-free SBO path");
+  sim.schedule_at(sip_busy_until_, std::move(service));
+}
+
+bool AsteriskPbx::overload_gate_rejects(const Message& msg, TimePoint now) const {
+  const OverloadControlConfig& oc = config_.overload;
+  if (!oc.enabled || !msg.is_request() || msg.method() != Method::kInvite) return false;
+  // A retransmission of an in-progress INVITE is absorbed by its server
+  // transaction — 503ing it out of band would kill a call already being
+  // set up. Same for an INVITE still waiting in the service queue: the 503
+  // would race the queued original (caller gives up, PBX admits anyway).
+  if (transactions().matches_server_transaction(msg)) return false;
+  if (msg.top_via() != nullptr &&
+      queued_invite_branches_.find(msg.top_via()->branch) != queued_invite_branches_.end()) {
+    return false;
+  }
+  if (sip_backlog_ > oc.queue_threshold) return true;
+  if (oc.shed_when_channels_full && channels_.available() == 0) return true;
+  return oc.cpu_threshold < 1.0 && cpu_.utilization_at(now) >= oc.cpu_threshold;
+}
+
+void AsteriskPbx::stall_for(Duration stall) {
+  const TimePoint now = network()->simulator().now();
+  ++stalls_;
+  stall_until_ = std::max(stall_until_, now + stall);
+}
+
+void AsteriskPbx::crash_restart(Duration dead_for) {
+  const TimePoint now = network()->simulator().now();
+  ++crashes_;
+  dead_until_ = std::max(dead_until_, now + dead_for);
+  ++boot_epoch_;       // orphans every queued service event
+  sip_backlog_ = 0;    // the in-memory message queue dies with the process
+  sip_busy_until_ = TimePoint{};
+  queued_invite_branches_.clear();
+  shed_invite_branches_.clear();
+
+  // Channel-state loss: every waiting and bridged call is simply gone.
+  // No SIP goes out — a dead process cannot send BYEs or finals; the far
+  // ends discover via their own timers.
+  for (auto& queued : queue_) {
+    if (!queued->live) continue;
+    queued->live = false;
+    network()->simulator().cancel(queued->timeout_event);
+    cdrs_.close(queued->cdr, Disposition::kFailed, now);
+  }
+  queue_.clear();
+  for (std::size_t idx = 0; idx < bridges_.size(); ++idx) {
+    if (bridges_[idx]->state == Bridge::State::kClosed) continue;
+    bridges_[idx]->invite_txn_a = nullptr;  // transaction state is lost too
+    close_bridge(idx, Disposition::kFailed);
+  }
+  transactions().reset();
 }
 
 // ------------------------------------------------------------- signalling ----
@@ -106,10 +247,22 @@ void AsteriskPbx::handle_request(const Message& req, sip::ServerTransaction& txn
   }
 }
 
-void AsteriskPbx::reject(const Message& req, sip::ServerTransaction& txn, int code) {
-  cpu_.on_error_event(network()->simulator().now());
+void AsteriskPbx::reject(const Message& req, sip::ServerTransaction& txn, int code,
+                         Duration retry_after) {
+  const TimePoint now = network()->simulator().now();
+  cpu_.on_error_event(now);
+  // Under the queued-service model a full rejection occupies the worker for
+  // the error-path surcharge — the cost asymmetry that makes the cheap
+  // overload gate worthwhile (every message behind this one waits longer).
+  if (config_.sip_service.enabled && config_.sip_service.reject_penalty > Duration::zero()) {
+    sip_busy_until_ = std::max(now, sip_busy_until_) + config_.sip_service.reject_penalty;
+  }
   Message resp = Message::response_to(req, code);
   resp.to().tag = new_tag();
+  if (retry_after > Duration::zero()) {
+    resp.add_header("Retry-After", util::format("%lld", static_cast<long long>(
+                                                            retry_after.to_seconds() + 0.5)));
+  }
   txn.respond(resp);
 }
 
@@ -187,7 +340,7 @@ void AsteriskPbx::admit_invite(const Message& req, sip::ServerTransaction& txn) 
       !cac_.admit(now, channels_.capacity())) {
     if (tm_blocked_cac_ != nullptr) tm_blocked_cac_->add();
     cdrs_.close(cdr, Disposition::kCongestion, now);
-    reject(req, txn, sip::status::kServiceUnavailable);
+    reject(req, txn, sip::status::kServiceUnavailable, blocked_retry_after());
     return;
   }
 
@@ -199,7 +352,7 @@ void AsteriskPbx::admit_invite(const Message& req, sip::ServerTransaction& txn) 
     }
     if (tm_blocked_channels_ != nullptr) tm_blocked_channels_->add();
     cdrs_.close(cdr, Disposition::kCongestion, now);
-    reject(req, txn, sip::status::kServiceUnavailable);
+    reject(req, txn, sip::status::kServiceUnavailable, blocked_retry_after());
     return;
   }
 
@@ -307,7 +460,7 @@ void AsteriskPbx::enqueue_call(const Message& req, sip::ServerTransaction& txn,
   if (live >= config_.max_queue_length) {
     if (tm_blocked_queue_full_ != nullptr) tm_blocked_queue_full_->add();
     cdrs_.close(cdr, Disposition::kCongestion, now);
-    reject(req, txn, sip::status::kServiceUnavailable);
+    reject(req, txn, sip::status::kServiceUnavailable, blocked_retry_after());
     return;
   }
 

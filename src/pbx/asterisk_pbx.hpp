@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "pbx/admission.hpp"
@@ -37,6 +38,39 @@
 
 namespace pbxcap::pbx {
 
+/// Single-threaded SIP service model (overload substrate). When enabled,
+/// every incoming SIP message waits in a FIFO for one worker that takes
+/// `service_time` per message; a full rejection additionally occupies the
+/// worker for `reject_penalty` (the expensive error path the paper's 30 ms
+/// error cost measures). The backlog depth is the overload-control signal.
+/// Disabled by default: Table-I runs keep the instantaneous-service model.
+struct SipServiceConfig {
+  bool enabled{false};
+  Duration service_time{Duration::millis(10)};
+  Duration reject_penalty{Duration::millis(30)};
+  std::uint32_t queue_limit{256};  // messages beyond this are dropped
+};
+
+/// RFC 6357-style local overload control: a cheap stateless 503 + Retry-After
+/// front door ahead of the service queue. Only *new INVITE work* is shed;
+/// messages of accepted calls still get service.
+struct OverloadControlConfig {
+  bool enabled{false};
+  /// Gate INVITEs while the SIP service backlog exceeds this many messages.
+  std::uint32_t queue_threshold{16};
+  /// Additional trigger on the CPU model's current-bucket utilization;
+  /// >= 1.0 disables the CPU trigger.
+  double cpu_threshold{1.0};
+  /// Also shed INVITEs while the channel pool is exhausted. This is the
+  /// RFC 6357 cost argument in miniature: a doomed INVITE that reaches the
+  /// worker pays service_time + reject_penalty for nothing, while the gate's
+  /// stateless 503 is free — and Retry-After turns the excess demand into a
+  /// paced retry stream that refills channels as they free up.
+  bool shed_when_channels_full{true};
+  /// Advertised in the 503's Retry-After header (integer seconds on the wire).
+  Duration retry_after{Duration::seconds(2)};
+};
+
 struct PbxConfig {
   std::string host{"pbx.unb.br"};
   std::uint32_t max_channels{165};  // fitted capacity of the paper's server
@@ -51,6 +85,8 @@ struct PbxConfig {
   /// kQueueWhenBusy parameters.
   std::uint32_t max_queue_length{64};
   Duration queue_timeout{Duration::seconds(60)};  // caller reneges after this
+  SipServiceConfig sip_service{};
+  OverloadControlConfig overload{};
 };
 
 class AsteriskPbx final : public sip::SipEndpoint {
@@ -95,6 +131,31 @@ class AsteriskPbx final : public sip::SipEndpoint {
   [[nodiscard]] const stats::Summary& queue_wait_s() const noexcept { return queue_wait_s_; }
   [[nodiscard]] std::size_t queue_depth() const noexcept;
 
+  // ---- fault injection: degradation modes ----
+
+  /// Freezes SIP processing until `now + stall` (GC pause / disk stall
+  /// model): SIP messages arriving meanwhile are deferred to the stall end,
+  /// RTP arriving meanwhile is dropped (the relay thread is wedged too).
+  /// Overlapping stalls extend the frozen window.
+  void stall_for(Duration stall);
+
+  /// Kills the process: every bridge, queued call and SIP transaction dies
+  /// silently (channel-state loss), the service backlog is discarded, and
+  /// all packets are dropped until `now + dead_for` (restart dead time).
+  void crash_restart(Duration dead_for);
+
+  // SIP service-queue / overload observations.
+  [[nodiscard]] std::uint32_t sip_backlog() const noexcept { return sip_backlog_; }
+  [[nodiscard]] std::uint64_t sip_queue_dropped() const noexcept { return sip_queue_dropped_; }
+  /// INVITEs shed by the stateless 503 + Retry-After overload gate.
+  [[nodiscard]] std::uint64_t overload_rejections() const noexcept {
+    return overload_rejections_;
+  }
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t stalls() const noexcept { return stalls_; }
+  [[nodiscard]] std::uint64_t dropped_while_dead() const noexcept { return dropped_dead_; }
+  [[nodiscard]] std::uint64_t rtp_dropped_stall() const noexcept { return rtp_dropped_stall_; }
+
  private:
   struct Bridge {
     enum class State { kInviting, kAnswered, kTearingDown, kClosed };
@@ -134,7 +195,16 @@ class AsteriskPbx final : public sip::SipEndpoint {
   void handle_bye(const sip::Message& req, sip::ServerTransaction& txn);
   void on_leg_b_response(std::size_t bridge_idx, const sip::Message& resp);
   void on_leg_b_timeout(std::size_t bridge_idx);
-  void reject(const sip::Message& req, sip::ServerTransaction& txn, int code);
+  void reject(const sip::Message& req, sip::ServerTransaction& txn, int code,
+              Duration retry_after = Duration::zero());
+  /// Enqueues a SIP packet into the single-worker service model.
+  void enqueue_sip(const net::Packet& pkt);
+  [[nodiscard]] bool overload_gate_rejects(const sip::Message& msg, TimePoint now) const;
+  /// Retry-After advertised on blocked-call 503s (zero unless overload
+  /// control is enabled — plain rejections carry no backoff hint).
+  [[nodiscard]] Duration blocked_retry_after() const noexcept {
+    return config_.overload.enabled ? config_.overload.retry_after : Duration::zero();
+  }
   void relay_rtp(const net::Packet& pkt);
   void register_media(Bridge& bridge);
   void close_bridge(std::size_t idx, Disposition disposition);
@@ -178,6 +248,29 @@ class AsteriskPbx final : public sip::SipEndpoint {
   std::uint64_t rtp_dropped_no_session_{0};
   std::size_t active_bridges_{0};
 
+  // SIP service queue + degradation state.
+  TimePoint sip_busy_until_{};   // single worker: when it frees up
+  std::uint32_t sip_backlog_{0};
+  std::uint64_t boot_epoch_{0};  // bumped per crash; orphans queued work
+  TimePoint dead_until_{};       // crash: drop everything before this
+  TimePoint stall_until_{};      // stall: defer SIP / drop RTP before this
+  /// Branches of INVITEs accepted into the service queue but not yet
+  /// serviced. Their retransmissions must pass the overload gate: no server
+  /// transaction exists yet, and an out-of-band 503 would race the queued
+  /// original (caller gives up, PBX admits — a leaked channel).
+  std::unordered_set<std::string> queued_invite_branches_;
+  /// Branches the overload gate answered 503. The caller ACKs that final
+  /// (non-2xx ACK, same branch); the gate must absorb it as cheaply as it
+  /// shed the INVITE, or each shed call still costs a service slot and the
+  /// "stateless" rejection feeds the very queue it protects.
+  std::unordered_set<std::string> shed_invite_branches_;
+  std::uint64_t sip_queue_dropped_{0};
+  std::uint64_t overload_rejections_{0};
+  std::uint64_t crashes_{0};
+  std::uint64_t stalls_{0};
+  std::uint64_t dropped_dead_{0};
+  std::uint64_t rtp_dropped_stall_{0};
+
   // Telemetry handles; null when telemetry is absent or disabled.
   telemetry::Counter* tm_invites_{nullptr};
   telemetry::Counter* tm_blocked_policy_{nullptr};
@@ -191,6 +284,8 @@ class AsteriskPbx final : public sip::SipEndpoint {
   telemetry::Counter* tm_queue_timeouts_{nullptr};
   telemetry::Counter* tm_rtp_relayed_{nullptr};
   telemetry::Counter* tm_rtp_dropped_{nullptr};
+  telemetry::Counter* tm_overload_503_{nullptr};
+  telemetry::Counter* tm_sip_queue_dropped_{nullptr};
   telemetry::Gauge* tm_active_channels_{nullptr};
   telemetry::SpanTracer* tracer_{nullptr};
   std::uint32_t span_setup_name_{0};

@@ -17,6 +17,11 @@ std::size_t CpuModel::bucket_of(TimePoint at) const noexcept {
 }
 
 void CpuModel::deposit(TimePoint at, Duration work) {
+  if (config_.overload_threshold < 1.0 && config_.overload_multiplier > 1.0 &&
+      utilization_at(at) >= config_.overload_threshold) {
+    work = Duration::from_seconds(work.to_seconds() * config_.overload_multiplier);
+    ++overload_inflations_;
+  }
   const std::size_t idx = bucket_of(at);
   if (idx >= buckets_.size()) buckets_.resize(idx + 1, Duration::zero());
   buckets_[idx] += work;

@@ -22,6 +22,13 @@ struct CpuModelConfig {
   Duration cost_per_sip_message{Duration::micros(450)};
   Duration cost_per_rtp_packet{Duration::micros(24)};   // relay: rx + bridge + tx
   Duration cost_per_error_event{Duration::millis(30)};  // rejection/error path
+  /// Degradation mode: once the current bucket's utilization crosses
+  /// `overload_threshold`, each further unit of work costs
+  /// `overload_multiplier` times as much (cache thrash, lock convoys, paging
+  /// — the super-linear regime real servers enter past saturation).
+  /// A threshold >= 1.0 disables the mode.
+  double overload_threshold{1.0};
+  double overload_multiplier{1.0};
 };
 
 class CpuModel {
@@ -42,6 +49,10 @@ class CpuModel {
 
   [[nodiscard]] const CpuModelConfig& config() const noexcept { return config_; }
   [[nodiscard]] Duration total_work() const noexcept { return total_work_; }
+  /// Deposits inflated by the overload multiplier (degradation diagnostics).
+  [[nodiscard]] std::uint64_t overload_inflations() const noexcept {
+    return overload_inflations_;
+  }
 
  private:
   void deposit(TimePoint at, Duration work);
@@ -51,6 +62,7 @@ class CpuModel {
   Duration bucket_width_;
   std::vector<Duration> buckets_;  // work per bucket, grown on demand
   Duration total_work_{Duration::zero()};
+  std::uint64_t overload_inflations_{0};
 };
 
 }  // namespace pbxcap::pbx

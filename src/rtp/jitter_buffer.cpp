@@ -10,10 +10,13 @@ JitterBuffer::JitterBuffer(Codec codec, JitterBufferConfig config)
 bool JitterBuffer::on_packet(const RtpHeader& header, TimePoint arrival) {
   if (!started_ || header.marker) {
     // First packet, or the start of a talkspurt: (re-)anchor the playout
-    // schedule. This is where an adaptive delay update takes effect.
+    // schedule. This is where an adaptive delay update takes effect. A
+    // re-anchor after a delay *decrease* must not schedule the new reference
+    // before audio already handed to the output — playout is monotonic.
     started_ = true;
     base_seq_ = header.sequence;
-    epoch_ = arrival + delay_;
+    epoch_ = std::max(arrival + delay_, last_playout_);
+    last_playout_ = epoch_;
     ++played_;
     return true;
   }
@@ -24,6 +27,7 @@ bool JitterBuffer::on_packet(const RtpHeader& header, TimePoint arrival) {
     ++discarded_;
     return false;
   }
+  last_playout_ = std::max(last_playout_, playout);
   ++played_;
   return true;
 }

@@ -35,6 +35,9 @@ class JitterBuffer {
   void update_delay(Duration jitter_estimate);
 
   [[nodiscard]] Duration playout_delay() const noexcept { return delay_; }
+  /// Playout instant of the latest packet handed to the output. A talkspurt
+  /// re-anchor never moves behind this point (monotonic playout).
+  [[nodiscard]] TimePoint last_playout() const noexcept { return last_playout_; }
   [[nodiscard]] std::uint64_t played() const noexcept { return played_; }
   [[nodiscard]] std::uint64_t discarded_late() const noexcept { return discarded_; }
   [[nodiscard]] double discard_fraction() const noexcept {
@@ -48,6 +51,7 @@ class JitterBuffer {
   Duration delay_;
   bool started_{false};
   TimePoint epoch_{};          // playout time of the reference packet
+  TimePoint last_playout_{};   // latest playout instant handed out
   std::uint16_t base_seq_{0};
   std::uint64_t played_{0};
   std::uint64_t discarded_{0};

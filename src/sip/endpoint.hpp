@@ -48,6 +48,7 @@ class SipEndpoint : public net::Node, public Transport {
   void on_receive(const net::Packet& pkt) override;
 
   [[nodiscard]] TransactionLayer& transactions() noexcept { return layer_; }
+  [[nodiscard]] const TransactionLayer& transactions() const noexcept { return layer_; }
   [[nodiscard]] const std::string& sip_host() const noexcept { return host_; }
   [[nodiscard]] HostResolver& resolver() noexcept { return resolver_; }
 

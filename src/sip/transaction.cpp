@@ -1,5 +1,6 @@
 #include "sip/transaction.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -37,6 +38,22 @@ std::string TransactionLayer::client_key(const std::string& branch, Method metho
 
 void TransactionLayer::remove_client(const std::string& key) { clients_.erase(key); }
 void TransactionLayer::remove_server(const std::string& key) { servers_.erase(key); }
+
+bool TransactionLayer::matches_server_transaction(const Message& request) const {
+  if (!request.is_request() || request.top_via() == nullptr) return false;
+  const std::string key =
+      request.top_via()->branch + ":" + std::string{to_string(request.method())};
+  return servers_.find(key) != servers_.end();
+}
+
+void TransactionLayer::reset() {
+  // Crash semantics: every state machine dies silently — no timeout upcalls,
+  // no final responses, timers cancelled. terminate() defers the actual map
+  // removal by one zero-delay event, so iterating here is safe even though
+  // each call schedules an erase.
+  for (auto& [key, txn] : clients_) txn->terminate();
+  for (auto& [key, txn] : servers_) txn->terminate();
+}
 
 void TransactionLayer::set_telemetry(telemetry::Telemetry* tel) {
   tm_client_started_ = tm_server_started_ = tm_retransmissions_ = tm_timeouts_ = nullptr;
@@ -151,14 +168,25 @@ void ClientTransaction::start() {
 }
 
 void ClientTransaction::retransmit() {
-  if (state_ != State::kCalling && state_ != State::kTrying) return;
+  // Timer A fires only while Calling — a provisional moves an INVITE to
+  // Proceeding and stops request retransmissions (§17.1.1.2). Timer E keeps
+  // firing in Proceeding too: a non-INVITE request must be retransmitted
+  // until a *final* response arrives (§17.1.2.2), just pinned at T2.
+  const bool invite = method() == Method::kInvite;
+  const bool armed = invite ? state_ == State::kCalling
+                            : state_ == State::kTrying || state_ == State::kProceeding;
+  if (!armed) return;
   ++retransmissions_;
   layer_.note_retransmission();
   layer_.transport().send_sip(request_, dst_);
-  // Timer A doubles unboundedly; timer E doubles capped at T2.
-  retransmit_interval_ = retransmit_interval_ * 2;
-  if (method() != Method::kInvite && retransmit_interval_ > layer_.timers().t2) {
+  if (invite) {
+    // Timer A doubles unboundedly until Timer B ends the transaction.
+    retransmit_interval_ = retransmit_interval_ * 2;
+  } else if (state_ == State::kProceeding) {
     retransmit_interval_ = layer_.timers().t2;
+  } else {
+    // Timer E doubles capped at T2.
+    retransmit_interval_ = std::min(retransmit_interval_ * 2, layer_.timers().t2);
   }
   retransmit_timer_ = layer_.simulator().schedule_in(retransmit_interval_, [this] { retransmit(); });
 }

@@ -147,6 +147,17 @@ class TransactionLayer {
   /// Allocates an RFC 3261 branch token (magic cookie + unique suffix).
   [[nodiscard]] std::string new_branch();
 
+  /// True when `request` matches a live server transaction — i.e. it is a
+  /// retransmission the state machine will absorb, not new work. Lets
+  /// front-door admission logic (overload gates) wave retransmissions
+  /// through instead of answering them out of band.
+  [[nodiscard]] bool matches_server_transaction(const Message& request) const;
+
+  /// Silently terminates every active transaction — the state loss of a
+  /// process crash. No timeout/response handlers fire; in-flight responses
+  /// arriving afterwards fall through to on_stray_response.
+  void reset();
+
   // ---- TU upcalls ----
   /// New (non-retransmitted) request other than a 2xx ACK.
   std::function<void(const Message& request, ServerTransaction& txn)> on_request;

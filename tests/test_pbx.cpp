@@ -73,6 +73,29 @@ TEST(CpuModel, ClampsAtFullCore) {
   EXPECT_DOUBLE_EQ(cpu.utilization_at(t), 1.0);
 }
 
+TEST(CpuModel, OverloadModeInflatesCostPastThreshold) {
+  pbx::CpuModelConfig cfg;
+  cfg.base_utilization = 0.0;
+  cfg.cost_per_sip_message = Duration::millis(10);
+  cfg.overload_threshold = 0.5;
+  cfg.overload_multiplier = 3.0;
+  pbx::CpuModel cpu{cfg};
+  const TimePoint t = TimePoint::origin();
+  // 50 messages reach the threshold at nominal cost; the next ones land in
+  // the super-linear regime and cost 3x.
+  for (int i = 0; i < 50; ++i) cpu.on_sip_message(t);
+  EXPECT_EQ(cpu.overload_inflations(), 0u);
+  EXPECT_DOUBLE_EQ(cpu.utilization_at(t), 0.5);
+  for (int i = 0; i < 10; ++i) cpu.on_sip_message(t);
+  EXPECT_EQ(cpu.overload_inflations(), 10u);
+  EXPECT_NEAR(cpu.utilization_at(t), 0.5 + 10 * 0.010 * 3.0, 1e-9);
+
+  // Threshold >= 1.0 (the default) disables the mode entirely.
+  pbx::CpuModel plain{{}};
+  for (int i = 0; i < 1000; ++i) plain.on_sip_message(t);
+  EXPECT_EQ(plain.overload_inflations(), 0u);
+}
+
 TEST(CpuModel, EmptyIntervalsAreBase) {
   pbx::CpuModelConfig cfg;
   cfg.base_utilization = 0.07;

@@ -7,6 +7,7 @@
 // empirical setup (fixed h = 120 s).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
 #include <tuple>
 
@@ -92,6 +93,37 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.0, 0.5, 5.0, 20.0, 40.0, 80.0, 120.0, 160.0, 200.0,
                                          240.0),
                        ::testing::Values(1u, 2u, 10u, 42u, 100u, 165u, 200u, 300u)));
+
+// ---------------------------------------------------------------------------
+// erlang_b vs an independent long-double recurrence, far past the paper's
+// 60-channel regime (N up to 10^4, A up to 5,000 E).
+// ---------------------------------------------------------------------------
+
+TEST(ErlangBProperty, MatchesLongDoubleRecurrenceAtScale) {
+  // Reference: B(0) = 1; B(n) = A*B(n-1) / (n + A*B(n-1)), evaluated
+  // start-to-finish in long double. Pins the production implementation
+  // against drift (overflow, cancellation, clamping shortcuts) at loads and
+  // channel counts orders of magnitude beyond the grid above.
+  const double loads[] = {0.1, 1.0, 17.0, 120.0, 950.0, 2500.0, 5000.0};
+  const std::uint32_t channels[] = {1u, 2u, 10u, 60u, 128u, 1000u, 4096u, 10000u};
+  for (const double a : loads) {
+    long double b = 1.0L;  // B(0)
+    std::uint32_t n = 0;
+    for (const std::uint32_t target : channels) {
+      for (; n < target;) {
+        ++n;
+        b = (static_cast<long double>(a) * b) /
+            (static_cast<long double>(n) + static_cast<long double>(a) * b);
+      }
+      const double expected = static_cast<double>(b);
+      const double got = erlang::erlang_b(Erlangs{a}, target);
+      ASSERT_TRUE(std::isfinite(got)) << "A=" << a << " N=" << target;
+      EXPECT_GE(got, 0.0) << "A=" << a << " N=" << target;
+      EXPECT_LE(got, 1.0) << "A=" << a << " N=" << target;
+      EXPECT_NEAR(got, expected, 1e-9) << "A=" << a << " N=" << target;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // M/M/N/N and M/D/N/N loss-system simulation vs the closed form.

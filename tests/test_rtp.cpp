@@ -205,6 +205,46 @@ TEST(JitterBufferTest, AdaptiveDelayTracksJitter) {
   EXPECT_EQ(jb.playout_delay(), Duration::millis(20));
 }
 
+TEST(JitterBufferTest, ReanchorAfterDelayDropKeepsPlayoutMonotonic) {
+  rtp::JitterBufferConfig cfg;
+  cfg.adaptive = true;
+  cfg.initial_delay = Duration::millis(100);
+  cfg.min_delay = Duration::millis(20);
+  cfg.max_delay = Duration::millis(200);
+  rtp::JitterBuffer jb{rtp::g711_ulaw(), cfg};
+  const TimePoint t = TimePoint::origin();
+  ASSERT_TRUE(jb.on_packet(header_at(0, 0, true), t));
+  const TimePoint first = jb.last_playout();
+  EXPECT_EQ(first, t + Duration::millis(100));
+  // Jitter collapses; the adaptive rule now wants the minimum delay.
+  jb.update_delay(Duration::zero());
+  EXPECT_EQ(jb.playout_delay(), Duration::millis(20));
+  // A new talkspurt re-anchors 10 ms later. Naively the new epoch lands at
+  // t+30 ms — *before* audio already handed out at t+100 ms. The regression
+  // this pins: playout never steps backwards across a re-anchor.
+  ASSERT_TRUE(jb.on_packet(header_at(1, 160, true), t + Duration::millis(10)));
+  EXPECT_GE(jb.last_playout(), first);
+  // And the spurt keeps advancing monotonically from the clamped epoch.
+  const TimePoint after_reanchor = jb.last_playout();
+  ASSERT_TRUE(jb.on_packet(header_at(2, 320), t + Duration::millis(30)));
+  EXPECT_GE(jb.last_playout(), after_reanchor);
+}
+
+TEST(JitterBufferTest, AdaptiveUpdateClampsExtremeEstimates) {
+  rtp::JitterBufferConfig cfg;
+  cfg.adaptive = true;
+  cfg.jitter_multiplier = 4.0;
+  cfg.min_delay = Duration::millis(20);
+  cfg.max_delay = Duration::millis(100);
+  rtp::JitterBuffer jb{rtp::g711_ulaw(), cfg};
+  // The regression this pins: a wild jitter estimate once drove the target
+  // outside [min, max] instead of clamping.
+  jb.update_delay(Duration::seconds(10));
+  EXPECT_EQ(jb.playout_delay(), Duration::millis(100));
+  jb.update_delay(Duration::nanos(1));
+  EXPECT_EQ(jb.playout_delay(), Duration::millis(20));
+}
+
 TEST(JitterBufferTest, NonAdaptiveIgnoresUpdates) {
   rtp::JitterBuffer jb{rtp::g711_ulaw(), {.initial_delay = Duration::millis(60)}};
   jb.update_delay(Duration::millis(1));

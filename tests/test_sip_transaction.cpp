@@ -119,6 +119,78 @@ TEST_F(TxnFixture, LostInviteIsRetransmitted) {
   EXPECT_GE(layer_a.total_retransmissions(), 1u);
 }
 
+TEST_F(TxnFixture, InviteUnderTotalLossRetransmitsExactlySix) {
+  wire_a.drop_next = 1 << 20;  // 100% loss
+  bool timed_out = false;
+  int responses = 0;
+  layer_a.send_request(
+      make_invite(), 2, [&](const Message&) { ++responses; }, [&] { timed_out = true; });
+  simulator.run();
+  // Timer A doubles from T1: retransmissions at 0.5, 1.5, 3.5, 7.5, 15.5 and
+  // 31.5 s, then Timer B (64*T1 = 32 s) gives up. Exactly 6 — this pins the
+  // A/E conflation regression, which capped the doubling at T2 and fired 10.
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(responses, 0);
+  EXPECT_EQ(layer_a.total_retransmissions(), 6u);
+  EXPECT_EQ(wire_a.sent, 7);  // the original plus 6 retransmissions
+}
+
+TEST_F(TxnFixture, NonInviteUnderTotalLossRetransmitsExactlyTen) {
+  wire_a.drop_next = 1 << 20;  // 100% loss
+  bool timed_out = false;
+  layer_a.send_request(
+      make_bye(), 2, [](const Message&) {}, [&] { timed_out = true; });
+  simulator.run();
+  // Timer E doubles from T1 but caps at T2: retransmissions at 0.5, 1.5,
+  // 3.5 s, then every 4 s through 31.5 s; Timer F (64*T1) ends it. Exactly
+  // 10 — unbounded doubling (the INVITE schedule) would send only 6.
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(layer_a.total_retransmissions(), 10u);
+  EXPECT_EQ(wire_a.sent, 11);  // the original plus 10 retransmissions
+}
+
+TEST_F(TxnFixture, TimerEKeepsFiringAtT2WhileProceeding) {
+  // A provisional must not silence a non-INVITE client transaction: in
+  // Proceeding, Timer E keeps retransmitting pinned at T2 (§17.1.2.2). The
+  // server here answers 100 Trying and never a final.
+  int provisionals = 0;
+  layer_b.on_request = [&](const Message& req, sip::ServerTransaction& txn) {
+    Message trying = Message::response_to(req, 100);
+    txn.respond(trying);
+  };
+  bool timed_out = false;
+  layer_a.send_request(
+      make_bye(), 2,
+      [&](const Message& resp) {
+        if (resp.status_code() < 200) ++provisionals;
+      },
+      [&] { timed_out = true; });
+  simulator.run();
+  // One fire of the armed T1 timer at 0.5 s, then pinned at T2: 4.5, 8.5,
+  // ..., 28.5 s until Timer F at 32 s. Exactly 8; the pre-fix behaviour
+  // stopped retransmitting on entering Proceeding and sent none.
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(provisionals, 1);
+  EXPECT_EQ(layer_a.total_retransmissions(), 8u);
+}
+
+TEST_F(TxnFixture, ServerTransactionMatchLooksThroughRetransmissions) {
+  layer_b.on_request = [](const Message& req, sip::ServerTransaction& txn) {
+    Message trying = Message::response_to(req, 100);
+    txn.respond(trying);
+  };
+  Message invite = make_invite();
+  EXPECT_FALSE(layer_b.matches_server_transaction(invite));
+  layer_a.send_request(invite, 2, [](const Message&) {});
+  simulator.run_until(TimePoint::at(Duration::millis(100)));
+  // Once the INVITE landed, a retransmission (same branch + method) matches;
+  // a different method on the same branch does not.
+  EXPECT_TRUE(layer_b.matches_server_transaction(invite));
+  Message bye = make_bye();
+  bye.vias() = invite.vias();
+  EXPECT_FALSE(layer_b.matches_server_transaction(bye));
+}
+
 TEST_F(TxnFixture, InviteTimeoutFiresAfterTimerB) {
   // No receiver: every send is ignored by dropping all packets.
   wire_a.drop_next = 1'000'000;

@@ -38,3 +38,14 @@ if [[ -x "${tel_bench}" ]]; then
 else
   echo "warning: ${tel_bench} not built; skipping telemetry overhead" >&2
 fi
+
+# Overload-collapse goodput (off vs on per load factor) rides along so
+# successive commits can diff the control subsystem's effectiveness too.
+oc_bench="${build_dir}/bench/bench_overload_collapse"
+oc_out="BENCH_overload_collapse.json"
+if [[ -x "${oc_bench}" ]]; then
+  "${oc_bench}" --fast --json "${oc_out}" > /dev/null
+  echo "wrote ${oc_out}"
+else
+  echo "warning: ${oc_bench} not built; skipping overload collapse" >&2
+fi
