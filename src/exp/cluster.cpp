@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 
+#include "exp/report_util.hpp"
+#include "fault/injector.hpp"
 #include "loadgen/caller.hpp"
 #include "loadgen/receiver.hpp"
 #include "monitor/capture.hpp"
@@ -14,7 +18,15 @@
 namespace pbxcap::exp {
 
 ClusterResult run_cluster(const ClusterConfig& config) {
-  if (config.servers == 0) throw std::invalid_argument{"run_cluster: need at least one server"};
+  // Resolve the fleet: explicit heterogeneous specs, or the homogeneous
+  // servers x channels_per_server shorthand.
+  std::vector<ServerSpec> fleet = config.fleet;
+  if (fleet.empty()) {
+    if (config.servers == 0) {
+      throw std::invalid_argument{"run_cluster: need at least one server"};
+    }
+    fleet.assign(config.servers, ServerSpec{config.channels_per_server, 0});
+  }
 
   sim::Simulator simulator;
   sim::Random master{config.seed};
@@ -30,12 +42,17 @@ ClusterResult run_cluster(const ClusterConfig& config) {
 
   std::vector<std::unique_ptr<pbx::AsteriskPbx>> pbxs;
   std::vector<std::string> pbx_hosts;
-  for (std::uint32_t i = 0; i < config.servers; ++i) {
+  std::vector<dispatch::BackendConfig> backend_configs;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
     pbx::PbxConfig pbx_config;
-    pbx_config.host = util::format("pbx%u.unb.br", i);
-    pbx_config.max_channels = config.channels_per_server;
+    pbx_config.host = util::format("pbx%u.unb.br", static_cast<unsigned>(i));
+    pbx_config.max_channels = fleet[i].channels;
+    pbx_config.sip_service = config.sip_service;
+    pbx_config.overload = config.overload;
     pbxs.push_back(std::make_unique<pbx::AsteriskPbx>(pbx_config, simulator, resolver));
     pbx_hosts.push_back(pbx_config.host);
+    backend_configs.push_back(
+        {pbx_config.host, fleet[i].weight != 0 ? fleet[i].weight : fleet[i].channels});
   }
 
   loadgen::SipCaller caller{"sipp-client.unb.br", pbx_hosts, simulator, resolver, ssrcs,
@@ -45,25 +62,80 @@ ClusterResult run_cluster(const ClusterConfig& config) {
 
   network.attach(caller);
   network.attach(receiver);
-  network.connect(caller, lan_switch, {});
-  network.connect(receiver, lan_switch, {});
+  net::Link& client_link = network.connect(caller, lan_switch, {});
+  net::Link& server_link = network.connect(receiver, lan_switch, {});
   caller.bind();
   receiver.bind();
+  std::vector<net::Link*> pbx_links;
   for (auto& pbx : pbxs) {
     network.attach(*pbx);
-    network.connect(*pbx, lan_switch, {});
+    pbx_links.push_back(&network.connect(*pbx, lan_switch, {}));
     pbx->bind();
     pbx->dialplan().add("recv-", receiver.sip_host());
   }
 
+  // Routing tier. The dispatcher is a real node on the LAN — its OPTIONS
+  // probes traverse the switch like any other SIP traffic — but routing
+  // decisions are redirect-style (the caller asks, then talks to the
+  // backend directly), so the Fig. 2 ladder and the media path are
+  // unchanged from the paper's testbed.
+  std::optional<dispatch::Dispatcher> dispatcher;
+  if (config.routing == ClusterRouting::kDispatcher) {
+    dispatcher.emplace("dispatcher.unb.br", backend_configs, config.dispatcher, simulator,
+                       resolver);
+    network.attach(*dispatcher);
+    network.connect(*dispatcher, lan_switch, {});
+    dispatcher->bind();
+    caller.set_dispatcher(&*dispatcher);
+  }
+
+  // Capture taps on every backend NIC (the Wireshark observation point,
+  // once per server) so the aggregate SIP/RTP census is populated exactly
+  // like run_testbed's.
+  std::vector<std::unique_ptr<monitor::SipCapture>> sip_captures;
+  std::vector<std::unique_ptr<monitor::RtpCapture>> rtp_captures;
+  for (auto& pbx : pbxs) {
+    sip_captures.push_back(std::make_unique<monitor::SipCapture>(pbx->id()));
+    rtp_captures.push_back(std::make_unique<monitor::RtpCapture>(pbx->id()));
+    sip_captures.back()->attach(network);
+    rtp_captures.back()->attach(network);
+  }
+
+  telemetry::Telemetry* tel = config.telemetry;
+  if (tel != nullptr && tel->enabled()) {
+    caller.set_telemetry(tel);
+    receiver.set_telemetry(tel);
+    for (auto& pbx : pbxs) pbx->set_telemetry(tel);
+    auto& sampler = tel->sampler();
+    for (std::size_t i = 0; i < pbxs.size(); ++i) {
+      pbx::AsteriskPbx* pbx = pbxs[i].get();
+      sampler.add_gauge(util::format("active_channels_pbx%u", static_cast<unsigned>(i)),
+                        [pbx] { return static_cast<double>(pbx->channels().in_use()); });
+    }
+    if (dispatcher) {
+      dispatch::Dispatcher* d = &*dispatcher;
+      for (std::size_t i = 0; i < pbxs.size(); ++i) {
+        sampler.add_gauge(util::format("dispatcher_occupancy_pbx%u", static_cast<unsigned>(i)),
+                          [d, i] { return static_cast<double>(d->occupancy(i)); });
+      }
+    }
+    sampler.start(simulator, tel->config().sample_period);
+  }
+
+  std::optional<fault::FaultInjector> injector;
+  if (config.faults != nullptr && !config.faults->empty()) {
+    const std::size_t fb = std::min<std::size_t>(config.fault_backend, pbxs.size() - 1);
+    injector.emplace(simulator, *config.faults,
+                     fault::FaultTargets{&client_link, &server_link, pbx_links[fb],
+                                         pbxs[fb].get()});
+    injector->arm();
+  }
+
+  if (dispatcher) dispatcher->start();
   caller.start();
-  const double hold_tail =
-      config.scenario.hold_model == sim::HoldTimeModel::kDeterministic ? 1.0 : 4.0;
-  const Duration horizon =
-      config.scenario.placement_window +
-      Duration::from_seconds(config.scenario.hold_time.to_seconds() * hold_tail) + config.drain;
-  simulator.run_until(TimePoint::at(horizon));
+  simulator.run_until(TimePoint::at(run_horizon(config.scenario, config.drain)));
   caller.finalize_remaining();
+  if (tel != nullptr && tel->enabled()) tel->sampler().stop();
 
   for (auto& record : caller.log().records_mutable()) {
     if (const auto* q = receiver.finished(record.call_index)) {
@@ -74,28 +146,84 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     }
   }
 
-  const monitor::CallLog& log = caller.log();
-  ClusterResult result;
-  result.report.offered_erlangs = config.scenario.offered_erlangs();
-  result.report.arrival_rate_per_s = config.scenario.arrival_rate_per_s;
-  result.report.hold_time = config.scenario.hold_time;
-  result.report.seed = config.seed;
-  result.report.calls_attempted = log.attempted();
-  result.report.calls_completed = log.completed();
-  result.report.calls_blocked = log.blocked();
-  result.report.calls_failed = log.failed();
-  result.report.blocking_probability = log.blocking_probability();
-  result.report.mos = log.mos_summary();
-  result.report.setup_delay_ms = log.setup_delay_summary();
-  result.report.channels_configured = config.channels_per_server * config.servers;
-
-  std::uint32_t peak_total = 0;
-  for (auto& pbx : pbxs) {
-    result.peak_channels_per_server.push_back(pbx->channels().peak());
-    result.congestion_per_server.push_back(pbx->cdrs().count(pbx::Disposition::kCongestion));
-    peak_total += pbx->channels().peak();
+  std::vector<BackendSources> sources;
+  std::vector<const net::Link*> links{&client_link, &server_link};
+  for (std::size_t i = 0; i < pbxs.size(); ++i) {
+    sources.push_back({pbxs[i].get(), sip_captures[i].get(), rtp_captures[i].get()});
+    links.push_back(pbx_links[i]);
   }
-  result.report.channels_peak = peak_total;
+
+  ClusterResult result;
+  result.report =
+      build_report(config.scenario, config.seed, caller, receiver, sources, links, simulator);
+
+  // The CPU steady-interval used by build_report (duplicated here only for
+  // the per-backend summaries; the merge lives in the shared helper).
+  Duration cpu_from_d =
+      std::min(config.scenario.hold_time, config.scenario.placement_window);
+  if (cpu_from_d >= config.scenario.placement_window) {
+    cpu_from_d = Duration::nanos(config.scenario.placement_window.ns() / 2);
+  }
+  const TimePoint cpu_from = TimePoint::at(cpu_from_d);
+  const TimePoint cpu_to = TimePoint::at(config.scenario.placement_window);
+
+  for (std::size_t i = 0; i < pbxs.size(); ++i) {
+    const pbx::AsteriskPbx& pbx = *pbxs[i];
+    BackendObservation obs;
+    obs.host = pbx_hosts[i];
+    obs.channels = pbx.channels().capacity();
+    obs.peak_channels = pbx.channels().peak();
+    obs.congestion = pbx.cdrs().count(pbx::Disposition::kCongestion);
+    obs.rtp_relayed = pbx.rtp_relayed();
+    obs.crashes = pbx.crashes();
+    obs.cpu_utilization = pbx.cpu().utilization(cpu_from, cpu_to);
+    if (dispatcher) {
+      const dispatch::BackendStats ds = dispatcher->backend_stats(i);
+      obs.calls_routed = ds.calls_routed;
+      obs.probe_failures = ds.probe_failures;
+      obs.circuit_opens = ds.circuit_opens;
+      obs.final_circuit = ds.circuit;
+    }
+    result.backends.push_back(obs);
+    result.peak_channels_per_server.push_back(obs.peak_channels);
+    result.congestion_per_server.push_back(obs.congestion);
+  }
+  if (dispatcher) {
+    result.failovers = caller.failovers();
+    result.dispatch_rejected = dispatcher->picks_rejected();
+    result.probes_sent = dispatcher->probes_sent();
+    result.probe_failures = dispatcher->probe_failures();
+    result.circuit_opens = dispatcher->circuit_opens();
+  }
+
+  if (tel != nullptr && tel->enabled()) {
+    // Mirror the per-backend routing/health picture into the registry so a
+    // single Prometheus snapshot carries the whole cluster.
+    auto& reg = tel->registry();
+    for (const BackendObservation& obs : result.backends) {
+      reg.counter("pbxcap_cluster_calls_routed_total", {{"backend", obs.host}},
+                  "Calls the routing tier dispatched to each backend")
+          .add(obs.calls_routed);
+      reg.counter("pbxcap_cluster_congestion_total", {{"backend", obs.host}},
+                  "Channel-exhaustion rejections per backend")
+          .add(obs.congestion);
+      reg.counter("pbxcap_cluster_circuit_opens_total", {{"backend", obs.host}},
+                  "Circuit-breaker ejections per backend")
+          .add(obs.circuit_opens);
+      reg.gauge("pbxcap_cluster_peak_channels", {{"backend", obs.host}},
+                "Peak concurrent channels per backend")
+          .set(static_cast<double>(obs.peak_channels));
+    }
+    reg.counter("pbxcap_cluster_failovers_total", {},
+                "Timed-out INVITEs rescued onto a surviving backend")
+        .add(result.failovers);
+    reg.counter("pbxcap_cluster_dispatch_rejected_total", {},
+                "Calls with no eligible backend at pick time")
+        .add(result.dispatch_rejected);
+    reg.counter("pbxcap_cluster_probes_total", {}, "Health probes sent").add(result.probes_sent);
+    reg.counter("pbxcap_cluster_probe_failures_total", {}, "Health probes failed")
+        .add(result.probe_failures);
+  }
   return result;
 }
 

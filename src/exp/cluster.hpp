@@ -2,33 +2,108 @@
 // number of servers ... are also a possible alternative").
 //
 // Builds the Fig. 4 testbed with k Asterisk PBXs behind the switch and a
-// caller bank that spreads calls round-robin across them (DNS-rotation
-// front end). With even splitting, each server sees A/k Erlangs on its own
-// N channels, so the cluster's blocking follows Erlang-B(A/k, N) — much
-// better than one server with k*N channels would need to be provisioned
-// piecewise, and directly comparable to the analytical prediction.
+// caller bank fronted by one of two routing tiers:
+//
+//   * kDnsRotation — blind round-robin at attempt time (the paper's
+//     DNS-rotation front end). With even splitting each server sees A/k
+//     Erlangs on its own N channels, so cluster blocking follows
+//     Erlang-B(A/k, N) — but a saturated or crashed backend keeps
+//     receiving its 1/k share of the traffic.
+//   * kDispatcher — a dispatch::Dispatcher node owning per-backend state:
+//     pluggable policies (round-robin / least-loaded / weighted),
+//     Retry-After-aware backoff, OPTIONS health probes and circuit
+//     breaking, and failover rerouting of timed-out INVITEs. This is the
+//     configuration that survives a crash_restart fault on one backend.
+//
+// Either way the run produces a full ExperimentReport (the same fields
+// run_testbed fills, aggregated over the fleet) plus per-backend and
+// dispatcher observations.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "dispatch/dispatcher.hpp"
 #include "exp/testbed.hpp"
+#include "fault/plan.hpp"
 #include "monitor/report.hpp"
+#include "stats/summary.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pbxcap::exp {
+
+enum class ClusterRouting : std::uint8_t { kDnsRotation, kDispatcher };
+
+/// One fleet member. Heterogeneous clusters list one spec per server; the
+/// homogeneous shorthand (servers x channels_per_server) builds these
+/// automatically. weight 0 means "use the channel count" (so the weighted
+/// policy splits load proportionally to capacity by default).
+struct ServerSpec {
+  std::uint32_t channels{165};
+  std::uint32_t weight{0};
+};
 
 struct ClusterConfig {
   loadgen::CallScenario scenario;
   std::uint32_t servers{2};
   std::uint32_t channels_per_server{165};
+  /// Heterogeneous fleet: when non-empty, overrides servers /
+  /// channels_per_server (hosts are still named pbx<i>.unb.br).
+  std::vector<ServerSpec> fleet;
   std::uint64_t seed{1};
   Duration drain{Duration::seconds(30)};
+
+  /// Routing front end. kDnsRotation reproduces the original blind
+  /// rotation; kDispatcher routes through dispatch::Dispatcher below.
+  ClusterRouting routing{ClusterRouting::kDnsRotation};
+  dispatch::DispatcherConfig dispatcher{};
+
+  /// Applied to every backend (the per-backend knobs the overload bench
+  /// uses: single-threaded SIP service model + 503/Retry-After gate).
+  pbx::SipServiceConfig sip_service{};
+  pbx::OverloadControlConfig overload{};
+
+  /// Optional fault schedule. Link targets resolve to: client = the caller
+  /// bank's access link, server = the receiver's, pbx = backend
+  /// `fault_backend`'s uplink. `pbx stall`/`pbx crash` hit that backend too.
+  const fault::FaultPlan* faults{nullptr};
+  std::uint32_t fault_backend{0};
+
+  /// Optional telemetry sink (owned by the caller, one per run). Adds
+  /// per-backend registry metrics (routed calls, peaks, congestion, circuit
+  /// opens, labelled by backend host) on top of the endpoint instrumentation.
+  telemetry::Telemetry* telemetry{nullptr};
+};
+
+/// Per-backend observations of one cluster run.
+struct BackendObservation {
+  std::string host;
+  std::uint32_t channels{0};
+  std::uint32_t peak_channels{0};
+  std::uint64_t congestion{0};     // CDR CONGESTION count
+  std::uint64_t rtp_relayed{0};
+  std::uint64_t crashes{0};
+  stats::Summary cpu_utilization;  // over the steady interval
+  // Dispatcher-mode routing/health state (zero in DNS mode).
+  std::uint64_t calls_routed{0};
+  std::uint64_t probe_failures{0};
+  std::uint64_t circuit_opens{0};
+  dispatch::CircuitState final_circuit{dispatch::CircuitState::kClosed};
 };
 
 struct ClusterResult {
-  monitor::ExperimentReport report;       // aggregate over the whole cluster
+  monitor::ExperimentReport report;  // aggregate over the whole cluster
+  std::vector<BackendObservation> backends;
   std::vector<std::uint32_t> peak_channels_per_server;
   std::vector<std::uint64_t> congestion_per_server;  // CDR CONGESTION counts
+
+  // Dispatcher totals (zero in DNS mode).
+  std::uint64_t failovers{0};          // timed-out INVITEs rescued elsewhere
+  std::uint64_t dispatch_rejected{0};  // picks with no eligible backend
+  std::uint64_t probes_sent{0};
+  std::uint64_t probe_failures{0};
+  std::uint64_t circuit_opens{0};
 };
 
 [[nodiscard]] ClusterResult run_cluster(const ClusterConfig& config);

@@ -1,0 +1,62 @@
+// Report population shared by run_testbed and run_cluster.
+//
+// Both experiment paths must fill the same ExperimentReport the same way —
+// historically the cluster path re-derived a subset by hand and silently
+// left most fields zero (no CPU summary, no SIP census, no steady-state
+// blocking, ...). The horizon heuristic had the same duplication problem.
+// Everything either path derives from the run now lives here, once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "loadgen/scenario.hpp"
+#include "monitor/capture.hpp"
+#include "monitor/report.hpp"
+
+namespace pbxcap {
+namespace loadgen {
+class SipCaller;
+class SipReceiver;
+}  // namespace loadgen
+namespace net {
+class Link;
+}
+namespace pbx {
+class AsteriskPbx;
+}
+namespace sim {
+class Simulator;
+}
+}  // namespace pbxcap
+
+namespace pbxcap::exp {
+
+/// How long to run the simulator for one experiment: placement window, plus
+/// the hold time scaled by the distribution-tail slack (deterministic holds
+/// end exactly at window + h; stochastic models get 4x for the tail), plus
+/// the caller-supplied drain for BYE handshakes and retransmission timers.
+[[nodiscard]] Duration run_horizon(const loadgen::CallScenario& scenario, Duration drain);
+
+/// One PBX's worth of observation sources. The captures may be null (the
+/// corresponding census fields then stay zero for that backend).
+struct BackendSources {
+  const pbx::AsteriskPbx* pbx{nullptr};
+  const monitor::SipCapture* sip{nullptr};
+  const monitor::RtpCapture* rtp{nullptr};
+};
+
+/// Builds the full ExperimentReport from a finished run: call outcomes and
+/// steady-state blocking from the caller's log, voice-quality summaries,
+/// per-backend channel/CPU/RTP observations (summed or merged over the
+/// fleet), the SIP message census, retransmission totals across all three
+/// transaction layers, fault/overload counters, impairment drops over
+/// `links`, and the DES event count. Call after finalize_remaining() and
+/// after merging receiver-heard quality into the log.
+[[nodiscard]] monitor::ExperimentReport build_report(
+    const loadgen::CallScenario& scenario, std::uint64_t seed,
+    const loadgen::SipCaller& caller, const loadgen::SipReceiver& receiver,
+    const std::vector<BackendSources>& backends, const std::vector<const net::Link*>& links,
+    const sim::Simulator& simulator);
+
+}  // namespace pbxcap::exp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "exp/report_util.hpp"
 #include "fault/injector.hpp"
 #include "loadgen/caller.hpp"
 #include "loadgen/receiver.hpp"
@@ -113,15 +114,7 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
   }
 
   caller.start();
-  // Hold tail: deterministic holds end exactly at window + h; stochastic
-  // models need slack for the distribution's tail before the drain cutoff.
-  const double hold_tail_factor =
-      config.scenario.hold_model == sim::HoldTimeModel::kDeterministic ? 1.0 : 4.0;
-  const Duration horizon_d =
-      config.scenario.placement_window +
-      Duration::from_seconds(config.scenario.hold_time.to_seconds() * hold_tail_factor) +
-      config.drain;
-  simulator.run_until(TimePoint::at(horizon_d));
+  simulator.run_until(TimePoint::at(run_horizon(config.scenario, config.drain)));
   caller.finalize_remaining();
 
   if (tel != nullptr && tel->enabled()) {
@@ -178,67 +171,10 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
     }
   }
 
-  const monitor::CallLog& log = caller.log();
-  monitor::ExperimentReport report;
-  report.offered_erlangs = config.scenario.offered_erlangs();
-  report.arrival_rate_per_s = config.scenario.arrival_rate_per_s;
-  report.hold_time = config.scenario.hold_time;
-  report.seed = config.seed;
-
-  report.calls_attempted = log.attempted();
-  report.calls_completed = log.completed();
-  report.calls_blocked = log.blocked();
-  report.calls_failed = log.failed();
-  report.blocking_probability = log.blocking_probability();
-  const TimePoint steady_from =
-      TimePoint::at(std::min(config.scenario.hold_time, config.scenario.placement_window));
-  report.blocking_probability_steady = log.blocking_probability_since(steady_from);
-  report.calls_attempted_steady = log.attempted_since(steady_from);
-
-  report.channels_configured = pbx.channels().capacity();
-  report.channels_peak = pbx.channels().peak();
-  // CPU over the loaded steady interval: after the ramp (one hold time),
-  // until the placement window closes. When holds outlast the window (short
-  // smoke runs), fall back to the second half of the window so the interval
-  // is never empty.
-  Duration cpu_from_d = std::min(config.scenario.hold_time, config.scenario.placement_window);
-  if (cpu_from_d >= config.scenario.placement_window) {
-    cpu_from_d = Duration::nanos(config.scenario.placement_window.ns() / 2);
-  }
-  const TimePoint cpu_from = TimePoint::at(cpu_from_d);
-  const TimePoint cpu_to = TimePoint::at(config.scenario.placement_window);
-  report.cpu_utilization = pbx.cpu().utilization(cpu_from, cpu_to);
-  report.rtp_packets_at_pbx = rtp_capture.packets_in();
-  report.rtp_relayed = pbx.rtp_relayed();
-
-  report.mos = log.mos_summary();
-  report.setup_delay_ms = log.setup_delay_summary();
-  report.effective_loss = log.loss_summary();
-  report.jitter_ms = log.jitter_summary();
-
-  report.sip_total = sip_capture.total();
-  report.sip_invite = sip_capture.invites();
-  report.sip_100 = sip_capture.trying_100();
-  report.sip_180 = sip_capture.ringing_180();
-  report.sip_200 = sip_capture.ok_200();
-  report.sip_ack = sip_capture.acks();
-  report.sip_bye = sip_capture.byes();
-  report.sip_errors = sip_capture.errors();
-  report.sip_retransmissions = pbx.transactions().total_retransmissions() +
-                               caller.transactions().total_retransmissions() +
-                               receiver.transactions().total_retransmissions();
-
-  report.overload_rejections = pbx.overload_rejections();
-  report.calls_retried = caller.retries();
-  report.sip_queue_dropped = pbx.sip_queue_dropped();
-  const auto impairment_drops = [](const net::Link& link) {
-    return link.stats_from(link.endpoint_a()).dropped_impairment +
-           link.stats_from(link.endpoint_b()).dropped_impairment;
-  };
-  report.link_dropped_impairment = impairment_drops(server_link) + impairment_drops(pbx_link) +
-                                   (client_link != nullptr ? impairment_drops(*client_link) : 0);
-
-  report.events_processed = simulator.events_processed();
+  monitor::ExperimentReport report =
+      build_report(config.scenario, config.seed, caller, receiver,
+                   {{&pbx, &sip_capture, &rtp_capture}},
+                   {&server_link, &pbx_link, client_link}, simulator);
 
   if (wifi_out != nullptr && config.wifi_cell) {
     wifi_out->medium_utilization = wifi_cell.medium_utilization(simulator.now());

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dispatch/dispatcher.hpp"
 #include "loadgen/receiver.hpp"  // call_index_of_user
 #include "media/emodel.hpp"
 #include "sip/sdp.hpp"
@@ -118,13 +119,27 @@ void SipCaller::place_call() {
   if (tm_offered_ != nullptr) tm_offered_->add();
   auto call = std::make_unique<Call>();
   call->index = index;
-  call->pbx_host = pbx_hosts_[static_cast<std::size_t>(index) % pbx_hosts_.size()];
   call->offered_at = network()->simulator().now();
   call->hold = draw_hold_time(rng_, scenario_.hold_model, scenario_.hold_time, scenario_.hold_cv);
   call->codec = scenario_.codec;
   call->local_ssrc = ssrcs_.allocate();
   call->rx = rtp::RtpReceiverStats{scenario_.codec.sample_rate_hz};
   call->jbuf = rtp::JitterBuffer{scenario_.codec, scenario_.jitter_buffer};
+
+  if (dispatcher_ != nullptr) {
+    const std::string* host = dispatcher_->pick();
+    if (host == nullptr) {
+      // Every backend ejected or benched: the dispatcher's own 503. The
+      // attempt is recorded as blocked without any INVITE hitting the wire.
+      ++dispatch_rejected_;
+      calls_.emplace(index, std::move(call));
+      finish(index, monitor::CallOutcome::kBlocked);
+      return;
+    }
+    call->pbx_host = *host;
+  } else {
+    call->pbx_host = pbx_hosts_[static_cast<std::size_t>(index) % pbx_hosts_.size()];
+  }
 
   Call& ref = *call;
   calls_.emplace(index, std::move(call));
@@ -176,8 +191,38 @@ void SipCaller::schedule_retry(std::uint64_t index, Duration delay) {
     Call* c = find(index);
     if (c == nullptr) return;
     c->retry_timer = 0;
+    // Re-target at fire time, not at scheduling time: by the end of the
+    // backoff the dispatcher's health view (circuits, benches) has moved on.
+    if (!reroute_for_retry(*c)) return;
     send_invite(*c);
   });
+}
+
+bool SipCaller::reroute_for_retry(Call& call) {
+  if (dispatcher_ != nullptr) {
+    dispatcher_->release(call.pbx_host);
+    const std::string* host = dispatcher_->repick(call.pbx_host);
+    if (host == nullptr) {
+      ++dispatch_rejected_;
+      call.pbx_host.clear();  // slot already released; finish() must not re-release
+      finish(call.index, monitor::CallOutcome::kBlocked);
+      return false;
+    }
+    if (*host != call.pbx_host) ++retries_rerouted_;
+    call.pbx_host = *host;
+    return true;
+  }
+  if (pbx_hosts_.size() > 1) {
+    // DNS-rotation cluster: step to the next server in the rotation instead
+    // of re-hitting the one that just said 503 (it is the most likely of the
+    // fleet to still be saturated or down).
+    const std::size_t n = pbx_hosts_.size();
+    const std::size_t base = static_cast<std::size_t>(call.index) % n;
+    const std::string& next = pbx_hosts_[(base + call.attempt - 1) % n];
+    if (next != call.pbx_host) ++retries_rerouted_;
+    call.pbx_host = next;
+  }
+  return true;
 }
 
 SipCaller::Call* SipCaller::find(std::uint64_t index) {
@@ -192,6 +237,7 @@ void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
   if (sip::is_provisional(code)) return;  // 100 / 180: ladder progress only
 
   if (sip::is_success(code)) {
+    if (dispatcher_ != nullptr) dispatcher_->on_call_admitted(call->pbx_host);
     call->answered = true;
     call->answered_at = network()->simulator().now();
     call->dialog = sip::Dialog::from_uac(call->invite, resp);
@@ -206,19 +252,26 @@ void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
     return;
   }
 
+  Duration retry_after = Duration::zero();
+  if (code == sip::status::kServiceUnavailable) {
+    if (const std::string* after = resp.header("Retry-After")) {
+      std::uint64_t secs = 0;
+      if (util::parse_u64(*after, secs) && secs > 0 && secs < 3600) {
+        retry_after = Duration::seconds(static_cast<std::int64_t>(secs));
+      }
+    }
+    // Feed the dispatcher's per-backend backoff state: a Retry-After-bearing
+    // 503 benches this backend so the next arrivals steer around it.
+    if (dispatcher_ != nullptr) dispatcher_->on_reject_503(call->pbx_host, retry_after);
+  }
+
   // 503 with retry budget left: back off exponentially and re-attempt,
   // honouring the server's Retry-After hint for the base delay (the client
   // half of RFC 6357-style overload control).
   if (code == sip::status::kServiceUnavailable && scenario_.retry.enabled &&
       call->attempt < scenario_.retry.max_attempts &&
       network()->simulator().now() < TimePoint::at(scenario_.placement_window)) {
-    Duration base = scenario_.retry.base_backoff;
-    if (const std::string* after = resp.header("Retry-After")) {
-      std::uint64_t secs = 0;
-      if (util::parse_u64(*after, secs) && secs > 0 && secs < 3600) {
-        base = Duration::seconds(static_cast<std::int64_t>(secs));
-      }
-    }
+    const Duration base = retry_after > Duration::zero() ? retry_after : scenario_.retry.base_backoff;
     double delay_s =
         base.to_seconds() *
         std::pow(scenario_.retry.multiplier, static_cast<double>(call->attempt - 1));
@@ -235,6 +288,31 @@ void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
 }
 
 void SipCaller::on_invite_timeout(std::uint64_t index) {
+  Call* call = find(index);
+  if (call == nullptr) return;
+  if (dispatcher_ != nullptr && !call->pbx_host.empty()) {
+    // Strong down-signal: Timer B fired with no response at all. Tell the
+    // circuit breaker, then fail the attempt over to a surviving backend —
+    // the in-flight-INVITE half of failover (the probe loop only protects
+    // calls that have not been routed yet).
+    dispatcher_->on_invite_timeout(call->pbx_host);
+    if (scenario_.retry.enabled && call->attempt < scenario_.retry.max_attempts) {
+      dispatcher_->release(call->pbx_host);
+      const std::string* host = dispatcher_->repick(call->pbx_host);
+      if (host != nullptr) {
+        ++call->attempt;
+        ++retries_;
+        ++failovers_;
+        if (*host != call->pbx_host) ++retries_rerouted_;
+        if (tm_retried_ != nullptr) tm_retried_->add();
+        call->pbx_host = *host;
+        send_invite(*call);
+        return;
+      }
+      ++dispatch_rejected_;
+      call->pbx_host.clear();  // slot already released
+    }
+  }
   finish(index, monitor::CallOutcome::kFailed);
 }
 
@@ -328,6 +406,7 @@ void SipCaller::finish(std::uint64_t index, monitor::CallOutcome outcome) {
   }
   log_.add(std::move(record));
 
+  if (dispatcher_ != nullptr && !call.pbx_host.empty()) dispatcher_->release(call.pbx_host);
   if (call.bye_timer != 0) network()->simulator().cancel(call.bye_timer);
   if (call.retry_timer != 0) network()->simulator().cancel(call.retry_timer);
   if (call.remote_ssrc != 0) by_remote_ssrc_.erase(call.remote_ssrc);

@@ -22,6 +22,10 @@
 #include "sip/endpoint.hpp"
 #include "stats/summary.hpp"
 
+namespace pbxcap::dispatch {
+class Dispatcher;
+}
+
 namespace pbxcap::loadgen {
 
 class SipCaller final : public sip::SipEndpoint {
@@ -36,6 +40,14 @@ class SipCaller final : public sip::SipEndpoint {
   SipCaller(std::string host, std::vector<std::string> pbx_hosts, sim::Simulator& simulator,
             sip::HostResolver& resolver, rtp::SsrcAllocator& ssrcs, CallScenario scenario,
             sim::Random rng);
+
+  /// Routes calls through a dispatch::Dispatcher instead of blind rotation:
+  /// every new call asks the dispatcher for a backend, 503s/timeouts are
+  /// reported back (feeding its backoff and circuit-breaker state), and
+  /// retries/failovers re-pick so they land on a surviving backend. The
+  /// dispatcher is owned by the caller of this method and must outlive the
+  /// run. Null restores the DNS-rotation behaviour.
+  void set_dispatcher(dispatch::Dispatcher* dispatcher) noexcept { dispatcher_ = dispatcher; }
 
   /// Begins offering calls at t = now.
   void start();
@@ -59,6 +71,12 @@ class SipCaller final : public sip::SipEndpoint {
   [[nodiscard]] std::size_t active_calls() const noexcept { return calls_.size(); }
   /// 503-triggered INVITE re-attempts (scenario_.retry must be enabled).
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  /// Re-attempts that changed backend (dispatcher repick or DNS rotation).
+  [[nodiscard]] std::uint64_t retries_rerouted() const noexcept { return retries_rerouted_; }
+  /// Timed-out INVITEs rescued onto another backend (dispatcher mode only).
+  [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
+  /// Calls the dispatcher could not place anywhere (all backends ejected).
+  [[nodiscard]] std::uint64_t dispatch_rejected() const noexcept { return dispatch_rejected_; }
 
  private:
   struct Call {
@@ -88,6 +106,10 @@ class SipCaller final : public sip::SipEndpoint {
   void place_call();
   void send_invite(Call& call);
   void schedule_retry(std::uint64_t index, Duration delay);
+  /// Re-targets `call` for its next attempt (dispatcher repick, or DNS
+  /// rotation with several hosts). False = nowhere to go; the call was
+  /// finished as blocked and must not be re-sent.
+  [[nodiscard]] bool reroute_for_retry(Call& call);
   void on_invite_response(std::uint64_t index, const sip::Message& resp);
   void on_invite_timeout(std::uint64_t index);
   void start_media(Call& call);
@@ -100,6 +122,7 @@ class SipCaller final : public sip::SipEndpoint {
   void user_became_idle();
 
   std::vector<std::string> pbx_hosts_;
+  dispatch::Dispatcher* dispatcher_{nullptr};
   rtp::SsrcAllocator& ssrcs_;
   CallScenario scenario_;
   sim::Random rng_;
@@ -108,6 +131,9 @@ class SipCaller final : public sip::SipEndpoint {
   std::unordered_map<std::uint32_t, Call*> by_remote_ssrc_;
   std::uint64_t next_call_index_{0};
   std::uint64_t retries_{0};
+  std::uint64_t retries_rerouted_{0};
+  std::uint64_t failovers_{0};
+  std::uint64_t dispatch_rejected_{0};
   std::uint64_t rtcp_sent_{0};
   std::uint64_t rtcp_received_{0};
   stats::Summary rtcp_rtt_ms_;

@@ -85,6 +85,7 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
   double queue_dropped = 0.0;
   double impairment_dropped = 0.0;
   out.calls_retried = 0;
+  out.retries_rerouted = 0;
 
   for (const auto& r : runs) {
     out.calls_attempted += r.calls_attempted;
@@ -115,6 +116,7 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
     queue_dropped += static_cast<double>(r.sip_queue_dropped);
     impairment_dropped += static_cast<double>(r.link_dropped_impairment);
     out.calls_retried += r.calls_retried;  // call-scale count: sums like outcomes
+    out.retries_rerouted += r.retries_rerouted;
     events += static_cast<double>(r.events_processed);
   }
 

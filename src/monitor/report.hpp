@@ -59,6 +59,9 @@ struct ExperimentReport {
   // control; see FAULTS.md).
   std::uint64_t overload_rejections{0};   // 503s from the PBX's overload gate
   std::uint64_t calls_retried{0};         // caller re-attempts after 503
+  /// Re-attempts that landed on a *different* backend than the failed one
+  /// (dispatcher failover, or DNS-rotation retry in the cluster path).
+  std::uint64_t retries_rerouted{0};
   std::uint64_t sip_queue_dropped{0};     // SIP service-queue overflows
   std::uint64_t link_dropped_impairment{0};  // packets lost to blackouts
 

@@ -49,3 +49,14 @@ if [[ -x "${oc_bench}" ]]; then
 else
   echo "warning: ${oc_bench} not built; skipping overload collapse" >&2
 fi
+
+# Cluster-dispatch sustained-goodput-under-crash figures (per routing policy)
+# so regressions in the failover path show up as a diff here.
+cd_bench="${build_dir}/bench/bench_cluster_dispatch"
+cd_out="BENCH_cluster_dispatch.json"
+if [[ -x "${cd_bench}" ]]; then
+  "${cd_bench}" --fast --json "${cd_out}" > /dev/null
+  echo "wrote ${cd_out}"
+else
+  echo "warning: ${cd_bench} not built; skipping cluster dispatch" >&2
+fi
