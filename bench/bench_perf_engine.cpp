@@ -151,6 +151,63 @@ void BM_Table1MacroPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_Table1MacroPoint)->Arg(240)->Unit(benchmark::kMillisecond);
 
+void BM_Table1MacroPointFluid(benchmark::State& state) {
+  // The same macro point with the hybrid fluid/packet engine on. Exact
+  // fields of the report are byte-identical to BM_Table1MacroPoint (gated
+  // by bench_fluid_ablation); the `sim_events` counter shows the >=5x
+  // event-population reduction the fast path targets.
+  const double offered = static_cast<double>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::TestbedConfig config;
+    config.scenario = loadgen::CallScenario::for_offered_load(offered);
+    config.scenario.placement_window = Duration::seconds(20);
+    config.seed = 4242;
+    config.fluid.enabled = true;
+    const auto report = exp::run_testbed(config);
+    events += report.events_processed;
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["sim_events"] = static_cast<double>(events) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Table1MacroPointFluid)->Arg(240)->Unit(benchmark::kMillisecond);
+
+void BM_RtpSteadyState(benchmark::State& state) {
+  // Steady-state media cost, packet vs fluid: the same seeded testbed run
+  // (offered load in range(0)), with the hybrid engine off (range(1) == 0)
+  // or on (range(1) == 1). `events_per_call_s` is the kernel-event price of
+  // one simulated call-second of bidirectional G.711 media — the figure the
+  // fluid fast path exists to shrink (~1100 packet-mode: 2 x 50 pps x ~11
+  // events/packet, plus signalling).
+  const double offered = static_cast<double>(state.range(0));
+  const bool fluid = state.range(1) != 0;
+  std::uint64_t events = 0;
+  double call_seconds = 0.0;
+  for (auto _ : state) {
+    exp::TestbedConfig config;
+    config.scenario = loadgen::CallScenario::for_offered_load(offered);
+    config.scenario.placement_window = Duration::seconds(20);
+    config.seed = 4242;
+    config.fluid.enabled = fluid;
+    const auto report = exp::run_testbed(config);
+    events += report.events_processed;
+    // Media call-seconds actually simulated: the PBX NIC sees 100 pkt/s per
+    // established call (50 pps each direction), identically in both modes.
+    call_seconds += static_cast<double>(report.rtp_packets_at_pbx) / 100.0;
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["sim_events"] =
+      static_cast<double>(events) / static_cast<double>(state.iterations());
+  state.counters["events_per_call_s"] =
+      call_seconds > 0.0 ? static_cast<double>(events) / call_seconds : 0.0;
+}
+BENCHMARK(BM_RtpSteadyState)
+    ->Args({240, 0})
+    ->Args({240, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ErlangB(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   double acc = 0.0;

@@ -12,6 +12,7 @@
 #include "monitor/capture.hpp"
 #include "net/network.hpp"
 #include "net/switch_node.hpp"
+#include "rtp/fluid.hpp"
 #include "sim/simulator.hpp"
 #include "util/strings.hpp"
 
@@ -74,6 +75,15 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     pbx->dialplan().add("recv-", receiver.sip_host());
   }
 
+  rtp::FluidEngine fluid_engine{simulator, config.fluid};
+  if (config.fluid.enabled) {
+    fluid_engine.watch_link(client_link);
+    fluid_engine.watch_link(server_link);
+    for (net::Link* link : pbx_links) fluid_engine.watch_link(*link);
+    caller.set_fluid_engine(&fluid_engine);
+    receiver.set_fluid_engine(&fluid_engine);
+  }
+
   // Routing tier. The dispatcher is a real node on the LAN — its OPTIONS
   // probes traverse the switch like any other SIP traffic — but routing
   // decisions are redirect-style (the caller asks, then talks to the
@@ -119,6 +129,10 @@ ClusterResult run_cluster(const ClusterConfig& config) {
                           [d, i] { return static_cast<double>(d->occupancy(i)); });
       }
     }
+    if (config.fluid.enabled) {
+      fluid_engine.set_boundary_period(tel->config().sample_period);
+      sampler.set_pre_sample_hook([&fluid_engine] { fluid_engine.flush_all(); });
+    }
     sampler.start(simulator, tel->config().sample_period);
   }
 
@@ -128,10 +142,14 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     injector.emplace(simulator, *config.faults,
                      fault::FaultTargets{&client_link, &server_link, pbx_links[fb],
                                          pbxs[fb].get()});
+    if (config.fluid.enabled) {
+      injector->set_pre_apply([&fluid_engine] { fluid_engine.on_transient(); });
+    }
     injector->arm();
   }
 
   if (dispatcher) dispatcher->start();
+  fluid_engine.start();
   caller.start();
   simulator.run_until(TimePoint::at(run_horizon(config.scenario, config.drain)));
   caller.finalize_remaining();

@@ -64,6 +64,11 @@ struct ClusterConfig {
   pbx::SipServiceConfig sip_service{};
   pbx::OverloadControlConfig overload{};
 
+  /// Hybrid fluid/packet media engine (off by default: exact per-packet
+  /// simulation). Enables the 100k+ concurrent-call scaling points in
+  /// bench_cluster_scaling.
+  rtp::FluidConfig fluid;
+
   /// Optional fault schedule. Link targets resolve to: client = the caller
   /// bank's access link, server = the receiver's, pbx = backend
   /// `fault_backend`'s uplink. `pbx stall`/`pbx crash` hit that backend too.

@@ -54,6 +54,18 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
   caller.bind();
   receiver.bind();
 
+  const bool fluid_on = config.fluid.enabled && !config.wifi_cell;
+  rtp::FluidConfig fluid_cfg = config.fluid;
+  fluid_cfg.enabled = fluid_on;
+  rtp::FluidEngine fluid_engine{simulator, fluid_cfg};
+  if (fluid_on) {
+    fluid_engine.watch_link(*client_link);
+    fluid_engine.watch_link(server_link);
+    fluid_engine.watch_link(pbx_link);
+    caller.set_fluid_engine(&fluid_engine);
+    receiver.set_fluid_engine(&fluid_engine);
+  }
+
   // Dialplan: every recv-* extension terminates on the SIP server host.
   pbx.dialplan().add("recv-", receiver.sip_host());
   pbx.directory().allow_prefix("caller-");
@@ -103,6 +115,13 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
       sampler.add_gauge("sip_queue_depth",
                         [&pbx] { return static_cast<double>(pbx.sip_backlog()); });
     }
+    if (fluid_on) {
+      // Streams leave fluid mode `boundary_guard` before each tick so the
+      // guard window drains per-packet; the pre-sample flush is the safety
+      // net that keeps every row exact even if a boundary is missed.
+      fluid_engine.set_boundary_period(period);
+      sampler.set_pre_sample_hook([&fluid_engine] { fluid_engine.flush_all(); });
+    }
     sampler.start(simulator, period);
   }
 
@@ -110,9 +129,13 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
   if (config.faults != nullptr && !config.faults->empty()) {
     injector.emplace(simulator, *config.faults,
                      fault::FaultTargets{client_link, &server_link, &pbx_link, &pbx});
+    if (fluid_on) {
+      injector->set_pre_apply([&fluid_engine] { fluid_engine.on_transient(); });
+    }
     injector->arm();
   }
 
+  fluid_engine.start();
   caller.start();
   simulator.run_until(TimePoint::at(run_horizon(config.scenario, config.drain)));
   caller.finalize_remaining();

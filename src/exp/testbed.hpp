@@ -18,6 +18,7 @@
 #include "net/link.hpp"
 #include "net/wifi_cell.hpp"
 #include "pbx/asterisk_pbx.hpp"
+#include "rtp/fluid.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
@@ -33,6 +34,10 @@ struct TestbedConfig {
   std::uint64_t seed{1};
   /// Extra drain time after placement window + hold (BYE handshakes, timers).
   Duration drain{Duration::seconds(30)};
+  /// Hybrid fluid/packet media engine (off by default: exact per-packet
+  /// simulation). Ignored when `wifi_cell` is set — shared-medium contention
+  /// is never in closed-form steady state.
+  rtp::FluidConfig fluid;
   /// When set, the caller host reaches the switch through a shared-medium
   /// Wi-Fi cell instead of a dedicated wire — the VoWiFi access topology of
   /// Fig. 1. Both SIP and the caller-side RTP contend for cell airtime.

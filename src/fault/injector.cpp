@@ -21,6 +21,7 @@ void FaultInjector::arm() {
 }
 
 void FaultInjector::apply(const FaultEvent& event) {
+  if (pre_apply_) pre_apply_();
   switch (event.kind) {
     case FaultKind::kLink: {
       net::Link* link = nullptr;

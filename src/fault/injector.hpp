@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "fault/plan.hpp"
 #include "sim/simulator.hpp"
@@ -38,6 +39,12 @@ class FaultInjector {
   /// before (or at) t = 0 of the run.
   void arm();
 
+  /// Invoked at the top of apply(), before the event mutates anything. The
+  /// fluid media engine hooks in here so fast-forwarded streams are flushed
+  /// to exact state under the pre-fault behaviour (stalls and crashes don't
+  /// go through Link::apply_impairment's own listener).
+  void set_pre_apply(std::function<void()> hook) { pre_apply_ = std::move(hook); }
+
   [[nodiscard]] std::uint64_t events_applied() const noexcept { return applied_; }
   [[nodiscard]] std::uint64_t events_skipped() const noexcept { return skipped_; }
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
@@ -48,6 +55,7 @@ class FaultInjector {
   sim::Simulator& simulator_;
   FaultPlan plan_;
   FaultTargets targets_;
+  std::function<void()> pre_apply_;
   bool armed_{false};
   std::uint64_t applied_{0};
   std::uint64_t skipped_{0};

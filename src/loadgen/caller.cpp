@@ -7,6 +7,7 @@
 #include "dispatch/dispatcher.hpp"
 #include "loadgen/receiver.hpp"  // call_index_of_user
 #include "media/emodel.hpp"
+#include "rtp/fluid.hpp"
 #include "sip/sdp.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -329,6 +330,22 @@ void SipCaller::start_media(Call& call) {
         send(std::move(pkt));
       });
   call.sender->set_packet_counter(tm_rtp_sent_);
+  if (fluid_engine_ != nullptr) {
+    call.sender->set_fluid(
+        fluid_engine_,
+        [this, pbx_node, spacing = call.codec.packet_interval()](
+            const rtp::RtpHeader& first, std::uint32_t bytes, std::uint32_t count,
+            TimePoint departure) {
+          net::Packet pkt;
+          pkt.dst = pbx_node;
+          pkt.kind = net::PacketKind::kRtp;
+          pkt.fluid = true;
+          pkt.batch = static_cast<std::uint16_t>(count);
+          pkt.size_bytes = bytes;
+          pkt.payload = std::make_shared<rtp::RtpBatchPayload>(first, spacing, departure);
+          send(std::move(pkt));
+        });
+  }
   call.sender->start();
   if (scenario_.rtcp) {
     call.rtcp = std::make_unique<rtp::RtcpSession>(
@@ -342,6 +359,16 @@ void SipCaller::start_media(Call& call) {
           pkt.payload = std::make_shared<rtp::RtcpPayload>(payload);
           send(std::move(pkt));
         });
+    if (fluid_engine_ != nullptr) {
+      // Per-SSRC on purpose: the report must read exact state for this
+      // session's two streams only; a global flush per report would cost as
+      // much as per-packet mode at scale.
+      call.rtcp->set_pre_report_hook(
+          [this, local = call.local_ssrc, remote = call.remote_ssrc] {
+            fluid_engine_->flush_stream(local);
+            if (remote != 0) fluid_engine_->flush_stream(remote);
+          });
+    }
     call.rtcp->start(call.sender.get(), &call.rx);
   }
 }
@@ -350,6 +377,11 @@ void SipCaller::send_bye(std::uint64_t index) {
   Call* call = find(index);
   if (call == nullptr) return;
   if (call->sender != nullptr) call->sender->stop();
+  if (fluid_engine_ != nullptr && call->remote_ssrc != 0) {
+    // The BYE is about to fold the PBX bridge: the remote stream's pending
+    // segment must land now, and its tail must race the BYE per-packet.
+    fluid_engine_->exit_stream(call->remote_ssrc);
+  }
   Message bye = call->dialog.make_request(Method::kBye);
   send_request_to(
       bye, call->pbx_host,
@@ -428,15 +460,28 @@ void SipCaller::finalize_remaining() {
 }
 
 void SipCaller::handle_rtp(const net::Packet& pkt) {
-  const auto* rtp = pkt.payload_as<rtp::RtpPayload>();
-  if (rtp == nullptr) return;
-  const auto it = by_remote_ssrc_.find(rtp->header.ssrc);
+  if (const auto* rtp = pkt.payload_as<rtp::RtpPayload>()) {
+    const auto it = by_remote_ssrc_.find(rtp->header.ssrc);
+    if (it == by_remote_ssrc_.end()) return;
+    Call& call = *it->second;
+    const TimePoint now = network()->simulator().now();
+    call.rx.on_packet(rtp->header, now);
+    call.jbuf.on_packet(rtp->header, now);
+    call.transit_s.add((now - rtp->originated_at).to_seconds());
+    return;
+  }
+  const auto* batch = pkt.payload_as<rtp::RtpBatchPayload>();
+  if (batch == nullptr) return;
+  const auto it = by_remote_ssrc_.find(batch->first.ssrc);
   if (it == by_remote_ssrc_.end()) return;
   Call& call = *it->second;
-  const TimePoint now = network()->simulator().now();
-  call.rx.on_packet(rtp->header, now);
-  call.jbuf.on_packet(rtp->header, now);
-  call.transit_s.add((now - rtp->originated_at).to_seconds());
+  // Nominal per-packet arrivals: departure grid shifted by the constant
+  // path latency the batch accumulated hop by hop.
+  const TimePoint first_arrival = batch->first_departure + batch->path_latency;
+  call.rx.on_batch(batch->first, first_arrival, batch->spacing,
+                   call.codec.timestamp_step(), pkt.batch);
+  call.jbuf.on_batch(batch->first, first_arrival, batch->spacing, pkt.batch);
+  call.transit_s.add_repeated(batch->path_latency.to_seconds(), pkt.batch);
 }
 
 void SipCaller::on_receive(const net::Packet& pkt) {

@@ -25,6 +25,9 @@
 namespace pbxcap::dispatch {
 class Dispatcher;
 }
+namespace pbxcap::rtp {
+class FluidEngine;
+}
 
 namespace pbxcap::loadgen {
 
@@ -48,6 +51,10 @@ class SipCaller final : public sip::SipEndpoint {
   /// dispatcher is owned by the caller of this method and must outlive the
   /// run. Null restores the DNS-rotation behaviour.
   void set_dispatcher(dispatch::Dispatcher* dispatcher) noexcept { dispatcher_ = dispatcher; }
+
+  /// Opts this endpoint's media senders into the hybrid fluid fast path.
+  /// Must be set before start(); the engine must outlive the run.
+  void set_fluid_engine(rtp::FluidEngine* engine) noexcept { fluid_engine_ = engine; }
 
   /// Begins offering calls at t = now.
   void start();
@@ -123,6 +130,7 @@ class SipCaller final : public sip::SipEndpoint {
 
   std::vector<std::string> pbx_hosts_;
   dispatch::Dispatcher* dispatcher_{nullptr};
+  rtp::FluidEngine* fluid_engine_{nullptr};
   rtp::SsrcAllocator& ssrcs_;
   CallScenario scenario_;
   sim::Random rng_;

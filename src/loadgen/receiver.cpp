@@ -1,6 +1,7 @@
 #include "loadgen/receiver.hpp"
 
 #include "media/emodel.hpp"
+#include "rtp/fluid.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -140,6 +141,22 @@ void SipReceiver::start_media(Session& session) {
         send(std::move(pkt));
       });
   session.sender->set_packet_counter(tm_rtp_sent_);
+  if (fluid_engine_ != nullptr) {
+    session.sender->set_fluid(
+        fluid_engine_,
+        [this, dst = session.media_dst, spacing = session.codec.packet_interval()](
+            const rtp::RtpHeader& first, std::uint32_t bytes, std::uint32_t count,
+            TimePoint departure) {
+          net::Packet pkt;
+          pkt.dst = dst;
+          pkt.kind = net::PacketKind::kRtp;
+          pkt.fluid = true;
+          pkt.batch = static_cast<std::uint16_t>(count);
+          pkt.size_bytes = bytes;
+          pkt.payload = std::make_shared<rtp::RtpBatchPayload>(first, spacing, departure);
+          send(std::move(pkt));
+        });
+  }
   session.sender->start();
   if (scenario_.rtcp) {
     session.rtcp = std::make_unique<rtp::RtcpSession>(
@@ -153,6 +170,14 @@ void SipReceiver::start_media(Session& session) {
           pkt.payload = std::make_shared<rtp::RtcpPayload>(payload);
           send(std::move(pkt));
         });
+    if (fluid_engine_ != nullptr) {
+      // Per-SSRC on purpose (see SipCaller::start_media).
+      session.rtcp->set_pre_report_hook(
+          [this, local = session.local_ssrc, remote = session.remote_ssrc] {
+            fluid_engine_->flush_stream(local);
+            if (remote != 0) fluid_engine_->flush_stream(remote);
+          });
+    }
     session.rtcp->start(session.sender.get(), &session.rx);
   }
 }
@@ -187,15 +212,26 @@ void SipReceiver::handle_bye(const Message& req, sip::ServerTransaction& txn) {
 }
 
 void SipReceiver::handle_rtp(const net::Packet& pkt) {
-  const auto* rtp = pkt.payload_as<rtp::RtpPayload>();
-  if (rtp == nullptr) return;
-  const auto it = by_remote_ssrc_.find(rtp->header.ssrc);
+  if (const auto* rtp = pkt.payload_as<rtp::RtpPayload>()) {
+    const auto it = by_remote_ssrc_.find(rtp->header.ssrc);
+    if (it == by_remote_ssrc_.end()) return;
+    Session& session = *it->second;
+    const TimePoint now = network()->simulator().now();
+    session.rx.on_packet(rtp->header, now);
+    session.jbuf.on_packet(rtp->header, now);
+    session.transit_s.add((now - rtp->originated_at).to_seconds());
+    return;
+  }
+  const auto* batch = pkt.payload_as<rtp::RtpBatchPayload>();
+  if (batch == nullptr) return;
+  const auto it = by_remote_ssrc_.find(batch->first.ssrc);
   if (it == by_remote_ssrc_.end()) return;
   Session& session = *it->second;
-  const TimePoint now = network()->simulator().now();
-  session.rx.on_packet(rtp->header, now);
-  session.jbuf.on_packet(rtp->header, now);
-  session.transit_s.add((now - rtp->originated_at).to_seconds());
+  const TimePoint first_arrival = batch->first_departure + batch->path_latency;
+  session.rx.on_batch(batch->first, first_arrival, batch->spacing,
+                      session.codec.timestamp_step(), pkt.batch);
+  session.jbuf.on_batch(batch->first, first_arrival, batch->spacing, pkt.batch);
+  session.transit_s.add_repeated(batch->path_latency.to_seconds(), pkt.batch);
 }
 
 void SipReceiver::on_receive(const net::Packet& pkt) {

@@ -23,6 +23,10 @@
 #include "sip/sdp.hpp"
 #include "stats/summary.hpp"
 
+namespace pbxcap::rtp {
+class FluidEngine;
+}
+
 namespace pbxcap::loadgen {
 
 /// What one direction of a finished call looked like to its listener.
@@ -44,6 +48,10 @@ class SipReceiver final : public sip::SipEndpoint {
   /// Adds the answered-call counter and the receiver-side RTP send counter
   /// on top of the base endpoint instrumentation.
   void set_telemetry(telemetry::Telemetry* tel) override;
+
+  /// Opts this endpoint's media senders into the hybrid fluid fast path.
+  /// Must be set before calls are answered; the engine must outlive the run.
+  void set_fluid_engine(rtp::FluidEngine* engine) noexcept { fluid_engine_ = engine; }
 
   /// Received-side quality for the call with the given index ("recv-<idx>"
   /// user part), available once the call has been torn down.
@@ -80,6 +88,7 @@ class SipReceiver final : public sip::SipEndpoint {
 
   rtp::SsrcAllocator& ssrcs_;
   CallScenario scenario_;
+  rtp::FluidEngine* fluid_engine_{nullptr};
   std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;  // by Call-ID
   std::unordered_map<std::uint32_t, Session*> by_remote_ssrc_;
   std::unordered_map<std::uint64_t, HeardQuality> finished_;

@@ -17,6 +17,9 @@ Link::Link(Network& network, NodeId a, NodeId b, const LinkConfig& config)
 }
 
 void Link::apply_impairment(const LinkImpairment& impairment) {
+  // Fired before validation and mutation: listeners must observe (and flush
+  // any fast-forwarded media under) the pre-change link behaviour.
+  if (pre_change_) pre_change_();
   if (impairment.bandwidth_bps && *impairment.bandwidth_bps <= 0.0) {
     throw std::invalid_argument{"Link: impairment bandwidth must be positive"};
   }
@@ -42,6 +45,12 @@ Link::Direction& Link::direction_from(NodeId from) {
   throw std::invalid_argument{"Link: node is not an endpoint"};
 }
 
+std::uint32_t Link::backlog_from(NodeId from) const {
+  if (from == a_) return directions_[0].backlog;
+  if (from == b_) return directions_[1].backlog;
+  throw std::invalid_argument{"Link: node is not an endpoint"};
+}
+
 const LinkDirectionStats& Link::stats_from(NodeId from) const {
   if (from == a_) return directions_[0].stats;
   if (from == b_) return directions_[1].stats;
@@ -54,7 +63,36 @@ double Link::utilization_from(NodeId from, TimePoint now) const {
   return elapsed <= 0.0 ? 0.0 : std::min(1.0, stats.busy_time.to_seconds() / elapsed);
 }
 
+void Link::transmit_batch(NodeId from, Packet pkt) {
+  // Fluid fast path: the batch stands for `pkt.batch` packets whose nominal
+  // departures are already in the past (the fluid engine only flushes due
+  // traffic) over a steady-state link (no loss, no jitter, backlog below the
+  // near-saturation threshold — the engine's entry conditions). Each packet
+  // would have serialized on an otherwise idle medium, so the per-packet
+  // latency is the nominal tx_time + propagation; stats accrue exactly as
+  // per-packet mode would have accrued them, and delivery happens inline on
+  // the flush call stack — no simulator events, no busy_until/backlog churn.
+  Direction& dir = direction_from(from);
+  const NodeId to = peer_of(from);
+  if (blackout_) {
+    dir.stats.dropped_impairment += pkt.batch;
+    return;
+  }
+  const auto n = static_cast<std::uint64_t>(pkt.batch);
+  const Duration tx_time =
+      Duration::from_seconds(static_cast<double>(pkt.size_bytes) * 8.0 / config_.bandwidth_bps);
+  dir.stats.busy_time += tx_time * static_cast<std::int64_t>(n);
+  dir.stats.packets_sent += n;
+  dir.stats.bytes_sent += static_cast<std::uint64_t>(pkt.size_bytes) * n;
+  add_batch_latency(pkt, tx_time + config_.propagation);
+  network_.deliver(pkt, from, to);
+}
+
 void Link::transmit(NodeId from, Packet pkt) {
+  if (pkt.fluid) {
+    transmit_batch(from, std::move(pkt));
+    return;
+  }
   Direction& dir = direction_from(from);
   const NodeId to = peer_of(from);
   auto& sim = network_.simulator();

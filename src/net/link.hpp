@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -77,8 +78,18 @@ class Link {
   /// values (non-positive bandwidth, zero queue limit, loss outside [0,1]).
   void apply_impairment(const LinkImpairment& impairment);
 
+  /// Invoked at the top of apply_impairment, before any config mutation.
+  /// The fluid media engine uses it to flush fast-forwarded streams to exact
+  /// per-packet state under the pre-change link behaviour.
+  void set_pre_change_listener(std::function<void()> listener) {
+    pre_change_ = std::move(listener);
+  }
+
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool blacked_out() const noexcept { return blackout_; }
+  /// Packets queued or in serialization in the `from`->peer direction (the
+  /// fluid engine's near-saturation signal).
+  [[nodiscard]] std::uint32_t backlog_from(NodeId from) const;
   /// Stats for the direction whose source is `from`.
   [[nodiscard]] const LinkDirectionStats& stats_from(NodeId from) const;
 
@@ -94,11 +105,13 @@ class Link {
   };
 
   Direction& direction_from(NodeId from);
+  void transmit_batch(NodeId from, Packet pkt);
 
   Network& network_;
   NodeId a_;
   NodeId b_;
   LinkConfig config_;
+  std::function<void()> pre_change_;
   bool blackout_{false};
   std::array<Direction, 2> directions_{};  // [0]: a->b, [1]: b->a
 };

@@ -58,7 +58,7 @@ void Network::send_from(NodeId src_node, Packet pkt) {
 }
 
 void Network::deliver(const Packet& pkt, NodeId from, NodeId to) {
-  ++delivered_;
+  delivered_ += pkt.batch;
   for (const auto& tap : taps_) tap(pkt, from, to);
   node(to).on_receive(pkt);
 }

@@ -52,6 +52,15 @@ struct Packet {
   NodeId src{kInvalidNode};
   NodeId dst{kInvalidNode};
   PacketKind kind{PacketKind::kOther};
+  /// Fluid-mode batch marker: the packet stands for `batch` wire packets and
+  /// carries a BatchPayload; links/switches move it synchronously instead of
+  /// scheduling per-hop events. Checked with one byte compare so the
+  /// per-packet hot path never pays a dynamic_cast.
+  bool fluid{false};
+  /// Number of wire packets this Packet stands for. 1 for ordinary traffic;
+  /// >= 1 when `fluid`, with per-packet timing in the BatchPayload. Every
+  /// counter along the path accrues `batch`, not 1.
+  std::uint16_t batch{1};
   std::uint32_t size_bytes{0};  // full on-wire size including headers
   TimePoint sent_at{};
   std::shared_ptr<const Payload> payload;
@@ -62,6 +71,33 @@ struct Packet {
     return dynamic_cast<const T*>(payload.get());
   }
 };
+
+// The per-packet link delivery closure captures a Packet next to 16 bytes of
+// context and must stay within sim::Callback's 64-byte inline buffer, so the
+// batch count has to live in existing padding rather than grow the struct.
+static_assert(sizeof(Packet) == 48, "Packet must stay within the SBO budget of hot closures");
+
+/// Base for batch payloads: carries the nominal per-packet one-way latency
+/// accumulated hop by hop while a batch traverses the topology synchronously
+/// (no simulator events). Hops that would delay a packet clone-and-add via
+/// add_batch_latency instead of scheduling; receivers reconstruct nominal
+/// arrival times from it.
+struct BatchPayload : Payload {
+  Duration path_latency{Duration::zero()};
+
+  [[nodiscard]] virtual std::shared_ptr<BatchPayload> clone_batch() const = 0;
+};
+
+/// Adds `extra` to the batch payload's accumulated path latency,
+/// copy-on-write (the original may still be referenced upstream). No-op for
+/// non-batch payloads.
+inline void add_batch_latency(Packet& pkt, Duration extra) {
+  if (const auto* batch = pkt.payload_as<BatchPayload>()) {
+    auto copy = batch->clone_batch();
+    copy->path_latency += extra;
+    pkt.payload = std::move(copy);
+  }
+}
 
 /// Full wire size for an application payload of `app_bytes`.
 [[nodiscard]] constexpr std::uint32_t wire_size(std::uint32_t app_bytes) noexcept {

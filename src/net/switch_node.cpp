@@ -35,7 +35,15 @@ void SwitchNode::on_receive(const Packet& pkt) {
     util::log_debug("switch", util::format("no route to node %u", pkt.dst));
     return;
   }
-  ++forwarded_;
+  forwarded_ += pkt.batch;
+  if (pkt.fluid) {
+    // Fluid batch: forward inline on the flush call stack; the per-packet
+    // processing latency folds into the batch's nominal path latency.
+    Packet batched = pkt;
+    add_batch_latency(batched, processing_delay_);
+    out->transmit(id(), std::move(batched));
+    return;
+  }
   network()->simulator().schedule_in(processing_delay_, [this, out, pkt] {
     out->transmit(id(), pkt);
   });

@@ -80,7 +80,7 @@ void AsteriskPbx::on_receive(const net::Packet& pkt) {
   const TimePoint now = network()->simulator().now();
   if (now < dead_until_) {
     // Crashed: the host is off the network until restart.
-    ++dropped_dead_;
+    dropped_dead_ += pkt.batch;
     return;
   }
   if (now < stall_until_) {
@@ -92,7 +92,7 @@ void AsteriskPbx::on_receive(const net::Packet& pkt) {
                     "stall deferral closure must stay on the allocation-free SBO path");
       network()->simulator().schedule_at(stall_until_, std::move(deferred));
     } else {
-      ++rtp_dropped_stall_;  // the relay thread is wedged; media overruns
+      rtp_dropped_stall_ += pkt.batch;  // the relay thread is wedged; media overruns
     }
     return;
   }
@@ -659,19 +659,34 @@ void AsteriskPbx::register_media(Bridge& bridge) {
 }
 
 void AsteriskPbx::relay_rtp(const net::Packet& pkt) {
-  cpu_.on_rtp_packet(network()->simulator().now());
-  const auto drop = [this] {
-    ++rtp_dropped_no_session_;
-    if (tm_rtp_dropped_ != nullptr) tm_rtp_dropped_->add();
+  const TimePoint now = network()->simulator().now();
+  const auto drop = [this, &pkt] {
+    rtp_dropped_no_session_ += pkt.batch;
+    if (tm_rtp_dropped_ != nullptr) tm_rtp_dropped_->add(pkt.batch);
   };
   // Media and control share the SSRC routing table: RTCP for a stream
   // follows the same path as its RTP (RFC 3550 pairs the two flows).
   std::uint32_t ssrc = 0;
-  if (const auto* rtp = pkt.payload_as<rtp::RtpPayload>()) {
+  if (pkt.fluid) {
+    const auto* batch = pkt.payload_as<rtp::RtpBatchPayload>();
+    if (batch == nullptr) {
+      cpu_.on_rtp_packet(now);
+      drop();
+      return;
+    }
+    // Deposit the relay cost at each packet's nominal arrival instant so
+    // per-second CPU buckets match per-packet mode bit for bit.
+    cpu_.on_rtp_packets(batch->first_departure + batch->path_latency, batch->spacing,
+                        pkt.batch);
+    ssrc = batch->first.ssrc;
+  } else if (const auto* rtp = pkt.payload_as<rtp::RtpPayload>()) {
+    cpu_.on_rtp_packet(now);
     ssrc = rtp->header.ssrc;
   } else if (const auto* rtcp = pkt.payload_as<rtp::RtcpPayload>()) {
+    cpu_.on_rtp_packet(now);
     ssrc = rtcp->routing_ssrc();
   } else {
+    cpu_.on_rtp_packet(now);
     drop();
     return;
   }
@@ -692,11 +707,13 @@ void AsteriskPbx::relay_rtp(const net::Packet& pkt) {
     drop();
     return;
   }
-  ++rtp_relayed_;
-  if (tm_rtp_relayed_ != nullptr) tm_rtp_relayed_->add();
+  rtp_relayed_ += pkt.batch;
+  if (tm_rtp_relayed_ != nullptr) tm_rtp_relayed_->add(pkt.batch);
   net::Packet out;
   out.dst = dst;
   out.kind = pkt.kind;
+  out.fluid = pkt.fluid;
+  out.batch = pkt.batch;
   out.size_bytes = pkt.size_bytes;
   out.payload = pkt.payload;
   send(std::move(out));

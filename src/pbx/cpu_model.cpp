@@ -28,6 +28,42 @@ void CpuModel::deposit(TimePoint at, Duration work) {
   total_work_ += work;
 }
 
+void CpuModel::on_rtp_packets(TimePoint first, Duration spacing, std::uint32_t count) {
+  if (count == 0) return;
+  if (spacing <= Duration::zero()) {
+    for (std::uint32_t i = 0; i < count; ++i) deposit(first, config_.cost_per_rtp_packet);
+    return;
+  }
+  const bool overload_mode =
+      config_.overload_threshold < 1.0 && config_.overload_multiplier > 1.0;
+  std::uint32_t done = 0;
+  TimePoint t = first;
+  while (done < count) {
+    const std::size_t idx = bucket_of(t);
+    if (overload_mode && utilization_at(t) >= config_.overload_threshold) {
+      // Super-linear regime: the inflation decision is per packet (each
+      // deposit can push the bucket further past the threshold), so the
+      // closed form no longer applies. The fluid engine avoids entering
+      // fluid mode near saturation; this path is a correctness backstop.
+      deposit(t, config_.cost_per_rtp_packet);
+      ++done;
+      t = t + spacing;
+      continue;
+    }
+    // Packets landing in bucket `idx`: arrivals t + k * spacing strictly
+    // below the bucket's end. Integer-ns math, order-independent.
+    const std::int64_t bucket_end_ns = static_cast<std::int64_t>(idx + 1) * bucket_width_.ns();
+    std::int64_t in_bucket = (bucket_end_ns - 1 - t.ns()) / spacing.ns() + 1;
+    in_bucket = std::min<std::int64_t>(in_bucket, count - done);
+    const Duration work = config_.cost_per_rtp_packet * in_bucket;
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, Duration::zero());
+    buckets_[idx] += work;
+    total_work_ += work;
+    done += static_cast<std::uint32_t>(in_bucket);
+    t = t + spacing * in_bucket;
+  }
+}
+
 double CpuModel::utilization_at(TimePoint at) const {
   const std::size_t idx = bucket_of(at);
   const double work =

@@ -40,6 +40,13 @@ class CpuModel {
   void on_rtp_packet(TimePoint at) { deposit(at, config_.cost_per_rtp_packet); }
   void on_error_event(TimePoint at) { deposit(at, config_.cost_per_error_event); }
 
+  /// Deposits the relay cost of `count` RTP packets arriving at
+  /// `first + i * spacing` in closed form per bucket — the fluid fast path.
+  /// Bucket sums are bit-identical to `count` on_rtp_packet calls while the
+  /// overload regime is not engaged (it falls back to per-packet deposits
+  /// once the current bucket crosses the overload threshold).
+  void on_rtp_packets(TimePoint first, Duration spacing, std::uint32_t count);
+
   /// Utilization summary over [from, to): one sample per bucket, each
   /// clamped to 1.0 (a real core cannot exceed 100 %).
   [[nodiscard]] stats::Summary utilization(TimePoint from, TimePoint to) const;

@@ -1,0 +1,145 @@
+// Hybrid fluid/packet media engine.
+//
+// At Table-I scale the 20 ms RTP pacing tick dominates the event population
+// (~11 events per packet across pacing, link hops, switch forwarding, and
+// PBX relay). While a stream's path is in steady state — no pending
+// impairment edits, watched links loss-free, jitter-free, and far from
+// queue saturation — per-packet simulation adds no information: every
+// packet departs on the pacing grid, traverses the same fixed latency, and
+// lands in the same statistics in closed form. The FluidEngine lets such
+// streams *coast*: their pacing ticks are suspended and the accumulated
+// packet run is fast-forwarded as a single batch packet at the next
+// boundary (RTCP report, telemetry sample, fault edit, BYE, or the
+// max-segment backstop). Exact per-packet counts stay bit-identical;
+// EWMA-style estimators (RFC 3550 jitter) use closed-form decay.
+//
+// Segment state machine (per stream):
+//
+//   per-packet --try_enter()--> fluid --flush--> fluid        (stay: RTCP,
+//        ^                        |                            max-segment)
+//        |                        +--suspend/transient--> per-packet
+//        +--- dwell + boundary guard hold re-entry (resume_at_)
+//
+// Flush triggers: (1) RtcpSession pre-report hook (per-SSRC, stays fluid);
+// (2) pre-boundary flush `boundary_guard` before each telemetry sampling
+// tick (suspends until the boundary so in-flight packets drain exactly);
+// (3) fault transients — Link::apply_impairment pre-change listener and
+// FaultInjector pre-apply hook (suspend for `dwell`); (4) the max-segment
+// backstop; (5) sender stop (BYE).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::rtp {
+
+class RtpSender;
+
+struct FluidConfig {
+  bool enabled{false};
+  /// A watched link direction whose backlog exceeds this fraction of its
+  /// queue limit is near saturation: streams stay per-packet (the paper's
+  /// interesting regime is exactly the one we must not approximate).
+  double backlog_threshold{0.25};
+  /// Hold in per-packet mode after a transient (impairment edit, fault
+  /// event) before streams may coast again.
+  Duration dwell{Duration::millis(200)};
+  /// Longest closed-form span; coasting streams flush at least this often.
+  Duration max_segment{Duration::seconds(10)};
+  /// Streams return to per-packet this long before each sampling boundary
+  /// so packets in flight at the boundary drain exactly. Must exceed the
+  /// end-to-end media path latency.
+  Duration boundary_guard{Duration::millis(1)};
+};
+
+/// Registry and policy for coasting RTP streams. One engine per experiment;
+/// senders opt in via RtpSender::set_fluid and consult the engine on every
+/// per-packet emission.
+class FluidEngine {
+ public:
+  FluidEngine(sim::Simulator& simulator, FluidConfig config)
+      : simulator_{simulator}, config_{config} {}
+  FluidEngine(const FluidEngine&) = delete;
+  FluidEngine& operator=(const FluidEngine&) = delete;
+
+  /// Adds a link to the steady-state eligibility checks and installs its
+  /// pre-change listener (impairment edits become transients).
+  void watch_link(net::Link& link);
+
+  /// Telemetry sampling period; enables the pre-boundary flush schedule.
+  void set_boundary_period(Duration period) { boundary_period_ = period; }
+
+  /// Arms the max-segment backstop and (if a boundary period is set) the
+  /// pre-boundary flush timers. Call once, before the run.
+  void start();
+  /// Flushes everything and cancels the engine's timers.
+  void stop();
+
+  /// Steady-state test: engine enabled, past any hold, and every watched
+  /// link loss-free, jitter-free, not blacked out, and under the backlog
+  /// threshold in both directions.
+  [[nodiscard]] bool eligible() const;
+
+  /// Registers `sender` as coasting if the path is eligible. The sender
+  /// flips its own state on a true return.
+  bool try_enter(RtpSender& sender);
+
+  /// Unregisters a stream (sender stop / BYE path).
+  void remove(std::uint32_t ssrc);
+
+  /// Flushes one coasting stream to `now()`; it keeps coasting. Returns the
+  /// number of packets materialized. Used by the RTCP pre-report hook —
+  /// per-SSRC on purpose: a global flush per report would cost as much as
+  /// per-packet mode at scale.
+  std::uint64_t flush_stream(std::uint32_t ssrc);
+
+  /// Flushes every coasting stream to `now()`; all keep coasting.
+  std::uint64_t flush_all();
+
+  /// SIP teardown boundary: flushes one coasting stream, returns it to
+  /// per-packet pacing, and holds re-entry for `dwell`. Called by the BYE
+  /// initiator on the *remote* stream — its pending segment must land while
+  /// the PBX bridge is still up, and the tail racing the BYE through the
+  /// PBX must drain with exact per-packet timing.
+  void exit_stream(std::uint32_t ssrc);
+
+  /// Flushes and exits every coasting stream, and holds re-entry until
+  /// `resume` (pre-boundary and transient path).
+  void suspend_until(TimePoint resume);
+
+  /// A non-steady-state edit is about to land: flush under the current
+  /// behaviour, fall back to exact per-packet simulation, dwell.
+  void on_transient();
+
+  [[nodiscard]] const FluidConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t active_streams() const noexcept { return streams_.size(); }
+  [[nodiscard]] std::uint64_t segments_entered() const noexcept { return segments_; }
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+  [[nodiscard]] std::uint64_t batched_packets() const noexcept { return batched_packets_; }
+  [[nodiscard]] std::uint64_t transients() const noexcept { return transients_; }
+  [[nodiscard]] TimePoint resume_at() const noexcept { return resume_at_; }
+
+ private:
+  void arm_boundary();
+  void arm_segment();
+
+  sim::Simulator& simulator_;
+  FluidConfig config_;
+  std::vector<net::Link*> links_;
+  std::unordered_map<std::uint32_t, RtpSender*> streams_;
+  TimePoint resume_at_{};
+  Duration boundary_period_{Duration::zero()};
+  sim::EventId boundary_event_{0};
+  sim::EventId segment_event_{0};
+  std::uint64_t segments_{0};
+  std::uint64_t flushes_{0};
+  std::uint64_t batched_packets_{0};
+  std::uint64_t transients_{0};
+};
+
+}  // namespace pbxcap::rtp

@@ -32,6 +32,37 @@ bool JitterBuffer::on_packet(const RtpHeader& header, TimePoint arrival) {
   return true;
 }
 
+std::uint64_t JitterBuffer::on_batch(const RtpHeader& first, TimePoint first_arrival,
+                                     Duration spacing, std::uint32_t count) {
+  if (count == 0) return 0;
+  std::uint32_t idx = 0;
+  std::uint64_t playable = 0;
+  if (!started_ || first.marker) {
+    // Re-anchor on the batch head exactly as the per-packet path would.
+    if (on_packet(first, first_arrival)) ++playable;
+    ++idx;
+  }
+  if (idx == count) return playable;
+  const std::uint32_t n = count - idx;
+  const auto seq_i = static_cast<std::uint16_t>(first.sequence + idx);
+  const auto offset = static_cast<std::int16_t>(static_cast<std::uint16_t>(seq_i - base_seq_));
+  const TimePoint playout =
+      epoch_ + codec_.packet_interval() * static_cast<std::int64_t>(offset);
+  const TimePoint arrival = first_arrival + spacing * static_cast<std::int64_t>(idx);
+  if (arrival > playout) {
+    // Arrival and playout advance in lock step across the batch, so every
+    // remaining packet is late by the same margin.
+    discarded_ += n;
+    return playable;
+  }
+  played_ += n;
+  const auto last_offset = static_cast<std::int16_t>(
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(first.sequence + count - 1) - base_seq_));
+  last_playout_ = std::max(
+      last_playout_, epoch_ + codec_.packet_interval() * static_cast<std::int64_t>(last_offset));
+  return playable + n;
+}
+
 void JitterBuffer::update_delay(Duration jitter_estimate) {
   if (!config_.adaptive) return;
   const double target_s = config_.jitter_multiplier * jitter_estimate.to_seconds();

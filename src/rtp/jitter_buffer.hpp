@@ -31,6 +31,14 @@ class JitterBuffer {
   /// was discarded (arrived past its playout instant).
   bool on_packet(const RtpHeader& header, TimePoint arrival);
 
+  /// Feeds a fluid batch of `count` in-order arrivals at
+  /// `first_arrival + i * spacing`. When `spacing` equals the codec's packet
+  /// interval (the fluid path guarantees it), lateness is constant across
+  /// the batch, so one comparison settles all `count` packets — results are
+  /// identical to the per-packet loop. Returns how many were playable.
+  std::uint64_t on_batch(const RtpHeader& first, TimePoint first_arrival, Duration spacing,
+                         std::uint32_t count);
+
   /// Adaptive mode: updates the target delay from a jitter estimate.
   void update_delay(Duration jitter_estimate);
 

@@ -26,6 +26,25 @@ struct RtpPayload final : net::Payload {
   TimePoint originated_at{};
 };
 
+/// Fluid-mode batch: stands for Packet::batch consecutive RTP packets of one
+/// stream. Packet i (0-based) has header fields first.{sequence,timestamp}
+/// advanced i steps, nominal departure first_departure + i * spacing, and
+/// nominal arrival departure + path_latency (accumulated hop by hop). The
+/// headers themselves are never materialized; receivers apply the closed
+/// forms over the whole run of packets.
+struct RtpBatchPayload final : net::BatchPayload {
+  RtpBatchPayload(RtpHeader first_header, Duration packet_spacing, TimePoint departure)
+      : first{first_header}, spacing{packet_spacing}, first_departure{departure} {}
+
+  [[nodiscard]] std::shared_ptr<net::BatchPayload> clone_batch() const override {
+    return std::make_shared<RtpBatchPayload>(*this);
+  }
+
+  RtpHeader first;
+  Duration spacing{};
+  TimePoint first_departure{};
+};
+
 /// Hands out globally unique SSRCs for one simulation run. Real endpoints
 /// pick SSRCs randomly and resolve collisions (RFC 3550 §8); a counter gives
 /// the same uniqueness deterministically.

@@ -73,6 +73,7 @@ ReportBlock RtcpSession::build_report_block(const RtpReceiverStats& rx,
 }
 
 void RtcpSession::emit_report() {
+  if (pre_report_) pre_report_();
   RtcpPayload* out = nullptr;
   std::optional<ReportBlock> block;
   if (receiver_ != nullptr && receiver_->received() > 0) {

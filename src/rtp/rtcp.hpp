@@ -100,6 +100,11 @@ class RtcpSession {
   /// Peer-observed loss fraction from the last report (in [0,1]).
   [[nodiscard]] double peer_loss() const noexcept { return peer_loss_; }
 
+  /// Invoked at the top of emit_report, before any statistic is read. The
+  /// fluid media engine uses it to flush the session's coasting streams so
+  /// the report sees exact per-packet state.
+  void set_pre_report_hook(std::function<void()> hook) { pre_report_ = std::move(hook); }
+
   /// Builds the report block from a receiver's current statistics (public
   /// for tests and analyzers).
   [[nodiscard]] static ReportBlock build_report_block(const RtpReceiverStats& rx,
@@ -117,6 +122,7 @@ class RtcpSession {
   std::uint32_t clock_rate_hz_;
   EmitFn emit_;
   Config config_;
+  std::function<void()> pre_report_;
   const RtpSender* sender_{nullptr};
   const RtpReceiverStats* receiver_{nullptr};
   bool running_{false};

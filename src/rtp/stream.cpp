@@ -1,6 +1,9 @@
 #include "rtp/stream.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "rtp/fluid.hpp"
 
 namespace pbxcap::rtp {
 
@@ -17,11 +20,23 @@ void RtpSender::start() {
 
 void RtpSender::stop() {
   if (!running_) return;
+  if (fluid_active_) {
+    // A pacing tick due exactly now would lose the FIFO race against the
+    // stop (BYE) timer in per-packet mode, so the flush horizon is strict.
+    flush_fluid(simulator_.now());
+    fluid_active_ = false;
+    if (fluid_ != nullptr) fluid_->remove(ssrc_);
+  }
   running_ = false;
   if (next_event_ != 0) {
     simulator_.cancel(next_event_);
     next_event_ = 0;
   }
+}
+
+void RtpSender::set_fluid(FluidEngine* engine, BatchEmitFn batch_emit) {
+  fluid_ = engine;
+  batch_emit_ = std::move(batch_emit);
 }
 
 void RtpSender::emit_one(bool first) {
@@ -36,12 +51,59 @@ void RtpSender::emit_one(bool first) {
   ++sent_;
   if (packet_counter_ != nullptr) packet_counter_->add();
   emit_(header, codec_.wire_bytes());
+  if (fluid_ != nullptr && batch_emit_ && simulator_.now() >= hold_until_ &&
+      fluid_->try_enter(*this)) {
+    // Coast: suspend the pacing tick; the engine flushes the accumulated
+    // run in closed form at the next boundary. The first packet (marker)
+    // always goes out per-packet above, anchoring receiver-side state.
+    fluid_active_ = true;
+    next_due_ = simulator_.now() + codec_.packet_interval();
+    next_event_ = 0;
+    return;
+  }
   auto tick = [this] { emit_one(false); };
   // The 20 ms pacing tick dominates the event population at Table-I scale
   // (~3M events per operating point); it must never touch the allocator.
   static_assert(sim::Callback::stores_inline<decltype(tick)>(),
                 "RTP pacing tick must stay on the allocation-free SBO path");
   next_event_ = simulator_.schedule_in(codec_.packet_interval(), std::move(tick));
+}
+
+std::uint64_t RtpSender::flush_fluid(TimePoint upto) {
+  if (!fluid_active_ || !running_ || next_due_ >= upto) return 0;
+  // Departures strictly before `upto`: k in [0, n) with next_due_ + k * T.
+  const std::int64_t interval_ns = codec_.packet_interval().ns();
+  std::uint64_t n =
+      static_cast<std::uint64_t>((upto.ns() - 1 - next_due_.ns()) / interval_ns) + 1;
+  const std::uint64_t flushed = n;
+  while (n > 0) {
+    // Packet::batch is 16-bit; long segments flush as chained chunks.
+    const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(n, 0xffff));
+    RtpHeader header;
+    header.payload_type = codec_.payload_type;
+    header.sequence = seq_;
+    header.timestamp = timestamp_;
+    header.ssrc = ssrc_;
+    header.marker = false;
+    batch_emit_(header, codec_.wire_bytes(), chunk, next_due_);
+    seq_ = static_cast<std::uint16_t>(seq_ + chunk);
+    timestamp_ += codec_.timestamp_step() * chunk;
+    sent_ += chunk;
+    if (packet_counter_ != nullptr) packet_counter_->add(chunk);
+    next_due_ = next_due_ + codec_.packet_interval() * static_cast<std::int64_t>(chunk);
+    n -= chunk;
+  }
+  return flushed;
+}
+
+void RtpSender::exit_fluid() {
+  if (!fluid_active_) return;
+  fluid_active_ = false;
+  if (!running_) return;
+  auto tick = [this] { emit_one(false); };
+  static_assert(sim::Callback::stores_inline<decltype(tick)>(),
+                "RTP pacing tick must stay on the allocation-free SBO path");
+  next_event_ = simulator_.schedule_at(next_due_, std::move(tick));
 }
 
 void RtpReceiverStats::on_packet(const RtpHeader& header, TimePoint arrival) {
@@ -75,6 +137,53 @@ void RtpReceiverStats::on_packet(const RtpHeader& header, TimePoint arrival) {
     jitter_ += (d - jitter_) / 16.0;
   }
   last_transit_ = transit;
+  have_transit_ = true;
+}
+
+void RtpReceiverStats::on_batch(const RtpHeader& first, TimePoint first_arrival,
+                                Duration spacing, std::uint32_t timestamp_step,
+                                std::uint32_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    on_packet(first, first_arrival);
+    return;
+  }
+  received_ += count;
+  const TimePoint last_arrival =
+      first_arrival + spacing * static_cast<std::int64_t>(count - 1);
+  last_arrival_ = last_arrival;
+
+  // Closed-form sequence extension: the batch is in-order and contiguous
+  // (the fluid path admits no loss, reordering, or duplication), so the
+  // extended sequence advances by the forward delta of the first packet
+  // plus count-1. Bit-identical to count on_packet calls.
+  std::uint64_t ext;
+  if (!started_) {
+    started_ = true;
+    base_seq_ = first.sequence;
+    first_arrival_ = first_arrival;
+    ext = static_cast<std::uint64_t>(first.sequence) + (count - 1);
+  } else {
+    const std::uint16_t delta = static_cast<std::uint16_t>(first.sequence - max_seq_);
+    ext = ((static_cast<std::uint64_t>(cycles_) << 16) | max_seq_) + delta + (count - 1);
+  }
+  cycles_ = static_cast<std::uint32_t>(ext >> 16);
+  max_seq_ = static_cast<std::uint16_t>(ext & 0xffff);
+
+  // Jitter EWMA: one ordinary update for the batch's first packet against
+  // the previous transit, then — the nominal transit being constant within
+  // the batch (arrival spacing equals the timestamp step) — the remaining
+  // count-1 updates each see D = 0 and decay the estimate geometrically.
+  const double clock = static_cast<double>(clock_rate_hz_);
+  const double transit_first =
+      first_arrival.to_seconds() * clock - static_cast<double>(first.timestamp);
+  if (have_transit_) {
+    const double d = std::fabs(transit_first - last_transit_);
+    jitter_ += (d - jitter_) / 16.0;
+  }
+  jitter_ *= std::pow(15.0 / 16.0, static_cast<double>(count - 1));
+  const std::uint32_t last_ts = first.timestamp + timestamp_step * (count - 1);
+  last_transit_ = last_arrival.to_seconds() * clock - static_cast<double>(last_ts);
   have_transit_ = true;
 }
 

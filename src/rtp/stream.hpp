@@ -7,6 +7,7 @@
 // VoIPmonitor derives MOS from in the paper's testbed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
@@ -18,9 +19,16 @@
 
 namespace pbxcap::rtp {
 
+class FluidEngine;
+
 class RtpSender {
  public:
   using EmitFn = std::function<void(const RtpHeader& header, std::uint32_t wire_bytes)>;
+  /// Batch emitter for the fluid fast path: `first` is the header of the
+  /// first packet in the run, `count` packets depart at
+  /// `first_departure + i * codec.packet_interval()`.
+  using BatchEmitFn = std::function<void(const RtpHeader& first, std::uint32_t wire_bytes,
+                                         std::uint32_t count, TimePoint first_departure)>;
 
   RtpSender(sim::Simulator& simulator, Codec codec, std::uint32_t ssrc, EmitFn emit);
   ~RtpSender();
@@ -42,6 +50,30 @@ class RtpSender {
   /// keeps the pacing tick on a single predictable branch.
   void set_packet_counter(telemetry::Counter* counter) noexcept { packet_counter_ = counter; }
 
+  /// Opts this sender into the hybrid fluid fast path. Requires a batch
+  /// emitter; the engine decides per-tick whether the stream may coast.
+  void set_fluid(FluidEngine* engine, BatchEmitFn batch_emit);
+
+  /// True while the stream is coasting (no pacing ticks scheduled).
+  [[nodiscard]] bool fluid_active() const noexcept { return fluid_active_; }
+  /// Departure time of the next pending packet while coasting.
+  [[nodiscard]] TimePoint next_due() const noexcept { return next_due_; }
+
+  /// Emits every packet whose departure is strictly before `upto` as batch
+  /// packets; returns how many were flushed. No-op unless coasting.
+  std::uint64_t flush_fluid(TimePoint upto);
+
+  /// Leaves fluid mode (without flushing) and re-arms the per-packet pacing
+  /// tick at the next pending departure. Callers flush first.
+  void exit_fluid();
+
+  /// Holds the stream in per-packet mode (no fluid re-entry) until `until`.
+  /// Used across SIP teardown: the tail packets racing the BYE through the
+  /// PBX must drain with exact per-packet timing.
+  void hold_packet_mode_until(TimePoint until) noexcept {
+    hold_until_ = std::max(hold_until_, until);
+  }
+
  private:
   void emit_one(bool first);
 
@@ -49,10 +81,15 @@ class RtpSender {
   Codec codec_;
   std::uint32_t ssrc_;
   EmitFn emit_;
+  BatchEmitFn batch_emit_;
+  FluidEngine* fluid_{nullptr};
   bool running_{false};
+  bool fluid_active_{false};
   std::uint16_t seq_{0};
   std::uint32_t timestamp_{0};
   std::uint64_t sent_{0};
+  TimePoint next_due_{};
+  TimePoint hold_until_{};
   sim::EventId next_event_{0};
   telemetry::Counter* packet_counter_{nullptr};
 };
@@ -65,6 +102,14 @@ class RtpReceiverStats {
 
   /// Records one arrival. `arrival` is the local receive time.
   void on_packet(const RtpHeader& header, TimePoint arrival);
+
+  /// Records a fluid batch: `count` in-order arrivals at
+  /// `first_arrival + i * spacing`, sequence/timestamp advancing from
+  /// `first` by 1 / `timestamp_step` per packet. Count fields (received,
+  /// expected, cycles) are bit-identical to the per-packet loop; the jitter
+  /// EWMA uses the closed-form decay (constant transit within the batch).
+  void on_batch(const RtpHeader& first, TimePoint first_arrival, Duration spacing,
+                std::uint32_t timestamp_step, std::uint32_t count);
 
   [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
   /// Expected = extended-highest-seq - first-seq + 1 (0 before first packet).

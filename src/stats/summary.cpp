@@ -14,6 +14,20 @@ void Summary::add(double x) noexcept {
   max_ = std::max(max_, x);
 }
 
+void Summary::add_repeated(double x, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  // Chan merge with a degenerate (zero-variance) summary of n copies of x.
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(n);
+  const double delta = x - mean_;
+  const double n_total = na + nb;
+  mean_ = n_ == 0 ? x : mean_ + delta * nb / n_total;
+  m2_ += n_ == 0 ? 0.0 : delta * delta * na * nb / n_total;
+  n_ += n;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
 void Summary::merge(const Summary& other) noexcept {
   if (other.n_ == 0) return;
   if (n_ == 0) {

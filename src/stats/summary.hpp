@@ -12,6 +12,10 @@ class Summary {
  public:
   void add(double x) noexcept;
 
+  /// Adds the same value `n` times in O(1) (closed-form Welford batch; the
+  /// fluid media path records one constant transit for a whole packet run).
+  void add_repeated(double x, std::uint64_t n) noexcept;
+
   /// Merges another summary (parallel reduction; Chan et al. combination).
   void merge(const Summary& other) noexcept;
 

@@ -18,6 +18,25 @@ build_dir="${1:-build}"
 out="${2:-BENCH_perf.json}"
 tel_out="${3:-BENCH_telemetry_overhead.json}"
 
+# Archived numbers must come from an optimized build: a Debug run distorts
+# every figure (and the engine-throughput ones by an order of magnitude).
+# Set PBXCAP_BENCH_ALLOW_DEBUG=1 to run anyway; the outputs are then tagged
+# with a .non-release.json suffix so they can never be mistaken for the
+# archived baseline.
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${build_dir}/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "${build_type}" != "Release" && "${build_type}" != "RelWithDebInfo" ]]; then
+  if [[ "${PBXCAP_BENCH_ALLOW_DEBUG:-0}" != "1" ]]; then
+    echo "error: ${build_dir} is a '${build_type:-unknown}' build, not Release." >&2
+    echo "Benchmark JSON from unoptimized builds is not comparable; rebuild with:" >&2
+    echo "  cmake -B ${build_dir} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${build_dir} -j" >&2
+    echo "or set PBXCAP_BENCH_ALLOW_DEBUG=1 to tag-and-run anyway." >&2
+    exit 1
+  fi
+  echo "WARNING: benchmarking a '${build_type:-unknown}' build; results tagged non-release." >&2
+  out="${out%.json}.non-release.json"
+  tel_out="${tel_out%.json}.non-release.json"
+fi
+
 bench="${build_dir}/bench/bench_perf_engine"
 if [[ ! -x "${bench}" ]]; then
   echo "error: ${bench} not found or not executable; build the project first:" >&2
@@ -48,6 +67,19 @@ if [[ -x "${oc_bench}" ]]; then
   echo "wrote ${oc_out}"
 else
   echo "warning: ${oc_bench} not built; skipping overload collapse" >&2
+fi
+
+# Fluid-vs-packet ablation (accuracy gates + event-reduction ratios) so the
+# hybrid media engine's exactness contract is re-checked wherever the perf
+# numbers are archived. A gate failure fails this script.
+fa_bench="${build_dir}/bench/bench_fluid_ablation"
+fa_out="BENCH_fluid_ablation.json"
+[[ "${build_type}" == "Release" || "${build_type}" == "RelWithDebInfo" ]] || fa_out="${fa_out%.json}.non-release.json"
+if [[ -x "${fa_bench}" ]]; then
+  "${fa_bench}" --fast --json "${fa_out}" > /dev/null
+  echo "wrote ${fa_out}"
+else
+  echo "warning: ${fa_bench} not built; skipping fluid ablation" >&2
 fi
 
 # Cluster-dispatch sustained-goodput-under-crash figures (per routing policy)
