@@ -24,6 +24,7 @@
 // blind DNS rotation demonstrably degrades below it.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -197,6 +198,36 @@ int main(int argc, char** argv) {
 
   const std::size_t dns_idx = 0, least_idx = 2;
   const auto& least_crash = results[grid_jobs + least_idx];
+
+  // ---- sharded replay of the least-loaded crash run: per-shard load map ----
+  // Same scenario through the sharded executor (auto worker count). Results
+  // differ from the monolithic run only via the lookahead-floored uplinks;
+  // the per-shard event/message/wall columns show how the fault skews load
+  // across the partition (the crashed backend's shard goes quiet).
+  exp::ClusterResult shard_crash;
+  {
+    auto config = make_config(fault_load, kModes[least_idx], window,
+                              7100 + 13 * (fault_li * kModeCount + least_idx));
+    config.faults = &plan;
+    config.fault_backend = 0;
+    config.shard.enabled = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    shard_crash = exp::run_cluster(config);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    util::TextTable st{{"shard", "events", "msgs in", "msgs out", "wall (s)"}};
+    for (std::size_t s = 0; s < shard_crash.shards.size(); ++s) {
+      const auto& obs = shard_crash.shards[s];
+      st.add_row({s == 0 ? std::string{"hub"} : util::format("pbx%zu", s - 1),
+                  util::format("%llu", (unsigned long long)obs.events),
+                  util::format("%llu", (unsigned long long)obs.messages_in),
+                  util::format("%llu", (unsigned long long)obs.messages_out),
+                  util::format("%.3f", obs.wall_s)});
+    }
+    std::printf(
+        "-- sharded replay of the least-loaded crash run (%u workers, %.2f s wall) --\n%s\n",
+        shard_crash.shard_threads, wall, st.to_string().c_str());
+  }
   std::printf(
       "Reading: DNS rotation keeps feeding the dead backend, so every INVITE routed\n"
       "there burns Timer B (32 s) and fails — goodput drops to %.1f%% of fault-free.\n"
@@ -232,7 +263,28 @@ int main(int argc, char** argv) {
     }
     j += "  },\n";
     j += util::format("  \"sustained_least_loaded_frac\": %.4f,\n", sustained[least_idx]);
-    j += util::format("  \"sustained_dns_rotation_frac\": %.4f\n}\n", sustained[dns_idx]);
+    j += util::format("  \"sustained_dns_rotation_frac\": %.4f,\n", sustained[dns_idx]);
+    // Per-shard load map of the sharded crash replay. Every wall_s field
+    // sits on its own line: CI byte-compares reruns of this file after
+    // `grep -v wall_s` (wall-clock is host noise; the rest is deterministic).
+    j += util::format(
+        "  \"shard_fault\": {\n    \"threads\": %u, \"rounds\": %llu, \"clamped\": %llu,\n"
+        "    \"failovers\": %llu, \"calls_completed\": %llu,\n    \"shards\": [\n",
+        shard_crash.shard_threads, (unsigned long long)shard_crash.shard_rounds,
+        (unsigned long long)shard_crash.shard_clamped,
+        (unsigned long long)shard_crash.failovers,
+        (unsigned long long)shard_crash.report.calls_completed);
+    for (std::size_t s = 0; s < shard_crash.shards.size(); ++s) {
+      const auto& obs = shard_crash.shards[s];
+      j += util::format(
+          "      {\"shard\": %zu, \"events\": %llu, \"messages_in\": %llu, "
+          "\"messages_out\": %llu,\n",
+          s, (unsigned long long)obs.events, (unsigned long long)obs.messages_in,
+          (unsigned long long)obs.messages_out);
+      j += util::format("  \"wall_s\": %.3f}%s\n", obs.wall_s,
+                        s + 1 < shard_crash.shards.size() ? "," : "");
+    }
+    j += "    ]\n  }\n}\n";
     if (!write_file(json_out, j)) return 1;
   }
 

@@ -6,17 +6,28 @@
 // capacity, split round-robin over k PBXs of 165 channels each, measured in
 // the packet-level testbed and compared with Erlang-B(A/k, 165).
 //
-// Usage: bench_cluster_scaling [--fast] [--mega]
-//   --mega : million-call-scale demonstration — 100,000 offered Erlangs over
-//            8 x 15,000-channel backends with the hybrid fluid/packet media
-//            engine (exact per-packet simulation of this point would need
-//            ~2 x 10^10 kernel events; the fluid fast path makes it a
-//            single-machine run). Prints peak concurrent calls, kernel
-//            events, and wall time.
+// Usage: bench_cluster_scaling [--fast] [--mega] [--shards] [--threads N] [--json F]
+//   --mega   : million-call-scale demonstration — 100,000 offered Erlangs over
+//              8 x 15,000-channel backends with the hybrid fluid/packet media
+//              engine (exact per-packet simulation of this point would need
+//              ~2 x 10^10 kernel events; the fluid fast path makes it a
+//              single-machine run). Prints peak concurrent calls, kernel
+//              events, and wall time.
+//   --shards : sharded-executor scaling sweep — the SAME seed run at worker
+//              counts {1, 2, 4, 8}, every deterministic output cross-checked
+//              (exit 1 on any divergence), wall time and speedup vs the
+//              1-thread run recorded; then a 50-backend dispatcher fleet
+//              point on the largest worker count proving the partition holds
+//              at fleet scale. --threads N shrinks the sweep to {1, N};
+//              --json F writes the machine-readable record (wall-clock
+//              fields sit on their own lines so CI can filter them before
+//              byte-comparing reruns).
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/erlang_b.hpp"
@@ -59,6 +70,191 @@ void run_mega() {
   std::printf("  wall time                 : %.1f s\n\n", wall);
 }
 
+double wall_run(const pbxcap::exp::ClusterConfig& config, pbxcap::exp::ClusterResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = pbxcap::exp::run_cluster(config);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Everything a sharded run is contractually required to reproduce for any
+// worker count: the aggregate report, per-server peaks, and the per-shard
+// event/message counts (wall times are excluded — they are host noise).
+std::string fingerprint(const pbxcap::exp::ClusterResult& r) {
+  using pbxcap::util::format;
+  std::string f = format(
+      "att=%llu comp=%llu fail=%llu pb=%.9f peak=%u rtp=%llu events=%llu "
+      "rounds=%llu clamped=%llu",
+      (unsigned long long)r.report.calls_attempted,
+      (unsigned long long)r.report.calls_completed,
+      (unsigned long long)r.report.calls_failed, r.report.blocking_probability,
+      r.report.channels_peak, (unsigned long long)r.report.rtp_packets_at_pbx,
+      (unsigned long long)r.report.events_processed, (unsigned long long)r.shard_rounds,
+      (unsigned long long)r.shard_clamped);
+  for (const std::uint32_t p : r.peak_channels_per_server) f += format(" %u", p);
+  for (const auto& s : r.shards) {
+    f += format(" [%llu/%llu/%llu]", (unsigned long long)s.events,
+                (unsigned long long)s.messages_in, (unsigned long long)s.messages_out);
+  }
+  return f;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+int run_shards(bool fast, unsigned threads_override, const std::string& json_out) {
+  using namespace pbxcap;
+
+  const std::uint32_t backends = 8;
+  const std::uint32_t channels = fast ? 20u : 40u;
+  const double erlangs = fast ? 120.0 : 240.0;
+  const Duration hold = Duration::seconds(20);
+  const Duration window = Duration::seconds(fast ? 30 : 60);
+
+  exp::ClusterConfig config;
+  config.scenario = loadgen::CallScenario::for_offered_load(erlangs, hold);
+  config.scenario.placement_window = window;
+  config.servers = backends;
+  config.channels_per_server = channels;
+  config.seed = 7777;
+  config.shard.enabled = true;
+
+  std::vector<unsigned> counts{1, 2, 4, 8};
+  if (threads_override > 0) {
+    counts = {1};
+    if (threads_override != 1) counts.push_back(threads_override);
+  }
+
+  std::printf("== Shard scaling: %u backends x %u ch, %.0f E, window %.0f s, seed %llu ==\n",
+              backends, channels, erlangs, window.to_seconds(),
+              (unsigned long long)config.seed);
+  std::printf("host threads: %u (PBXCAP_THREADS honoured), lookahead %.1f ms\n\n",
+              exp::default_threads(), config.shard.lookahead.to_seconds() * 1e3);
+
+  std::vector<exp::ClusterResult> results(counts.size());
+  std::vector<double> walls(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    config.shard.threads = counts[i];
+    walls[i] = wall_run(config, results[i]);
+  }
+
+  // Determinism gate: every worker count must reproduce the 1-thread run.
+  const std::string reference = fingerprint(results[0]);
+  bool deterministic = true;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (fingerprint(results[i]) != reference) {
+      deterministic = false;
+      std::fprintf(stderr, "FAIL: %u-thread run diverged from 1-thread run\n  1: %s\n  %u: %s\n",
+                   counts[i], reference.c_str(), counts[i], fingerprint(results[i]).c_str());
+    }
+  }
+
+  util::TextTable table{{"threads", "workers", "wall (s)", "speedup", "rounds", "events"}};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    table.add_row({util::format("%u", counts[i]),
+                   util::format("%u", results[i].shard_threads),
+                   util::format("%.2f", walls[i]),
+                   util::format("%.2fx", walls[i] > 0.0 ? walls[0] / walls[i] : 0.0),
+                   util::format("%llu", (unsigned long long)results[i].shard_rounds),
+                   util::format("%llu", (unsigned long long)results[i].report.events_processed)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto& ref = results[0];
+  std::uint64_t messages = 0;
+  for (const auto& s : ref.shards) messages += s.messages_in;
+  std::printf("determinism: %s (%zu worker counts, identical reports/peaks/shard stats)\n",
+              deterministic ? "ok" : "FAILED", counts.size());
+  std::printf("cross-shard messages: %llu (%llu clamped to the causality bound)\n\n",
+              (unsigned long long)messages, (unsigned long long)ref.shard_clamped);
+
+  // Fleet feasibility point: 50 backends behind the least-loaded dispatcher,
+  // one shard each, 60 s placement window.
+  exp::ClusterConfig fleet;
+  fleet.scenario = loadgen::CallScenario::for_offered_load(300.0, hold);
+  fleet.scenario.placement_window = Duration::seconds(60);
+  fleet.fleet.assign(50, exp::ServerSpec{12, 0});
+  fleet.seed = 4242;
+  fleet.routing = exp::ClusterRouting::kDispatcher;
+  fleet.dispatcher.policy = dispatch::Policy::kLeastLoaded;
+  fleet.shard.enabled = true;
+  fleet.shard.threads = counts.back();
+  exp::ClusterResult fr;
+  const double fleet_wall = wall_run(fleet, fr);
+  std::printf("== Fleet point: 50 backends x 12 ch, 300 E, least-loaded dispatcher ==\n");
+  std::printf("  shards                : %zu (%u workers, %llu rounds)\n", fr.shards.size(),
+              fr.shard_threads, (unsigned long long)fr.shard_rounds);
+  std::printf("  calls attempted/completed : %llu / %llu (blocking %.2f%%)\n",
+              (unsigned long long)fr.report.calls_attempted,
+              (unsigned long long)fr.report.calls_completed,
+              fr.report.blocking_probability * 100.0);
+  std::printf("  kernel events         : %llu\n",
+              (unsigned long long)fr.report.events_processed);
+  std::printf("  wall time             : %.2f s\n", fleet_wall);
+  const bool fleet_ok = fr.report.calls_completed > 0 && fr.shards.size() == 51;
+
+  if (!json_out.empty()) {
+    std::string j = "{\n  \"bench\": \"shard_scaling\",\n";
+    j += util::format("  \"backends\": %u,\n  \"channels_per_server\": %u,\n", backends,
+                      channels);
+    j += util::format("  \"offered_erlangs\": %.0f,\n  \"window_s\": %.0f,\n", erlangs,
+                      window.to_seconds());
+    j += util::format("  \"lookahead_ms\": %.3f,\n",
+                      config.shard.lookahead.to_seconds() * 1e3);
+    j += util::format("  \"host_threads\": %u,\n", exp::default_threads());
+    j += util::format("  \"deterministic\": %s,\n", deterministic ? "true" : "false");
+    j += util::format("  \"events_processed\": %llu,\n  \"rounds\": %llu,\n",
+                      (unsigned long long)ref.report.events_processed,
+                      (unsigned long long)ref.shard_rounds);
+    j += util::format("  \"messages\": %llu,\n  \"clamped\": %llu,\n",
+                      (unsigned long long)messages, (unsigned long long)ref.shard_clamped);
+    j += "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      j += util::format("    {\"threads\": %u, \"workers\": %u,\n", counts[i],
+                        results[i].shard_threads);
+      j += util::format("  \"wall_s\": %.3f,\n", walls[i]);
+      j += util::format("  \"speedup\": %.3f}%s\n",
+                        walls[i] > 0.0 ? walls[0] / walls[i] : 0.0,
+                        i + 1 < counts.size() ? "," : "");
+    }
+    j += "  ],\n  \"shards\": [\n";
+    for (std::size_t s = 0; s < ref.shards.size(); ++s) {
+      j += util::format(
+          "    {\"shard\": %zu, \"events\": %llu, \"messages_in\": %llu, "
+          "\"messages_out\": %llu}%s\n",
+          s, (unsigned long long)ref.shards[s].events,
+          (unsigned long long)ref.shards[s].messages_in,
+          (unsigned long long)ref.shards[s].messages_out,
+          s + 1 < ref.shards.size() ? "," : "");
+    }
+    j += "  ],\n  \"fleet\": {\n";
+    j += util::format("    \"backends\": %zu, \"offered_erlangs\": 300, \"window_s\": 60,\n",
+                      fleet.fleet.size());
+    j += util::format("    \"threads\": %u, \"calls_attempted\": %llu, "
+                      "\"calls_completed\": %llu,\n",
+                      fr.shard_threads, (unsigned long long)fr.report.calls_attempted,
+                      (unsigned long long)fr.report.calls_completed);
+    j += util::format("    \"blocking\": %.4f, \"events_processed\": %llu,\n",
+                      fr.report.blocking_probability,
+                      (unsigned long long)fr.report.events_processed);
+    j += util::format("  \"fleet_wall_s\": %.3f\n  }\n}\n", fleet_wall);
+    if (!write_file(json_out, j)) return 1;
+  }
+
+  if (!fleet_ok) {
+    std::fprintf(stderr, "FAIL: 50-backend fleet point produced no completed calls\n");
+  }
+  return (deterministic && fleet_ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,10 +262,31 @@ int main(int argc, char** argv) {
 
   bool fast = false;
   bool mega = false;
+  bool shards = false;
+  unsigned threads_override = 0;
+  std::string json_out;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
-    if (std::strcmp(argv[i], "--mega") == 0) mega = true;
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else if (std::strcmp(argv[i], "--mega") == 0) {
+      mega = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads needs a value\n");
+        return 2;
+      }
+      threads_override = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json needs a value\n");
+        return 2;
+      }
+      json_out = argv[++i];
+    }
   }
+  if (shards) return run_shards(fast, threads_override, json_out);
   if (mega) {
     run_mega();
     return 0;

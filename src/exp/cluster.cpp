@@ -19,6 +19,7 @@
 namespace pbxcap::exp {
 
 ClusterResult run_cluster(const ClusterConfig& config) {
+  if (config.shard.enabled) return run_cluster_sharded(config);
   // Resolve the fleet: explicit heterogeneous specs, or the homogeneous
   // servers x channels_per_server shorthand.
   std::vector<ServerSpec> fleet = config.fleet;

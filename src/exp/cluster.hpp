@@ -79,6 +79,22 @@ struct ClusterConfig {
   /// per-backend registry metrics (routed calls, peaks, congestion, circuit
   /// opens, labelled by backend host) on top of the endpoint instrumentation.
   telemetry::Telemetry* telemetry{nullptr};
+
+  /// Sharded parallel execution (off by default: the exact monolithic
+  /// single-threaded run). When enabled, the cluster is partitioned into one
+  /// shard per backend plus a hub shard (caller bank + switch + routing
+  /// tier), each on its own sim::Simulator, synchronized conservatively with
+  /// `lookahead` as the barrier window. Per-seed results are byte-identical
+  /// for any `threads` value; they differ from the monolithic run because
+  /// every pbx uplink's propagation delay is floored to `lookahead`.
+  struct ShardConfig {
+    bool enabled{false};
+    /// Worker threads; 0 = auto (PBXCAP_THREADS / hardware concurrency).
+    unsigned threads{0};
+    /// Conservative lookahead = minimum cross-shard propagation delay.
+    Duration lookahead{Duration::millis(1)};
+  };
+  ShardConfig shard;
 };
 
 /// Per-backend observations of one cluster run.
@@ -109,8 +125,26 @@ struct ClusterResult {
   std::uint64_t probes_sent{0};
   std::uint64_t probe_failures{0};
   std::uint64_t circuit_opens{0};
+
+  /// Per-shard observations of a sharded run (empty in monolithic mode).
+  /// Shard 0 is the hub; shard 1+i is backend i. events / messages are
+  /// deterministic per seed; wall_s is host time (imbalance diagnostics).
+  struct ShardObservation {
+    std::uint64_t events{0};
+    std::uint64_t messages_in{0};
+    std::uint64_t messages_out{0};
+    double wall_s{0.0};
+  };
+  std::vector<ShardObservation> shards;
+  unsigned shard_threads{0};            // worker count actually used
+  std::uint64_t shard_rounds{0};        // barrier rounds executed
+  std::uint64_t shard_clamped{0};       // messages raised to the causality bound
 };
 
 [[nodiscard]] ClusterResult run_cluster(const ClusterConfig& config);
+
+/// Sharded implementation behind ClusterConfig::shard.enabled; run_cluster
+/// dispatches here automatically — call directly only from tests.
+[[nodiscard]] ClusterResult run_cluster_sharded(const ClusterConfig& config);
 
 }  // namespace pbxcap::exp

@@ -1,0 +1,463 @@
+// Sharded cluster run: one simulator per PBX backend plus a hub shard,
+// synchronized conservatively by exp::ShardExecutor.
+//
+// Partition (gated behind ClusterConfig::shard.enabled):
+//
+//   shard 0 (hub)      caller bank, receiver, switch, routing tier
+//                      (dispatcher), client/server access links, the hub
+//                      half of every pbx uplink, fluid engine, the caller-
+//                      provided telemetry sink;
+//   shard 1 + i        backend i: the AsteriskPbx, the pbx half of its
+//                      uplink, its capture taps, a private Telemetry
+//                      (registry + sampler, tracing off) merged after the
+//                      run in shard order.
+//
+// The pbx uplink of Fig. 4 is split into two half-links, one per shard,
+// each owning one direction's queue/impairment state (Link direction state
+// is independent, so the split is exact). Remote hosts are PortalNodes:
+// packets a Link would deliver to a portal become timestamped cross-shard
+// messages; node ids are translated at the boundary so each shard's
+// Network stays self-contained. Cross-shard propagation is floored to the
+// executor lookahead (default 1 ms vs the monolithic 5 us) — that is the
+// accuracy cost of the parallel mode, and the reason sharded results are
+// compared across thread counts, not against the monolithic run.
+//
+// Determinism: the window schedule, drain order and id translation are all
+// thread-count independent, so per-seed reports, exports and per-second
+// series are byte-identical for any ClusterConfig::shard.threads value.
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/cluster.hpp"
+#include "exp/report_util.hpp"
+#include "exp/shard_exec.hpp"
+#include "fault/injector.hpp"
+#include "loadgen/caller.hpp"
+#include "loadgen/receiver.hpp"
+#include "monitor/capture.hpp"
+#include "net/network.hpp"
+#include "net/portal.hpp"
+#include "net/switch_node.hpp"
+#include "rtp/fluid.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+
+namespace pbxcap::exp {
+
+namespace {
+
+/// Node-id translation table for one hub <-> backend boundary.
+struct ShardIdMap {
+  // Hub-side ids.
+  net::NodeId hub_caller{net::kInvalidNode};
+  net::NodeId hub_receiver{net::kInvalidNode};
+  net::NodeId hub_dispatcher{net::kInvalidNode};
+  net::NodeId hub_switch{net::kInvalidNode};
+  net::NodeId hub_portal{net::kInvalidNode};  // P_i, stands in for the pbx
+  // Backend-side ids.
+  net::NodeId be_caller{net::kInvalidNode};
+  net::NodeId be_receiver{net::kInvalidNode};
+  net::NodeId be_dispatcher{net::kInvalidNode};
+  net::NodeId be_portal{net::kInvalidNode};  // S_i, stands in for the switch
+  net::NodeId be_pbx{net::kInvalidNode};
+
+  [[nodiscard]] net::NodeId to_backend(net::NodeId hub_id) const {
+    if (hub_id == hub_caller) return be_caller;
+    if (hub_id == hub_receiver) return be_receiver;
+    if (hub_id == hub_dispatcher) return be_dispatcher;
+    throw std::logic_error{"cluster_shard: untranslatable hub node id"};
+  }
+
+  [[nodiscard]] net::NodeId to_hub(net::NodeId be_id) const {
+    if (be_id == be_caller) return hub_caller;
+    if (be_id == be_receiver) return hub_receiver;
+    if (be_id == be_dispatcher) return hub_dispatcher;
+    throw std::logic_error{"cluster_shard: untranslatable backend node id"};
+  }
+};
+
+/// Shard 0: everything except the PBXs.
+struct HubShard {
+  sim::Simulator sim;
+  net::Network net;
+  sip::HostResolver resolver;
+  rtp::SsrcAllocator ssrcs;
+  net::SwitchNode lan_switch{"switch"};
+  std::vector<std::unique_ptr<net::PortalNode>> portals;  // P_i per backend
+  std::vector<net::Link*> portal_links;                   // hub half of each uplink
+  std::unique_ptr<loadgen::SipCaller> caller;
+  std::unique_ptr<loadgen::SipReceiver> receiver;
+  net::Link* client_link{nullptr};
+  net::Link* server_link{nullptr};
+  std::optional<dispatch::Dispatcher> dispatcher;
+  rtp::FluidEngine fluid;
+  std::optional<fault::FaultInjector> injector;
+
+  HubShard(sim::Random impairment, const rtp::FluidConfig& fluid_cfg)
+      : net{sim, std::move(impairment)}, fluid{sim, fluid_cfg} {}
+};
+
+/// Shard 1 + i: one backend PBX with its half of the uplink.
+struct BackendShard {
+  sim::Simulator sim;
+  net::Network net;
+  sip::HostResolver resolver;
+  net::PortalNode to_switch{"portal-switch"};
+  // Unlinked stand-ins so the resolver has ids for the remote SIP hosts;
+  // they never receive locally (the pbx is single-homed onto the uplink).
+  net::PortalNode caller_stub{"stub-sipp-client"};
+  net::PortalNode receiver_stub{"stub-sipp-server"};
+  net::PortalNode dispatcher_stub{"stub-dispatcher"};
+  std::unique_ptr<pbx::AsteriskPbx> pbx;
+  net::Link* uplink{nullptr};  // pbx half of the uplink
+  std::unique_ptr<monitor::SipCapture> sip_capture;
+  std::unique_ptr<monitor::RtpCapture> rtp_capture;
+  telemetry::Telemetry telemetry;  // private; merged post-run
+  std::optional<fault::FaultInjector> injector;
+
+  BackendShard(sim::Random impairment, const telemetry::Config& tel_cfg)
+      : net{sim, std::move(impairment)}, telemetry{tel_cfg} {}
+};
+
+[[nodiscard]] Duration max_duration(Duration a, Duration b) noexcept {
+  return a.ns() < b.ns() ? b : a;
+}
+
+}  // namespace
+
+ClusterResult run_cluster_sharded(const ClusterConfig& config) {
+  std::vector<ServerSpec> fleet = config.fleet;
+  if (fleet.empty()) {
+    if (config.servers == 0) {
+      throw std::invalid_argument{"run_cluster_sharded: need at least one server"};
+    }
+    fleet.assign(config.servers, ServerSpec{config.channels_per_server, 0});
+  }
+
+  // RNG fork order mirrors run_cluster's first two forks exactly, so the
+  // caller's arrival stream (and every monolithic-comparable aggregate that
+  // follows from it) is seed-compatible; the per-backend impairment streams
+  // come after and are sharded-mode-only.
+  sim::Random master{config.seed};
+  sim::Random hub_impairment = master.fork();
+  sim::Random arrival_rng = master.fork();
+
+  telemetry::Telemetry* tel = config.telemetry;
+  const bool tel_on = tel != nullptr && tel->enabled();
+  telemetry::Config backend_tel_cfg;
+  backend_tel_cfg.enabled = tel_on;
+  backend_tel_cfg.tracing = false;  // span rings stay a hub-only feature
+  backend_tel_cfg.sample_period = tel_on ? tel->config().sample_period : Duration::seconds(1);
+  backend_tel_cfg.trace_capacity = 1;
+
+  HubShard hub{std::move(hub_impairment), config.fluid};
+  std::vector<std::unique_ptr<BackendShard>> backends;
+  backends.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    backends.push_back(std::make_unique<BackendShard>(master.fork(), backend_tel_cfg));
+  }
+
+  // Cross-shard links: propagation floored to the lookahead so every
+  // boundary message lands at least one window ahead (the conservative
+  // synchronization contract).
+  net::LinkConfig cross_cfg{};
+  cross_cfg.propagation = max_duration(cross_cfg.propagation, config.shard.lookahead);
+
+  // ---- hub topology ----
+  hub.net.attach(hub.lan_switch);
+  std::vector<std::string> pbx_hosts;
+  std::vector<dispatch::BackendConfig> backend_configs;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const std::string host = util::format("pbx%u.unb.br", static_cast<unsigned>(i));
+    pbx_hosts.push_back(host);
+    backend_configs.push_back(
+        {host, fleet[i].weight != 0 ? fleet[i].weight : fleet[i].channels});
+    auto portal = std::make_unique<net::PortalNode>(util::format("portal-%s", host.c_str()));
+    hub.net.attach(*portal);
+    hub.portal_links.push_back(&hub.net.connect(*portal, hub.lan_switch, cross_cfg));
+    hub.resolver.add(host, portal->id());
+    hub.portals.push_back(std::move(portal));
+  }
+
+  hub.caller = std::make_unique<loadgen::SipCaller>("sipp-client.unb.br", pbx_hosts, hub.sim,
+                                                    hub.resolver, hub.ssrcs, config.scenario,
+                                                    std::move(arrival_rng));
+  hub.receiver = std::make_unique<loadgen::SipReceiver>("sipp-server.unb.br", hub.sim,
+                                                        hub.resolver, hub.ssrcs,
+                                                        config.scenario);
+  hub.net.attach(*hub.caller);
+  hub.net.attach(*hub.receiver);
+  hub.client_link = &hub.net.connect(*hub.caller, hub.lan_switch, {});
+  hub.server_link = &hub.net.connect(*hub.receiver, hub.lan_switch, {});
+  hub.caller->bind();
+  hub.receiver->bind();
+
+  if (config.fluid.enabled) {
+    hub.fluid.watch_link(*hub.client_link);
+    hub.fluid.watch_link(*hub.server_link);
+    for (net::Link* link : hub.portal_links) hub.fluid.watch_link(*link);
+    hub.caller->set_fluid_engine(&hub.fluid);
+    hub.receiver->set_fluid_engine(&hub.fluid);
+  }
+
+  if (config.routing == ClusterRouting::kDispatcher) {
+    hub.dispatcher.emplace("dispatcher.unb.br", backend_configs, config.dispatcher, hub.sim,
+                           hub.resolver);
+    hub.net.attach(*hub.dispatcher);
+    hub.net.connect(*hub.dispatcher, hub.lan_switch, {});
+    hub.dispatcher->bind();
+    hub.caller->set_dispatcher(&*hub.dispatcher);
+  }
+
+  // ---- backend topologies ----
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    BackendShard& be = *backends[i];
+    be.net.attach(be.to_switch);
+    be.net.attach(be.caller_stub);
+    be.net.attach(be.receiver_stub);
+    be.net.attach(be.dispatcher_stub);
+    be.resolver.add(hub.caller->sip_host(), be.caller_stub.id());
+    be.resolver.add(hub.receiver->sip_host(), be.receiver_stub.id());
+    if (hub.dispatcher) be.resolver.add(hub.dispatcher->sip_host(), be.dispatcher_stub.id());
+
+    pbx::PbxConfig pbx_config;
+    pbx_config.host = pbx_hosts[i];
+    pbx_config.max_channels = fleet[i].channels;
+    pbx_config.sip_service = config.sip_service;
+    pbx_config.overload = config.overload;
+    be.pbx = std::make_unique<pbx::AsteriskPbx>(pbx_config, be.sim, be.resolver);
+    be.net.attach(*be.pbx);
+    be.uplink = &be.net.connect(*be.pbx, be.to_switch, cross_cfg);
+    be.pbx->bind();
+    be.pbx->dialplan().add("recv-", hub.receiver->sip_host());
+
+    be.sip_capture = std::make_unique<monitor::SipCapture>(be.pbx->id());
+    be.rtp_capture = std::make_unique<monitor::RtpCapture>(be.pbx->id());
+    be.sip_capture->attach(be.net);
+    be.rtp_capture->attach(be.net);
+  }
+
+  // ---- telemetry ----
+  if (tel_on) {
+    hub.caller->set_telemetry(tel);
+    hub.receiver->set_telemetry(tel);
+    auto& sampler = tel->sampler();
+    if (hub.dispatcher) {
+      dispatch::Dispatcher* d = &*hub.dispatcher;
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        sampler.add_gauge(util::format("dispatcher_occupancy_pbx%u", static_cast<unsigned>(i)),
+                          [d, i] { return static_cast<double>(d->occupancy(i)); });
+      }
+    }
+    if (config.fluid.enabled) {
+      hub.fluid.set_boundary_period(tel->config().sample_period);
+      sampler.set_pre_sample_hook([&hub] { hub.fluid.flush_all(); });
+    }
+    sampler.start(hub.sim, tel->config().sample_period);
+
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      BackendShard& be = *backends[i];
+      be.pbx->set_telemetry(&be.telemetry);
+      pbx::AsteriskPbx* pbx = be.pbx.get();
+      be.telemetry.sampler().add_gauge(
+          util::format("active_channels_pbx%u", static_cast<unsigned>(i)),
+          [pbx] { return static_cast<double>(pbx->channels().in_use()); });
+      be.telemetry.sampler().start(be.sim, tel->config().sample_period);
+    }
+  }
+
+  // ---- fault injection ----
+  // Same plan armed once per shard that owns a target half: link events on
+  // the pbx uplink apply to both halves (each half carries one direction),
+  // client/server link and pbx host events apply where those objects live.
+  const std::size_t fb = std::min<std::size_t>(config.fault_backend, fleet.size() - 1);
+  if (config.faults != nullptr && !config.faults->empty()) {
+    hub.injector.emplace(hub.sim, *config.faults,
+                         fault::FaultTargets{hub.client_link, hub.server_link,
+                                             hub.portal_links[fb], nullptr});
+    if (config.fluid.enabled) {
+      hub.injector->set_pre_apply([&hub] { hub.fluid.on_transient(); });
+    }
+    hub.injector->arm();
+
+    BackendShard& be = *backends[fb];
+    be.injector.emplace(be.sim, *config.faults,
+                        fault::FaultTargets{nullptr, nullptr, be.uplink, be.pbx.get()});
+    be.injector->arm();
+  }
+
+  // ---- executor + boundary conduits ----
+  std::vector<sim::Simulator*> sims;
+  sims.push_back(&hub.sim);
+  for (auto& be : backends) sims.push_back(&be->sim);
+  ShardExecConfig exec_cfg;
+  exec_cfg.threads = config.shard.threads;
+  exec_cfg.lookahead = config.shard.lookahead;
+  ShardExecutor exec{sims, exec_cfg};
+
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    BackendShard& be = *backends[i];
+    ShardIdMap map;
+    map.hub_caller = hub.caller->id();
+    map.hub_receiver = hub.receiver->id();
+    map.hub_dispatcher = hub.dispatcher ? hub.dispatcher->id() : net::kInvalidNode;
+    map.hub_switch = hub.lan_switch.id();
+    map.hub_portal = hub.portals[i]->id();
+    map.be_caller = be.caller_stub.id();
+    map.be_receiver = be.receiver_stub.id();
+    map.be_dispatcher = be.dispatcher_stub.id();
+    map.be_portal = be.to_switch.id();
+    map.be_pbx = be.pbx->id();
+    const std::size_t backend_shard = i + 1;
+
+    // hub -> backend: the packet was heading for portal P_i; it enters the
+    // backend shard off the uplink as a delivery to the pbx.
+    hub.net.set_remote_sink(
+        map.hub_portal,
+        [&exec, map, backend_shard, net = &be.net](net::Packet&& pkt, net::NodeId /*from*/,
+                                                   TimePoint deliver_at) {
+          pkt.src = map.to_backend(pkt.src);
+          pkt.dst = map.be_pbx;
+          exec.post(0, backend_shard, deliver_at.ns(),
+                    [net, p = std::move(pkt), from = map.be_portal] {
+                      net->deliver(p, from, p.dst);
+                    });
+        });
+
+    // backend -> hub: the packet was heading for portal S_i; it enters the
+    // hub shard off the uplink as a delivery to the switch, which re-routes
+    // by dst (paying its processing delay) exactly as in the monolithic run.
+    be.net.set_remote_sink(
+        map.be_portal,
+        [&exec, map, backend_shard, net = &hub.net](net::Packet&& pkt, net::NodeId /*from*/,
+                                                    TimePoint deliver_at) {
+          if (pkt.src != map.be_pbx) {
+            throw std::logic_error{"cluster_shard: unexpected backend egress source"};
+          }
+          pkt.src = map.hub_portal;
+          pkt.dst = map.to_hub(pkt.dst);
+          exec.post(backend_shard, 0, deliver_at.ns(),
+                    [net, p = std::move(pkt), from = map.hub_portal, to = map.hub_switch] {
+                      net->deliver(p, from, to);
+                    });
+        });
+  }
+
+  // ---- run ----
+  if (hub.dispatcher) hub.dispatcher->start();
+  hub.fluid.start();
+  hub.caller->start();
+  exec.run(TimePoint::at(run_horizon(config.scenario, config.drain)));
+  hub.caller->finalize_remaining();
+  if (tel_on) {
+    tel->sampler().stop();
+    for (auto& be : backends) be->telemetry.sampler().stop();
+  }
+
+  // ---- epilogue (single-threaded, same shape as run_cluster's) ----
+  for (auto& record : hub.caller->log().records_mutable()) {
+    if (const auto* q = hub.receiver->finished(record.call_index)) {
+      record.mos_callee_heard = q->mos;
+      record.loss_callee_heard = q->effective_loss;
+      record.jitter_callee_heard = q->jitter;
+      record.rtp_received_callee = q->rtp_received;
+    }
+  }
+
+  std::vector<BackendSources> sources;
+  std::vector<const net::Link*> links{hub.client_link, hub.server_link};
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const BackendShard& be = *backends[i];
+    sources.push_back({be.pbx.get(), be.sip_capture.get(), be.rtp_capture.get()});
+    links.push_back(hub.portal_links[i]);  // hub half: switch->pbx direction
+    links.push_back(be.uplink);            // pbx half: pbx->switch direction
+  }
+
+  ClusterResult result;
+  result.report = build_report(config.scenario, config.seed, *hub.caller, *hub.receiver,
+                               sources, links, exec.total_events());
+
+  Duration cpu_from_d =
+      std::min(config.scenario.hold_time, config.scenario.placement_window);
+  if (cpu_from_d >= config.scenario.placement_window) {
+    cpu_from_d = Duration::nanos(config.scenario.placement_window.ns() / 2);
+  }
+  const TimePoint cpu_from = TimePoint::at(cpu_from_d);
+  const TimePoint cpu_to = TimePoint::at(config.scenario.placement_window);
+
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const pbx::AsteriskPbx& pbx = *backends[i]->pbx;
+    BackendObservation obs;
+    obs.host = pbx_hosts[i];
+    obs.channels = pbx.channels().capacity();
+    obs.peak_channels = pbx.channels().peak();
+    obs.congestion = pbx.cdrs().count(pbx::Disposition::kCongestion);
+    obs.rtp_relayed = pbx.rtp_relayed();
+    obs.crashes = pbx.crashes();
+    obs.cpu_utilization = pbx.cpu().utilization(cpu_from, cpu_to);
+    if (hub.dispatcher) {
+      const dispatch::BackendStats ds = hub.dispatcher->backend_stats(i);
+      obs.calls_routed = ds.calls_routed;
+      obs.probe_failures = ds.probe_failures;
+      obs.circuit_opens = ds.circuit_opens;
+      obs.final_circuit = ds.circuit;
+    }
+    result.backends.push_back(obs);
+    result.peak_channels_per_server.push_back(obs.peak_channels);
+    result.congestion_per_server.push_back(obs.congestion);
+  }
+  if (hub.dispatcher) {
+    result.failovers = hub.caller->failovers();
+    result.dispatch_rejected = hub.dispatcher->picks_rejected();
+    result.probes_sent = hub.dispatcher->probes_sent();
+    result.probe_failures = hub.dispatcher->probe_failures();
+    result.circuit_opens = hub.dispatcher->circuit_opens();
+  }
+
+  if (tel_on) {
+    // Fold the backend shards' private registries and samplers into the
+    // caller's sink, in shard order — the combined export is deterministic
+    // for any thread count.
+    for (auto& be : backends) {
+      tel->registry().absorb(be->telemetry.registry());
+      tel->sampler().merge_columns(be->telemetry.sampler());
+    }
+    auto& reg = tel->registry();
+    for (const BackendObservation& obs : result.backends) {
+      reg.counter("pbxcap_cluster_calls_routed_total", {{"backend", obs.host}},
+                  "Calls the routing tier dispatched to each backend")
+          .add(obs.calls_routed);
+      reg.counter("pbxcap_cluster_congestion_total", {{"backend", obs.host}},
+                  "Channel-exhaustion rejections per backend")
+          .add(obs.congestion);
+      reg.counter("pbxcap_cluster_circuit_opens_total", {{"backend", obs.host}},
+                  "Circuit-breaker ejections per backend")
+          .add(obs.circuit_opens);
+      reg.gauge("pbxcap_cluster_peak_channels", {{"backend", obs.host}},
+                "Peak concurrent channels per backend")
+          .set(static_cast<double>(obs.peak_channels));
+    }
+    reg.counter("pbxcap_cluster_failovers_total", {},
+                "Timed-out INVITEs rescued onto a surviving backend")
+        .add(result.failovers);
+    reg.counter("pbxcap_cluster_dispatch_rejected_total", {},
+                "Calls with no eligible backend at pick time")
+        .add(result.dispatch_rejected);
+    reg.counter("pbxcap_cluster_probes_total", {}, "Health probes sent").add(result.probes_sent);
+    reg.counter("pbxcap_cluster_probe_failures_total", {}, "Health probes failed")
+        .add(result.probe_failures);
+  }
+
+  result.shard_threads = exec.workers();
+  result.shard_rounds = exec.rounds();
+  result.shard_clamped = exec.messages_clamped();
+  for (const ShardExecutor::ShardStats& s : exec.stats()) {
+    result.shards.push_back({s.events, s.messages_in, s.messages_out, s.wall_s});
+  }
+  return result;
+}
+
+}  // namespace pbxcap::exp

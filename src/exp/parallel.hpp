@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -17,15 +18,28 @@
 
 namespace pbxcap::exp {
 
-/// Number of workers to use by default: the hardware concurrency, at least 1.
+/// Number of workers to use by default: the PBXCAP_THREADS environment
+/// override when set to a positive integer, else the hardware concurrency,
+/// at least 1. The override caps every auto-sized pool — replication sweeps
+/// and the shard executor alike — so CI and benchmarks can pin parallelism
+/// without plumbing a flag through each harness.
 [[nodiscard]] inline unsigned default_threads() noexcept {
+  if (const char* env = std::getenv("PBXCAP_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 1024) {
+      return static_cast<unsigned>(v);
+    }
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
-/// Runs fn(i) for i in [0, n) across up to `threads` workers. fn must write
-/// only to per-index state. The first exception thrown by any worker is
-/// rethrown on the calling thread after all workers join.
+/// Runs fn(i) for i in [0, n) across up to `threads` workers; `threads == 0`
+/// means "auto" (default_threads()) — the same convention SweepConfig and
+/// the shard executor use, resolved here so no caller needs its own clamp.
+/// fn must write only to per-index state. The first exception thrown by any
+/// worker is rethrown on the calling thread after all workers join.
 ///
 /// Workers claim contiguous chunks of indices rather than one index per
 /// fetch_add: with many cheap items (fine-grained sweep points) a single
@@ -35,8 +49,8 @@ namespace pbxcap::exp {
 template <typename Fn>
 void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
   if (n == 0) return;
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(std::max(threads, 1u), n));
+  if (threads == 0) threads = default_threads();
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(threads, n));
   if (workers == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;

@@ -25,6 +25,16 @@ monitor::ExperimentReport build_report(const loadgen::CallScenario& scenario, st
                                        const std::vector<BackendSources>& backends,
                                        const std::vector<const net::Link*>& links,
                                        const sim::Simulator& simulator) {
+  return build_report(scenario, seed, caller, receiver, backends, links,
+                      simulator.events_processed());
+}
+
+monitor::ExperimentReport build_report(const loadgen::CallScenario& scenario, std::uint64_t seed,
+                                       const loadgen::SipCaller& caller,
+                                       const loadgen::SipReceiver& receiver,
+                                       const std::vector<BackendSources>& backends,
+                                       const std::vector<const net::Link*>& links,
+                                       std::uint64_t events_processed) {
   const monitor::CallLog& log = caller.log();
   monitor::ExperimentReport report;
   report.offered_erlangs = scenario.offered_erlangs();
@@ -93,7 +103,7 @@ monitor::ExperimentReport build_report(const loadgen::CallScenario& scenario, st
                                       link->stats_from(link->endpoint_b()).dropped_impairment;
   }
 
-  report.events_processed = simulator.events_processed();
+  report.events_processed = events_processed;
   return report;
 }
 

@@ -59,4 +59,12 @@ struct BackendSources {
     const std::vector<BackendSources>& backends, const std::vector<const net::Link*>& links,
     const sim::Simulator& simulator);
 
+/// Same, but with the DES event count supplied directly — a sharded run has
+/// one simulator per shard and reports the sum.
+[[nodiscard]] monitor::ExperimentReport build_report(
+    const loadgen::CallScenario& scenario, std::uint64_t seed,
+    const loadgen::SipCaller& caller, const loadgen::SipReceiver& receiver,
+    const std::vector<BackendSources>& backends, const std::vector<const net::Link*>& links,
+    std::uint64_t events_processed);
+
 }  // namespace pbxcap::exp

@@ -10,8 +10,8 @@ std::vector<SweepPoint> run_blocking_sweep(const SweepConfig& config) {
   const std::size_t jobs = points * reps;
   std::vector<monitor::ExperimentReport> reports(jobs);
 
-  const unsigned threads = config.threads == 0 ? default_threads() : config.threads;
-  parallel_for(jobs, threads, [&](std::size_t job) {
+  // threads == 0 means "auto"; parallel_for owns that convention now.
+  parallel_for(jobs, config.threads, [&](std::size_t job) {
     const std::size_t point = job / reps;
     TestbedConfig tb = config.base;
     const Duration hold = tb.scenario.hold_time;

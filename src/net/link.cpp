@@ -85,6 +85,13 @@ void Link::transmit_batch(NodeId from, Packet pkt) {
   dir.stats.packets_sent += n;
   dir.stats.bytes_sent += static_cast<std::uint64_t>(pkt.size_bytes) * n;
   add_batch_latency(pkt, tx_time + config_.propagation);
+  if (network_.is_remote(to)) {
+    // Cross-shard batch: the nominal per-packet timing is already in the
+    // payload; the executor clamps the hand-off to its next window so the
+    // destination shard never sees it in its past.
+    network_.deliver_remote(std::move(pkt), from, to, network_.simulator().now());
+    return;
+  }
   network_.deliver(pkt, from, to);
 }
 
@@ -146,6 +153,14 @@ void Link::transmit(NodeId from, Packet pkt) {
 
   ++dir.stats.packets_sent;
   dir.stats.bytes_sent += pkt.size_bytes;
+  if (network_.is_remote(to)) {
+    // Cross-shard endpoint: the delivery becomes a timestamped message for
+    // the peer shard instead of a local event. Queueing, serialization,
+    // loss, and jitter above are all decided on this side — the remote half
+    // only runs the receiver — so the stats stay identical to a local hop.
+    network_.deliver_remote(std::move(pkt), from, to, delivery);
+    return;
+  }
   auto deliver = [this, from, to, pkt = std::move(pkt)]() mutable {
     network_.deliver(pkt, from, to);
   };

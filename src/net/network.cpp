@@ -57,6 +57,17 @@ void Network::send_from(NodeId src_node, Packet pkt) {
   links.front()->transmit(src_node, std::move(pkt));
 }
 
+void Network::set_remote_sink(NodeId node, RemoteSink sink) {
+  if (node >= nodes_.size()) throw std::out_of_range{"Network::set_remote_sink: bad id"};
+  if (remote_.size() <= node) remote_.resize(nodes_.size());
+  remote_[node] = std::move(sink);
+}
+
+void Network::deliver_remote(Packet&& pkt, NodeId from, NodeId to, TimePoint deliver_at) {
+  for (const auto& tap : taps_) tap(pkt, from, to);
+  remote_[to](std::move(pkt), from, deliver_at);
+}
+
 void Network::deliver(const Packet& pkt, NodeId from, NodeId to) {
   delivered_ += pkt.batch;
   for (const auto& tap : taps_) tap(pkt, from, to);

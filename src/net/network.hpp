@@ -24,6 +24,13 @@ namespace pbxcap::net {
 /// `from`/`to` are the link endpoints of the hop, not the end-to-end pair.
 using PacketTap = std::function<void(const Packet& pkt, NodeId from, NodeId to)>;
 
+/// Cross-shard egress hook. A node with a remote sink is a *portal*: it
+/// stands in for a host simulated by another shard. Packets a Link would
+/// deliver to it are handed to the sink at transmit time together with the
+/// computed delivery timestamp, and become timestamped messages for the
+/// destination shard (see sim/shard.hpp) instead of local simulator events.
+using RemoteSink = std::function<void(Packet&& pkt, NodeId from, TimePoint deliver_at)>;
+
 class Network {
  public:
   Network(sim::Simulator& simulator, sim::Random impairment_rng);
@@ -47,6 +54,18 @@ class Network {
 
   void add_tap(PacketTap tap) { taps_.push_back(std::move(tap)); }
 
+  /// Marks `node` as a cross-shard portal: deliveries addressed to it leave
+  /// this shard through `sink` instead of the local event loop. The node
+  /// must already be attached.
+  void set_remote_sink(NodeId node, RemoteSink sink);
+  [[nodiscard]] bool is_remote(NodeId node) const noexcept {
+    return node < remote_.size() && remote_[node] != nullptr;
+  }
+  /// Cross-shard hand-off: fires the taps (so egress captures at `from` see
+  /// the hop exactly as a local delivery would show it) and invokes the
+  /// portal's sink. Called by Link in place of scheduling a local delivery.
+  void deliver_remote(Packet&& pkt, NodeId from, NodeId to, TimePoint deliver_at);
+
   [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
   [[nodiscard]] sim::Random& impairment_rng() noexcept { return rng_; }
 
@@ -64,6 +83,7 @@ class Network {
   std::vector<Node*> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<PacketTap> taps_;
+  std::vector<RemoteSink> remote_;  // indexed by NodeId; empty when unsharded
   std::uint64_t next_packet_id_{1};
   std::uint64_t delivered_{0};
 };

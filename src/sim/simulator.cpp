@@ -105,6 +105,17 @@ bool Simulator::cancel(EventId id) {
   return true;
 }
 
+std::int64_t Simulator::next_event_ns() {
+  std::int64_t best = kNoEvent;
+  if (wheel_live_ != 0) {
+    // wheel_live_ counts only uncancelled items, so the peek always finds one.
+    const WheelItem* item = wheel_peek();
+    if (item != nullptr) best = item->at;
+  }
+  if (!heap_.empty() && heap_[0].at < best) best = heap_[0].at;
+  return best;
+}
+
 void Simulator::run() {
   stopped_ = false;
   while (!stopped_ && fire_next(kNoHorizon)) {

@@ -36,6 +36,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <type_traits>
@@ -107,6 +108,16 @@ class Simulator {
   }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
   [[nodiscard]] std::uint64_t events_scheduled() const noexcept { return scheduled_; }
+
+  /// Sentinel returned by next_event_ns() when nothing is pending.
+  static constexpr std::int64_t kNoEvent = std::numeric_limits<std::int64_t>::max();
+
+  /// Timestamp (ns) of the earliest live pending event, or kNoEvent. Used by
+  /// the conservative shard executor to jump idle synchronization windows
+  /// forward. May activate wheel slots (pure bookkeeping, fires nothing), so
+  /// it is non-const; call it only between run_until() calls, never from
+  /// inside a running event.
+  [[nodiscard]] std::int64_t next_event_ns();
 
   /// Runs until the queue drains or stop() is called.
   void run();

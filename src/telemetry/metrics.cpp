@@ -14,6 +14,15 @@ Histogram::Histogram(std::vector<double> upper_bounds) : bounds_{std::move(upper
   counts_.assign(bounds_.size() + 1, 0);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument{"Histogram::merge: bucket bounds differ"};
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void Histogram::observe(double x) noexcept {
   // First bucket whose upper bound admits x; the trailing bucket is +inf.
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
@@ -105,6 +114,23 @@ Gauge& MetricsRegistry::gauge(std::string_view name, LabelSet labels, std::strin
     rows_[idx].gauge = &gauges_.back();
   }
   return const_cast<Gauge&>(*rows_[idx].gauge);
+}
+
+void MetricsRegistry::absorb(const MetricsRegistry& other) {
+  for (const Row& row : other.rows()) {
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        counter(row.name, row.labels, row.help).add(row.counter->value());
+        break;
+      case MetricKind::kGauge:
+        gauge(row.name, row.labels, row.help).add(row.gauge->value());
+        break;
+      case MetricKind::kHistogram:
+        histogram(row.name, row.histogram->bounds(), row.labels, row.help)
+            .merge(*row.histogram);
+        break;
+    }
+  }
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> upper_bounds,

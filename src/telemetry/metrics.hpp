@@ -58,6 +58,10 @@ class Histogram {
 
   void observe(double x) noexcept;
 
+  /// Adds another histogram's observations bucket-by-bucket. Throws
+  /// std::invalid_argument unless both have identical bounds.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   /// Finite upper bounds; counts() has one extra trailing +inf bucket.
@@ -107,6 +111,13 @@ class MetricsRegistry {
   };
   [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+  /// Folds another registry into this one: counters add, gauges add,
+  /// histograms bucket-merge (bounds must match when a name collides).
+  /// Metrics absent here are registered in `other`'s row order, so absorbing
+  /// shards in a fixed order yields a deterministic combined registry. Used
+  /// by the sharded cluster run to merge per-backend registries.
+  void absorb(const MetricsRegistry& other);
 
  private:
   std::size_t intern(std::string_view name, LabelSet& labels, std::string_view help,

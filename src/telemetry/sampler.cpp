@@ -50,6 +50,22 @@ void TimeSeriesSampler::tick() {
   tick_event_ = simulator_->schedule_in(period_, [this] { tick(); });
 }
 
+void TimeSeriesSampler::merge_columns(const TimeSeriesSampler& other) {
+  if (running() || other.running()) {
+    throw std::logic_error{"TimeSeriesSampler::merge_columns: stop both samplers first"};
+  }
+  if (other.columns_.empty()) return;
+  if (at_ns_.empty() && columns_.empty()) {
+    at_ns_ = other.at_ns_;
+  } else if (at_ns_ != other.at_ns_) {
+    throw std::invalid_argument{"TimeSeriesSampler::merge_columns: row timestamps differ"};
+  }
+  for (const Column& column : other.columns_) {
+    // Probes reference the other run's objects; keep only the recorded data.
+    columns_.push_back(Column{column.name, nullptr, column.rate, column.last, column.values});
+  }
+}
+
 std::string TimeSeriesSampler::to_csv() const {
   std::string out{"time_s"};
   for (const auto& column : columns_) {

@@ -63,6 +63,13 @@ class TimeSeriesSampler {
   /// "time_s,<col>,..." CSV of the whole series, one row per sample.
   [[nodiscard]] std::string to_csv() const;
 
+  /// Appends another sampler's columns after this one's. Both must be
+  /// stopped with identical row timestamps (shards sample the same period
+  /// over the same horizon, so their rows line up exactly); throws
+  /// std::invalid_argument otherwise. Appending shards in a fixed order
+  /// keeps the combined column order deterministic.
+  void merge_columns(const TimeSeriesSampler& other);
+
  private:
   struct Column {
     std::string name;

@@ -92,3 +92,16 @@ if [[ -x "${cd_bench}" ]]; then
 else
   echo "warning: ${cd_bench} not built; skipping cluster dispatch" >&2
 fi
+
+# Sharded-executor scaling: same-seed runs at 1/2/4/8 worker threads
+# (determinism gate — a divergence fails this script), wall time / speedup
+# per worker count, plus the 50-backend dispatcher fleet point. Speedup is a
+# property of the host: single-core CI runners record an honest <= 1x.
+ss_bench="${build_dir}/bench/bench_cluster_scaling"
+ss_out="BENCH_shard_scaling.json"
+if [[ -x "${ss_bench}" ]]; then
+  "${ss_bench}" --shards --fast --json "${ss_out}" > /dev/null
+  echo "wrote ${ss_out}"
+else
+  echo "warning: ${ss_bench} not built; skipping shard scaling" >&2
+fi
