@@ -15,9 +15,15 @@
 //     full 32 s Timer B and dies; the dispatcher ejects the backend within
 //     a few probe periods and rescues in-flight timeouts onto survivors.
 //
-// Usage: bench_cluster_dispatch [--fast] [--json F]
-//   --fast : smaller sweep + shorter window (CI smoke).
-//   --json : machine-readable results for perf tracking / CI acceptance.
+// Usage: bench_cluster_dispatch [--fast] [--json F] [--trace F]
+//   --fast  : smaller sweep + shorter window (CI smoke).
+//   --json  : machine-readable results for perf tracking / CI acceptance.
+//   --trace : write the sharded crash replay's merged Chrome/Perfetto trace
+//             (one process per shard). Open it in ui.perfetto.dev and follow
+//             a "call-N" track: dispatch.pick on the hub, the backend's SIP
+//             transaction, the fault.crash_restart instant on the dead
+//             backend, invite.timeout + dispatch.failover back on the hub,
+//             then the rescued call's setup/media on the survivor.
 //
 // Exit code 0 only if the acceptance criteria hold: least-loaded + failover
 // sustains >= 90% of its own fault-free goodput through the crash, while
@@ -105,6 +111,7 @@ bool write_file(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   bool fast = false;
   std::string json_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       fast = true;
@@ -114,6 +121,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace needs a value\n");
+        return 2;
+      }
+      trace_out = argv[++i];
     }
   }
 
@@ -205,12 +218,18 @@ int main(int argc, char** argv) {
   // the per-shard event/message/wall columns show how the fault skews load
   // across the partition (the crashed backend's shard goes quiet).
   exp::ClusterResult shard_crash;
+  bool trace_ok = true;
   {
     auto config = make_config(fault_load, kModes[least_idx], window,
                               7100 + 13 * (fault_li * kModeCount + least_idx));
     config.faults = &plan;
     config.fault_backend = 0;
     config.shard.enabled = true;
+    // --trace: span-trace the replay and merge all shards into one file.
+    telemetry::Config trace_cfg;
+    trace_cfg.tracing = true;
+    telemetry::Telemetry trace_tel{trace_cfg};
+    if (!trace_out.empty()) config.telemetry = &trace_tel;
     const auto t0 = std::chrono::steady_clock::now();
     shard_crash = exp::run_cluster(config);
     const double wall =
@@ -227,6 +246,19 @@ int main(int argc, char** argv) {
     std::printf(
         "-- sharded replay of the least-loaded crash run (%u workers, %.2f s wall) --\n%s\n",
         shard_crash.shard_threads, wall, st.to_string().c_str());
+    if (!trace_out.empty()) {
+      // The merged trace must actually show the story: the crash as an
+      // instant event and at least one failover hop on a call journey.
+      if (shard_crash.merged_trace.find("fault.") == std::string::npos) {
+        std::fprintf(stderr, "FAIL: merged trace has no fault instant event\n");
+        trace_ok = false;
+      }
+      if (shard_crash.merged_trace.find("dispatch.failover") == std::string::npos) {
+        std::fprintf(stderr, "FAIL: merged trace has no dispatch.failover instant\n");
+        trace_ok = false;
+      }
+      if (!write_file(trace_out, shard_crash.merged_trace)) trace_ok = false;
+    }
   }
   std::printf(
       "Reading: DNS rotation keeps feeding the dead backend, so every INVITE routed\n"
@@ -309,5 +341,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: circuit breaker never opened under the crash\n");
     rc = 1;
   }
+  if (!trace_ok) rc = 1;
   return rc;
 }

@@ -7,6 +7,7 @@
 // the packet-level testbed and compared with Erlang-B(A/k, 165).
 //
 // Usage: bench_cluster_scaling [--fast] [--mega] [--shards] [--threads N] [--json F]
+//                              [--attr-json F]
 //   --mega   : million-call-scale demonstration — 100,000 offered Erlangs over
 //              8 x 15,000-channel backends with the hybrid fluid/packet media
 //              engine (exact per-packet simulation of this point would need
@@ -17,11 +18,14 @@
 //              counts {1, 2, 4, 8}, every deterministic output cross-checked
 //              (exit 1 on any divergence), wall time and speedup vs the
 //              1-thread run recorded; then a 50-backend dispatcher fleet
-//              point on the largest worker count proving the partition holds
-//              at fleet scale. --threads N shrinks the sweep to {1, N};
-//              --json F writes the machine-readable record (wall-clock
-//              fields sit on their own lines so CI can filter them before
-//              byte-comparing reruns).
+//              point run with the event-engine profiler at every worker
+//              count, proving both that the partition holds at fleet scale
+//              and that the per-shard/per-category event-attribution JSON is
+//              byte-identical for any worker count. --threads N shrinks the
+//              sweep to {1, N}; --json F writes the machine-readable record
+//              (wall-clock fields sit on their own lines so CI can filter
+//              them before byte-comparing reruns); --attr-json F writes the
+//              fleet attribution JSON.
 
 #include <chrono>
 #include <cstdio>
@@ -33,6 +37,7 @@
 #include "core/erlang_b.hpp"
 #include "exp/cluster.hpp"
 #include "exp/parallel.hpp"
+#include "telemetry/profiler.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -110,7 +115,8 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
-int run_shards(bool fast, unsigned threads_override, const std::string& json_out) {
+int run_shards(bool fast, unsigned threads_override, const std::string& json_out,
+               const std::string& attr_json_out) {
   using namespace pbxcap;
 
   const std::uint32_t backends = 8;
@@ -176,8 +182,11 @@ int run_shards(bool fast, unsigned threads_override, const std::string& json_out
   std::printf("cross-shard messages: %llu (%llu clamped to the causality bound)\n\n",
               (unsigned long long)messages, (unsigned long long)ref.shard_clamped);
 
-  // Fleet feasibility point: 50 backends behind the least-loaded dispatcher,
-  // one shard each, 60 s placement window.
+  // Fleet feasibility + event attribution: 50 backends behind the
+  // least-loaded dispatcher, one shard each, 60 s placement window, run with
+  // the event-engine profiler at EVERY worker count in the sweep. The
+  // per-shard/per-category attribution JSON is count-only, so it must come
+  // out byte-identical no matter how many workers executed the shards.
   exp::ClusterConfig fleet;
   fleet.scenario = loadgen::CallScenario::for_offered_load(300.0, hold);
   fleet.scenario.placement_window = Duration::seconds(60);
@@ -186,9 +195,42 @@ int run_shards(bool fast, unsigned threads_override, const std::string& json_out
   fleet.routing = exp::ClusterRouting::kDispatcher;
   fleet.dispatcher.policy = dispatch::Policy::kLeastLoaded;
   fleet.shard.enabled = true;
-  fleet.shard.threads = counts.back();
+  telemetry::Config prof_cfg;
+  prof_cfg.tracing = false;
+  prof_cfg.profiling = true;
+  std::string attr_ref;
+  bool attr_identical = true;
   exp::ClusterResult fr;
-  const double fleet_wall = wall_run(fleet, fr);
+  double fleet_wall = 0.0;
+  for (const unsigned c : counts) {
+    telemetry::Telemetry ptel{prof_cfg};
+    fleet.telemetry = &ptel;
+    fleet.shard.threads = c;
+    exp::ClusterResult r;
+    const double w = wall_run(fleet, r);
+    const std::string attr = telemetry::attribution_json(r.shard_profiles);
+    if (attr_ref.empty()) {
+      attr_ref = attr;
+    } else if (attr != attr_ref) {
+      attr_identical = false;
+      std::fprintf(stderr, "FAIL: %u-worker fleet attribution diverged from reference\n", c);
+    }
+    if (c == counts.back()) {
+      fr = std::move(r);
+      fleet_wall = w;
+    }
+  }
+  fleet.telemetry = nullptr;
+  const std::uint64_t attr_total = [&fr] {
+    std::uint64_t t = 0;
+    for (const auto& s : fr.shard_profiles) t += s.data.total_events();
+    return t;
+  }();
+  const double hub_share =
+      attr_total == 0 || fr.shard_profiles.empty()
+          ? 0.0
+          : static_cast<double>(fr.shard_profiles.front().data.total_events()) /
+                static_cast<double>(attr_total);
   std::printf("== Fleet point: 50 backends x 12 ch, 300 E, least-loaded dispatcher ==\n");
   std::printf("  shards                : %zu (%u workers, %llu rounds)\n", fr.shards.size(),
               fr.shard_threads, (unsigned long long)fr.shard_rounds);
@@ -198,8 +240,14 @@ int run_shards(bool fast, unsigned threads_override, const std::string& json_out
               fr.report.blocking_probability * 100.0);
   std::printf("  kernel events         : %llu\n",
               (unsigned long long)fr.report.events_processed);
+  std::printf("  hub shard share       : %.1f%% of attributed events (%s across %zu "
+              "worker counts)\n",
+              hub_share * 100.0, attr_identical ? "byte-identical" : "DIVERGED",
+              counts.size());
   std::printf("  wall time             : %.2f s\n", fleet_wall);
-  const bool fleet_ok = fr.report.calls_completed > 0 && fr.shards.size() == 51;
+  const bool fleet_ok = fr.report.calls_completed > 0 && fr.shards.size() == 51 &&
+                        fr.shard_profiles.size() == 51;
+  if (!attr_json_out.empty() && !write_file(attr_json_out, attr_ref)) return 1;
 
   if (!json_out.empty()) {
     std::string j = "{\n  \"bench\": \"shard_scaling\",\n";
@@ -245,6 +293,8 @@ int run_shards(bool fast, unsigned threads_override, const std::string& json_out
     j += util::format("    \"blocking\": %.4f, \"events_processed\": %llu,\n",
                       fr.report.blocking_probability,
                       (unsigned long long)fr.report.events_processed);
+    j += util::format("    \"hub_event_share\": %.6f, \"attribution_deterministic\": %s,\n",
+                      hub_share, attr_identical ? "true" : "false");
     j += util::format("  \"fleet_wall_s\": %.3f\n  }\n}\n", fleet_wall);
     if (!write_file(json_out, j)) return 1;
   }
@@ -252,7 +302,7 @@ int run_shards(bool fast, unsigned threads_override, const std::string& json_out
   if (!fleet_ok) {
     std::fprintf(stderr, "FAIL: 50-backend fleet point produced no completed calls\n");
   }
-  return (deterministic && fleet_ok) ? 0 : 1;
+  return (deterministic && fleet_ok && attr_identical) ? 0 : 1;
 }
 
 }  // namespace
@@ -265,6 +315,7 @@ int main(int argc, char** argv) {
   bool shards = false;
   unsigned threads_override = 0;
   std::string json_out;
+  std::string attr_json_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       fast = true;
@@ -284,9 +335,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--attr-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--attr-json needs a value\n");
+        return 2;
+      }
+      attr_json_out = argv[++i];
     }
   }
-  if (shards) return run_shards(fast, threads_override, json_out);
+  if (shards) return run_shards(fast, threads_override, json_out, attr_json_out);
   if (mega) {
     run_mega();
     return 0;

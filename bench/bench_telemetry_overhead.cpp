@@ -2,8 +2,9 @@
 // predictable branch per site" contract with numbers.
 //
 // Two workloads, each run with telemetry OFF (null handles — the default
-// state of every instrumented component) and ON (live counters, sampler,
-// span ring):
+// state of every instrumented component), ON (live counters, sampler, span
+// ring), and PROF (ON plus the event-engine profiler counting every
+// simulator fire into its category slots):
 //
 //   self_scheduling : the RTP-sender event pattern from bench_perf_engine —
 //                     a 20 µs self-rescheduling tick with one counter site,
@@ -15,14 +16,23 @@
 // The micro workload additionally runs a BARE variant — the identical loop
 // with no instrumentation site at all — so the disabled-path branch cost
 // ("off ovh", the ≤ 2% gate) is measured under one methodology rather than
-// across harnesses. Each variant runs `repeats` times and the best (max)
-// events/s is kept, so scheduler noise inflates neither side. For the macro
-// workload the telemetry=nullptr run is itself the disabled path; its
-// pre-instrumentation control is bench_perf_engine's BM_Table1MacroPoint.
+// across harnesses. Measurement rounds are interleaved across variants —
+// each round runs every variant once, and the best (max) events/s per
+// variant across rounds is kept — so host drift lands on all variants
+// instead of penalizing whichever block would otherwise run last. For the
+// macro workload no uninstrumented control exists in this harness (its
+// pre-instrumentation history is bench_perf_engine's BM_Table1MacroPoint),
+// so its bare/off-overhead fields are omitted rather than reported as 0.
+// The "prof ovh" column is the profiler's enabled cost relative to the
+// telemetry-on baseline (the ≤ 5% gate); the profiler's DISABLED cost is
+// already inside "off ovh" — it is the same null-pointer branch in the
+// dispatch loop.
 //
-// Usage: bench_telemetry_overhead [--fast] [--json FILE]
-//   --fast : fewer events / shorter window for smoke runs.
-//   --json : additionally write machine-readable results to FILE.
+// Usage: bench_telemetry_overhead [--fast] [--json FILE] [--repeats N]
+//   --fast    : fewer events / shorter window for smoke runs.
+//   --json    : additionally write machine-readable results to FILE.
+//   --repeats : override the round count (default 3, --fast 2) — archived
+//               numbers on noisy hosts should use more.
 
 #include <algorithm>
 #include <chrono>
@@ -83,7 +93,8 @@ double bare_events_per_s(std::int64_t events, int repeats) {
   return best;
 }
 
-double self_scheduling_events_per_s(std::int64_t events, telemetry::Telemetry* tel, int repeats) {
+double self_scheduling_events_per_s(std::int64_t events, telemetry::Telemetry* tel, int repeats,
+                                    bool profiled = false) {
   double best = 0.0;
   for (int rep = 0; rep < repeats; ++rep) {
     telemetry::Counter* counter = nullptr;
@@ -92,27 +103,37 @@ double self_scheduling_events_per_s(std::int64_t events, telemetry::Telemetry* t
                                          "Self-scheduling tick count");
     }
     sim::Simulator simulator;
+    if (profiled && tel != nullptr && tel->profiler() != nullptr) {
+      tel->profiler()->attach(simulator);
+    }
     std::int64_t remaining = events;
     const auto start = std::chrono::steady_clock::now();
     simulator.schedule_in(Duration::micros(20), Tick{&simulator, &remaining, counter});
     simulator.run();
     const double elapsed = seconds_since(start);
+    if (profiled && tel != nullptr && tel->profiler() != nullptr) {
+      tel->profiler()->detach();  // frees the simulator for the next rep
+    }
     best = std::max(best, static_cast<double>(simulator.events_processed()) / elapsed);
   }
   return best;
 }
 
-double testbed_events_per_s(bool with_telemetry, Duration window, int repeats) {
+enum class Variant { kOff, kOn, kProf };
+
+double testbed_events_per_s(Variant variant, Duration window, int repeats) {
   double best = 0.0;
   for (int rep = 0; rep < repeats; ++rep) {
     // Fresh Telemetry per run, like run_testbed's contract demands; its
     // registration cost is part of what we measure.
-    telemetry::Telemetry tel;
+    telemetry::Config tel_cfg;
+    tel_cfg.profiling = variant == Variant::kProf;
+    telemetry::Telemetry tel{tel_cfg};
     exp::TestbedConfig config;
     config.scenario = loadgen::CallScenario::for_offered_load(200.0);
     config.scenario.placement_window = window;
     config.seed = 1;
-    if (with_telemetry) config.telemetry = &tel;
+    if (variant != Variant::kOff) config.telemetry = &tel;
     const auto start = std::chrono::steady_clock::now();
     const auto report = exp::run_testbed(config);
     const double elapsed = seconds_since(start);
@@ -126,11 +147,16 @@ struct Row {
   double bare_eps;  // 0 when no uninstrumented control exists for the workload
   double off_eps;
   double on_eps;
-  /// Disabled-path cost vs the uninstrumented control (the ISSUE gate).
+  double prof_eps;  // telemetry on + event-engine profiler counting
+  [[nodiscard]] bool has_bare() const { return bare_eps > 0.0; }
+  /// Disabled-path cost vs the uninstrumented control (the ≤ 2% gate).
+  /// Meaningless (and omitted from output) when no bare control exists.
   [[nodiscard]] double off_overhead_pct() const {
-    return bare_eps > 0.0 ? (1.0 - off_eps / bare_eps) * 100.0 : 0.0;
+    return has_bare() ? (1.0 - off_eps / bare_eps) * 100.0 : 0.0;
   }
   [[nodiscard]] double on_overhead_pct() const { return (1.0 - on_eps / off_eps) * 100.0; }
+  /// Profiler-enabled cost vs the telemetry-on baseline (the ≤ 5% gate).
+  [[nodiscard]] double prof_overhead_pct() const { return (1.0 - prof_eps / on_eps) * 100.0; }
 };
 
 }  // namespace
@@ -138,51 +164,81 @@ struct Row {
 int main(int argc, char** argv) {
   bool fast = false;
   std::string json_out;
+  int repeats_override = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       fast = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats_override = std::atoi(argv[++i]);
     }
   }
 
   const std::int64_t tick_events = fast ? 500'000 : 2'000'000;
   const Duration window = Duration::seconds(fast ? 15 : 45);
-  const int repeats = fast ? 2 : 3;
+  const int repeats = repeats_override > 0 ? repeats_override : (fast ? 2 : 3);
 
-  std::printf("== telemetry overhead (best of %d runs per variant) ==\n\n", repeats);
+  std::printf("== telemetry overhead (best of %d interleaved rounds per variant) ==\n\n", repeats);
 
   telemetry::Telemetry on;  // live registry for the micro workload
+  telemetry::Config prof_cfg;
+  prof_cfg.profiling = true;
+  telemetry::Telemetry prof{prof_cfg};  // live registry + event profiler
 
   Row rows[2] = {
-      {"self_scheduling",
-       bare_events_per_s(tick_events, repeats),
-       self_scheduling_events_per_s(tick_events, nullptr, repeats),
-       self_scheduling_events_per_s(tick_events, &on, repeats)},
+      {"self_scheduling", 0.0, 0.0, 0.0, 0.0},
       // For the macro workload the telemetry=nullptr run IS the disabled
       // path; the pre-instrumentation control lives in bench_perf_engine
-      // (BM_Table1MacroPoint) history.
-      {"table1_fast", 0.0,
-       testbed_events_per_s(false, window, repeats),
-       testbed_events_per_s(true, window, repeats)},
+      // (BM_Table1MacroPoint) history, so bare is absent here.
+      {"table1_fast", 0.0, 0.0, 0.0, 0.0},
   };
+  // Round-interleaved: each round measures every variant once, so host
+  // drift (thermal throttling, a noisy neighbour mid-run) lands on all
+  // variants rather than systematically penalizing whichever block runs
+  // last. Best-of across rounds then estimates each variant's unimpeded
+  // throughput.
+  for (int round = 0; round < repeats; ++round) {
+    rows[0].bare_eps = std::max(rows[0].bare_eps, bare_events_per_s(tick_events, 1));
+    rows[0].off_eps =
+        std::max(rows[0].off_eps, self_scheduling_events_per_s(tick_events, nullptr, 1));
+    rows[0].on_eps = std::max(rows[0].on_eps, self_scheduling_events_per_s(tick_events, &on, 1));
+    rows[0].prof_eps = std::max(
+        rows[0].prof_eps, self_scheduling_events_per_s(tick_events, &prof, 1, /*profiled=*/true));
+    rows[1].off_eps = std::max(rows[1].off_eps, testbed_events_per_s(Variant::kOff, window, 1));
+    rows[1].on_eps = std::max(rows[1].on_eps, testbed_events_per_s(Variant::kOn, window, 1));
+    rows[1].prof_eps = std::max(rows[1].prof_eps, testbed_events_per_s(Variant::kProf, window, 1));
+  }
 
-  std::printf("%-16s  %13s  %13s  %13s  %9s  %9s\n", "workload", "bare (ev/s)", "off (ev/s)",
-              "on (ev/s)", "off ovh", "on ovh");
+  std::printf("%-16s  %13s  %13s  %13s  %13s  %9s  %9s  %9s\n", "workload", "bare (ev/s)",
+              "off (ev/s)", "on (ev/s)", "prof (ev/s)", "off ovh", "on ovh", "prof ovh");
   for (const Row& row : rows) {
-    std::printf("%-16s  %13.0f  %13.0f  %13.0f  %8.2f%%  %8.2f%%\n", row.name, row.bare_eps,
-                row.off_eps, row.on_eps, row.off_overhead_pct(), row.on_overhead_pct());
+    const std::string bare =
+        row.has_bare() ? util::format("%13.0f", row.bare_eps) : util::format("%13s", "-");
+    const std::string off_ovh = row.has_bare()
+                                    ? util::format("%8.2f%%", row.off_overhead_pct())
+                                    : util::format("%9s", "-");
+    std::printf("%-16s  %s  %13.0f  %13.0f  %13.0f  %s  %8.2f%%  %8.2f%%\n", row.name,
+                bare.c_str(), row.off_eps, row.on_eps, row.prof_eps, off_ovh.c_str(),
+                row.on_overhead_pct(), row.prof_overhead_pct());
   }
 
   if (!json_out.empty()) {
     std::string out{"{\"benchmarks\":["};
     for (std::size_t i = 0; i < 2; ++i) {
       if (i != 0) out += ',';
+      out += pbxcap::util::format("{\"name\":\"%s\"", rows[i].name);
+      if (rows[i].has_bare()) {
+        // No bare control -> no bare/off-overhead fields (previously these
+        // were emitted as 0, which read as "zero measured overhead").
+        out += pbxcap::util::format(",\"bare_events_per_s\":%.0f,\"off_overhead_pct\":%.3f",
+                                    rows[i].bare_eps, rows[i].off_overhead_pct());
+      }
       out += pbxcap::util::format(
-          "{\"name\":\"%s\",\"bare_events_per_s\":%.0f,\"off_events_per_s\":%.0f,"
-          "\"on_events_per_s\":%.0f,\"off_overhead_pct\":%.3f,\"on_overhead_pct\":%.3f}",
-          rows[i].name, rows[i].bare_eps, rows[i].off_eps, rows[i].on_eps,
-          rows[i].off_overhead_pct(), rows[i].on_overhead_pct());
+          ",\"off_events_per_s\":%.0f,\"on_events_per_s\":%.0f,\"on_overhead_pct\":%.3f,"
+          "\"profiler_on_events_per_s\":%.0f,\"profiler_overhead_pct\":%.3f}",
+          rows[i].off_eps, rows[i].on_eps, rows[i].on_overhead_pct(), rows[i].prof_eps,
+          rows[i].prof_overhead_pct());
     }
     out += "]}\n";
     std::FILE* f = std::fopen(json_out.c_str(), "wb");

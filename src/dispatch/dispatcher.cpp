@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/profile.hpp"
+
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -49,6 +51,7 @@ Dispatcher::Dispatcher(std::string host, std::vector<BackendConfig> backends,
 void Dispatcher::start() {
   if (started_ || !config_.health.enabled) return;
   started_ = true;
+  const sim::CategoryScope cat_scope{transactions().simulator(), sim::Category::kDispatch};
   transactions().simulator().schedule_in(config_.health.probe_period, [this] { probe_tick(); });
 }
 
@@ -134,7 +137,24 @@ const std::string* Dispatcher::pick_excluding(const std::string* exclude) {
   }
   ++chosen->occupancy;
   ++chosen->calls_routed;
+  ++picks_total_;
   return &chosen->cfg.host;
+}
+
+std::uint32_t Dispatcher::open_circuits() const noexcept {
+  std::uint32_t n = 0;
+  for (const Backend& b : backends_) {
+    if (b.circuit != CircuitState::kClosed) ++n;
+  }
+  return n;
+}
+
+std::uint32_t Dispatcher::benched_backends(TimePoint now) const noexcept {
+  std::uint32_t n = 0;
+  for (const Backend& b : backends_) {
+    if (now < b.benched_until) ++n;
+  }
+  return n;
 }
 
 Dispatcher::Backend* Dispatcher::by_host(const std::string& host) {
@@ -183,6 +203,7 @@ void Dispatcher::probe_tick() {
     }
     if (!b.probe_pending) send_probe(i);
   }
+  const sim::CategoryScope cat_scope{transactions().simulator(), sim::Category::kDispatch};
   transactions().simulator().schedule_in(config_.health.probe_period, [this] { probe_tick(); });
 }
 
@@ -211,6 +232,7 @@ void Dispatcher::send_probe(std::size_t i) {
   // Dispatcher-side deadline, far shorter than SIP Timer F: no answer by
   // now + probe_timeout counts as a failure even though the transaction
   // keeps retransmitting underneath.
+  const sim::CategoryScope cat_scope{transactions().simulator(), sim::Category::kDispatch};
   transactions().simulator().schedule_in(config_.health.probe_timeout, [this, i, seq] {
     on_probe_result(i, seq, false);
   });

@@ -132,8 +132,14 @@ class Dispatcher final : public sip::SipEndpoint {
   [[nodiscard]] BackendStats backend_stats(std::size_t i) const;
   [[nodiscard]] CircuitState circuit(std::size_t i) const { return backends_[i].circuit; }
   [[nodiscard]] std::uint32_t occupancy(std::size_t i) const { return backends_[i].occupancy; }
+  /// pick()/repick() calls that claimed a backend slot.
+  [[nodiscard]] std::uint64_t picks_total() const noexcept { return picks_total_; }
   /// pick()/repick() calls that found no eligible backend.
   [[nodiscard]] std::uint64_t picks_rejected() const noexcept { return picks_rejected_; }
+  /// Backends whose circuit breaker is not closed right now.
+  [[nodiscard]] std::uint32_t open_circuits() const noexcept;
+  /// Backends sitting out a 503 Retry-After bench at `now`.
+  [[nodiscard]] std::uint32_t benched_backends(TimePoint now) const noexcept;
   [[nodiscard]] std::uint64_t probes_sent() const noexcept { return probes_sent_; }
   [[nodiscard]] std::uint64_t probe_failures() const noexcept { return probe_failures_; }
   [[nodiscard]] std::uint64_t circuit_opens() const noexcept { return circuit_opens_; }
@@ -174,6 +180,7 @@ class Dispatcher final : public sip::SipEndpoint {
   std::int64_t wrr_total_weight_{0};
   std::uint32_t rr_next_{0};  // rotation cursor (round-robin + tie-breaks)
   bool started_{false};
+  std::uint64_t picks_total_{0};
   std::uint64_t picks_rejected_{0};
   std::uint64_t probes_sent_{0};
   std::uint64_t probe_failures_{0};

@@ -129,12 +129,25 @@ ClusterResult run_cluster(const ClusterConfig& config) {
         sampler.add_gauge(util::format("dispatcher_occupancy_pbx%u", static_cast<unsigned>(i)),
                           [d, i] { return static_cast<double>(d->occupancy(i)); });
       }
+      // Routing-tier health per second: pick throughput, breaker state, and
+      // how much of the fleet is benched on 503 backoff.
+      sampler.add_rate("dispatch_picks_per_s",
+                       [d] { return static_cast<double>(d->picks_total()); });
+      sampler.add_gauge("dispatch_open_circuits",
+                        [d] { return static_cast<double>(d->open_circuits()); });
+      sampler.add_gauge("dispatch_benched_backends", [d, &simulator] {
+        return static_cast<double>(d->benched_backends(simulator.now()));
+      });
     }
     if (config.fluid.enabled) {
       fluid_engine.set_boundary_period(tel->config().sample_period);
       sampler.set_pre_sample_hook([&fluid_engine] { fluid_engine.flush_all(); });
     }
     sampler.start(simulator, tel->config().sample_period);
+    if (tel->profiler() != nullptr) {
+      tel->profiler()->attach(simulator);
+      tel->profiler()->start_series(tel->config().sample_period);
+    }
   }
 
   std::optional<fault::FaultInjector> injector;
@@ -146,6 +159,7 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     if (config.fluid.enabled) {
       injector->set_pre_apply([&fluid_engine] { fluid_engine.on_transient(); });
     }
+    if (tel != nullptr && tel->enabled()) injector->set_tracer(tel->tracer());
     injector->arm();
   }
 
@@ -154,7 +168,10 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   caller.start();
   simulator.run_until(TimePoint::at(run_horizon(config.scenario, config.drain)));
   caller.finalize_remaining();
-  if (tel != nullptr && tel->enabled()) tel->sampler().stop();
+  if (tel != nullptr && tel->enabled()) {
+    tel->sampler().stop();
+    if (tel->profiler() != nullptr) tel->profiler()->detach();
+  }
 
   for (auto& record : caller.log().records_mutable()) {
     if (const auto* q = receiver.finished(record.call_index)) {
@@ -242,6 +259,19 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     reg.counter("pbxcap_cluster_probes_total", {}, "Health probes sent").add(result.probes_sent);
     reg.counter("pbxcap_cluster_probe_failures_total", {}, "Health probes failed")
         .add(result.probe_failures);
+    if (dispatcher) {
+      reg.counter("pbxcap_dispatch_picks_total", {},
+                  "Successful backend picks (initial routes, retries, failovers)")
+          .add(dispatcher->picks_total());
+      reg.gauge("pbxcap_dispatch_benched_backends", {},
+                "Backends on 503 Retry-After backoff at run end")
+          .set(static_cast<double>(dispatcher->benched_backends(simulator.now())));
+      for (std::size_t i = 0; i < pbxs.size(); ++i) {
+        reg.gauge("pbxcap_dispatch_circuit_state", {{"backend", pbx_hosts[i]}},
+                  "Circuit-breaker state (0 closed, 1 open, 2 half-open)")
+            .set(static_cast<double>(dispatcher->circuit(i)));
+      }
+    }
   }
   return result;
 }

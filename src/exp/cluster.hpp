@@ -139,6 +139,17 @@ struct ClusterResult {
   unsigned shard_threads{0};            // worker count actually used
   std::uint64_t shard_rounds{0};        // barrier rounds executed
   std::uint64_t shard_clamped{0};       // messages raised to the causality bound
+
+  /// Per-shard event-attribution profiles of a sharded run with profiling
+  /// on (empty otherwise). Entry 0 is "hub"; entry 1+i is backend i's host.
+  /// Deterministic per seed for any thread count (wall timing excluded).
+  std::vector<telemetry::ShardProfile> shard_profiles;
+
+  /// One merged Chrome/Perfetto trace of a sharded run with tracing on
+  /// (empty otherwise): one trace process per shard, in shard order, so a
+  /// call's journey reads across processes. Byte-identical per seed for any
+  /// thread count.
+  std::string merged_trace;
 };
 
 [[nodiscard]] ClusterResult run_cluster(const ClusterConfig& config);

@@ -43,6 +43,7 @@
 #include "net/switch_node.hpp"
 #include "rtp/fluid.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/export.hpp"
 #include "util/strings.hpp"
 
 namespace pbxcap::exp {
@@ -149,9 +150,15 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
   const bool tel_on = tel != nullptr && tel->enabled();
   telemetry::Config backend_tel_cfg;
   backend_tel_cfg.enabled = tel_on;
-  backend_tel_cfg.tracing = false;  // span rings stay a hub-only feature
+  // Backend shards mirror the hub sink's tracing/profiling switches: their
+  // span rings become per-shard processes of the merged trace, and their
+  // profiles per-shard rows of the attribution export.
+  backend_tel_cfg.tracing = tel_on && tel->config().tracing;
+  backend_tel_cfg.trace_capacity = backend_tel_cfg.tracing ? tel->config().trace_capacity : 1;
+  backend_tel_cfg.profiling = tel_on && tel->config().profiling;
+  backend_tel_cfg.profile_sample_period =
+      tel_on ? tel->config().profile_sample_period : telemetry::Config{}.profile_sample_period;
   backend_tel_cfg.sample_period = tel_on ? tel->config().sample_period : Duration::seconds(1);
-  backend_tel_cfg.trace_capacity = 1;
 
   HubShard hub{std::move(hub_impairment), config.fluid};
   std::vector<std::unique_ptr<BackendShard>> backends;
@@ -251,12 +258,21 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
         sampler.add_gauge(util::format("dispatcher_occupancy_pbx%u", static_cast<unsigned>(i)),
                           [d, i] { return static_cast<double>(d->occupancy(i)); });
       }
+      // Routing-tier health per second (mirrors run_cluster's columns).
+      sampler.add_rate("dispatch_picks_per_s",
+                       [d] { return static_cast<double>(d->picks_total()); });
+      sampler.add_gauge("dispatch_open_circuits",
+                        [d] { return static_cast<double>(d->open_circuits()); });
+      sampler.add_gauge("dispatch_benched_backends", [d, &hub] {
+        return static_cast<double>(d->benched_backends(hub.sim.now()));
+      });
     }
     if (config.fluid.enabled) {
       hub.fluid.set_boundary_period(tel->config().sample_period);
       sampler.set_pre_sample_hook([&hub] { hub.fluid.flush_all(); });
     }
     sampler.start(hub.sim, tel->config().sample_period);
+    if (tel->profiler() != nullptr) tel->profiler()->attach(hub.sim);
 
     for (std::size_t i = 0; i < fleet.size(); ++i) {
       BackendShard& be = *backends[i];
@@ -266,6 +282,7 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
           util::format("active_channels_pbx%u", static_cast<unsigned>(i)),
           [pbx] { return static_cast<double>(pbx->channels().in_use()); });
       be.telemetry.sampler().start(be.sim, tel->config().sample_period);
+      if (be.telemetry.profiler() != nullptr) be.telemetry.profiler()->attach(be.sim);
     }
   }
 
@@ -281,11 +298,13 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
     if (config.fluid.enabled) {
       hub.injector->set_pre_apply([&hub] { hub.fluid.on_transient(); });
     }
+    if (tel_on) hub.injector->set_tracer(tel->tracer());
     hub.injector->arm();
 
     BackendShard& be = *backends[fb];
     be.injector.emplace(be.sim, *config.faults,
                         fault::FaultTargets{nullptr, nullptr, be.uplink, be.pbx.get()});
+    be.injector->set_tracer(be.telemetry.tracer());
     be.injector->arm();
   }
 
@@ -355,6 +374,12 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
   if (tel_on) {
     tel->sampler().stop();
     for (auto& be : backends) be->telemetry.sampler().stop();
+  }
+  if (tel_on && tel->profiler() != nullptr) tel->profiler()->detach();
+  if (tel_on) {
+    for (auto& be : backends) {
+      if (be->telemetry.profiler() != nullptr) be->telemetry.profiler()->detach();
+    }
   }
 
   // ---- epilogue (single-threaded, same shape as run_cluster's) ----
@@ -449,6 +474,41 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
     reg.counter("pbxcap_cluster_probes_total", {}, "Health probes sent").add(result.probes_sent);
     reg.counter("pbxcap_cluster_probe_failures_total", {}, "Health probes failed")
         .add(result.probe_failures);
+    if (hub.dispatcher) {
+      reg.counter("pbxcap_dispatch_picks_total", {},
+                  "Successful backend picks (initial routes, retries, failovers)")
+          .add(hub.dispatcher->picks_total());
+      reg.gauge("pbxcap_dispatch_benched_backends", {},
+                "Backends on 503 Retry-After backoff at run end")
+          .set(static_cast<double>(hub.dispatcher->benched_backends(hub.sim.now())));
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        reg.gauge("pbxcap_dispatch_circuit_state", {{"backend", pbx_hosts[i]}},
+                  "Circuit-breaker state (0 closed, 1 open, 2 half-open)")
+            .set(static_cast<double>(hub.dispatcher->circuit(i)));
+      }
+    }
+
+    // Per-shard event attribution: hub first, then backends in shard order,
+    // so the export (and the hub-share headline) is thread-count invariant.
+    if (tel->profiler() != nullptr) {
+      result.shard_profiles.push_back({"hub", tel->profiler()->snapshot()});
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        result.shard_profiles.push_back(
+            {pbx_hosts[i], backends[i]->telemetry.profiler()->snapshot()});
+      }
+    }
+
+    // One Perfetto trace for the whole cluster: process 1 = hub, process
+    // 2+i = backend i. A failed-over call reads left to right across the
+    // hub's journey track and both backends' transaction tracks.
+    if (tel->tracer() != nullptr) {
+      std::vector<telemetry::TraceProcess> processes;
+      processes.push_back({"hub", tel->tracer()});
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        processes.push_back({pbx_hosts[i], backends[i]->telemetry.tracer()});
+      }
+      result.merged_trace = telemetry::to_chrome_trace_merged(processes);
+    }
   }
 
   result.shard_threads = exec.workers();

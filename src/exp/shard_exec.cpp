@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "exp/parallel.hpp"
+#include "sim/profile.hpp"
 
 namespace pbxcap::exp {
 
@@ -172,6 +173,7 @@ bool ShardExecutor::drain_all() {
       any = true;
       std::vector<sim::ShardMessage> messages = channel.drain();
       stats_[dst].messages_in += messages.size();
+      const sim::CategoryScope cat_scope{*sims_[dst], sim::Category::kShardMailbox};
       for (sim::ShardMessage& msg : messages) {
         sims_[dst]->schedule_at(TimePoint::at(Duration::nanos(msg.at_ns)),
                                 std::move(msg.deliver));

@@ -123,6 +123,10 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
       sampler.set_pre_sample_hook([&fluid_engine] { fluid_engine.flush_all(); });
     }
     sampler.start(simulator, period);
+    if (tel->profiler() != nullptr) {
+      tel->profiler()->attach(simulator);
+      tel->profiler()->start_series(period);  // Chrome counter-track source
+    }
   }
 
   std::optional<fault::FaultInjector> injector;
@@ -132,6 +136,7 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
     if (fluid_on) {
       injector->set_pre_apply([&fluid_engine] { fluid_engine.on_transient(); });
     }
+    if (tel != nullptr && tel->enabled()) injector->set_tracer(tel->tracer());
     injector->arm();
   }
 
@@ -142,6 +147,7 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
 
   if (tel != nullptr && tel->enabled()) {
     tel->sampler().stop();  // cancel the pending tick before the sim dies
+    if (tel->profiler() != nullptr) tel->profiler()->detach();
     // Mirror the NIC-tap message census and ring drop counts into the
     // registry so one Prometheus snapshot carries the full picture.
     auto& reg = tel->registry();

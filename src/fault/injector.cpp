@@ -1,7 +1,9 @@
 #include "fault/injector.hpp"
 
 #include "net/link.hpp"
+#include "sim/profile.hpp"
 #include "pbx/asterisk_pbx.hpp"
+#include "telemetry/span.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -10,9 +12,15 @@ namespace pbxcap::fault {
 FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan, FaultTargets targets)
     : simulator_{simulator}, plan_{std::move(plan)}, targets_{targets} {}
 
+void FaultInjector::set_tracer(telemetry::SpanTracer* tracer) {
+  tracer_ = tracer;
+  fault_track_ = tracer_ == nullptr ? 0 : tracer_->track_id("faults");
+}
+
 void FaultInjector::arm() {
   if (armed_) return;
   armed_ = true;
+  const sim::CategoryScope cat_scope{simulator_, sim::Category::kFault};
   for (std::size_t i = 0; i < plan_.events().size(); ++i) {
     const auto fire = [this, i] { apply(plan_.events()[i]); };
     static_assert(sim::Callback::stores_inline<decltype(fire)>());
@@ -53,6 +61,10 @@ void FaultInjector::apply(const FaultEvent& event) {
       break;
   }
   ++applied_;
+  if (tracer_ != nullptr) {
+    tracer_->instant(tracer_->name_id(std::string{"fault."} + to_string(event.kind)),
+                     fault_track_, simulator_.now());
+  }
   util::log_debug("fault", util::format("t=%.3fs applied %s", simulator_.now().to_seconds(),
                                         to_string(event.kind)));
 }

@@ -18,6 +18,9 @@ class Link;
 namespace pbxcap::pbx {
 class AsteriskPbx;
 }
+namespace pbxcap::telemetry {
+class SpanTracer;
+}
 
 namespace pbxcap::fault {
 
@@ -45,6 +48,12 @@ class FaultInjector {
   /// go through Link::apply_impairment's own listener).
   void set_pre_apply(std::function<void()> hook) { pre_apply_ = std::move(hook); }
 
+  /// Optional call-journey tracing: every applied fault lands as an instant
+  /// event ("fault.link" / "fault.stall" / "fault.crash") on a shared
+  /// "faults" track, so failure causes line up visually with the calls they
+  /// disrupt. Set before arm(); nullptr (the default) records nothing.
+  void set_tracer(telemetry::SpanTracer* tracer);
+
   [[nodiscard]] std::uint64_t events_applied() const noexcept { return applied_; }
   [[nodiscard]] std::uint64_t events_skipped() const noexcept { return skipped_; }
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
@@ -56,6 +65,8 @@ class FaultInjector {
   FaultPlan plan_;
   FaultTargets targets_;
   std::function<void()> pre_apply_;
+  telemetry::SpanTracer* tracer_{nullptr};
+  std::uint64_t fault_track_{0};
   bool armed_{false};
   std::uint64_t applied_{0};
   std::uint64_t skipped_{0};

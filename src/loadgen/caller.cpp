@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dispatch/dispatcher.hpp"
+#include "sim/profile.hpp"
 #include "loadgen/receiver.hpp"  // call_index_of_user
 #include "media/emodel.hpp"
 #include "rtp/fluid.hpp"
@@ -46,7 +47,18 @@ void SipCaller::set_telemetry(telemetry::Telemetry* tel) {
   tm_offered_ = tm_completed_ = tm_blocked_ = tm_failed_ = tm_abandoned_ = tm_retried_ =
       tm_rtp_sent_ = nullptr;
   tm_setup_delay_ms_ = tm_mos_ = nullptr;
+  tracer_ = nullptr;
   if (tel == nullptr || !tel->enabled()) return;
+  tracer_ = tel->tracer();
+  if (tracer_ != nullptr) {
+    jn_pick_ = tracer_->name_id("dispatch.pick");
+    jn_repick_ = tracer_->name_id("dispatch.repick");
+    jn_reject_ = tracer_->name_id("dispatch.reject");
+    jn_bench_ = tracer_->name_id("dispatch.bench");
+    jn_timeout_ = tracer_->name_id("invite.timeout");
+    jn_failover_ = tracer_->name_id("dispatch.failover");
+    jn_setup_ = tracer_->name_id("call.setup");
+  }
   auto& reg = tel->registry();
   tm_offered_ = &reg.counter("pbxcap_caller_calls_offered_total", {},
                              "Calls placed by the load generator");
@@ -91,6 +103,7 @@ void SipCaller::schedule_next_arrival() {
     if (rate <= 0.0) return;  // every user busy; resumes on user_became_idle()
   }
   const Duration gap = Duration::from_seconds(rng_.exponential(1.0 / rate));
+  const sim::CategoryScope cat_scope{network()->simulator(), sim::Category::kLoadgen};
   arrival_timer_ = network()->simulator().schedule_in(gap, [this] {
     if (network()->simulator().now() < TimePoint::at(scenario_.placement_window)) {
       place_call();
@@ -126,6 +139,13 @@ void SipCaller::place_call() {
   call->local_ssrc = ssrcs_.allocate();
   call->rx = rtp::RtpReceiverStats{scenario_.codec.sample_rate_hz};
   call->jbuf = rtp::JitterBuffer{scenario_.codec, scenario_.jitter_buffer};
+  if (tracer_ != nullptr) {
+    // One track per call: every routing decision, attempt, and media
+    // segment of this call's journey lands on the same Perfetto row.
+    call->journey = tracer_->track_id(
+        util::format("call-%llu", static_cast<unsigned long long>(index)));
+    call->setup_span = tracer_->begin(jn_setup_, call->journey, call->offered_at);
+  }
 
   if (dispatcher_ != nullptr) {
     const std::string* host = dispatcher_->pick();
@@ -133,11 +153,13 @@ void SipCaller::place_call() {
       // Every backend ejected or benched: the dispatcher's own 503. The
       // attempt is recorded as blocked without any INVITE hitting the wire.
       ++dispatch_rejected_;
+      journey_instant(*call, jn_reject_);
       calls_.emplace(index, std::move(call));
       finish(index, monitor::CallOutcome::kBlocked);
       return;
     }
     call->pbx_host = *host;
+    journey_instant(*call, jn_pick_, &call->pbx_host);
   } else {
     call->pbx_host = pbx_hosts_[static_cast<std::size_t>(index) % pbx_hosts_.size()];
   }
@@ -188,6 +210,7 @@ void SipCaller::schedule_retry(std::uint64_t index, Duration delay) {
   ++call->attempt;
   ++retries_;
   if (tm_retried_ != nullptr) tm_retried_->add();
+  const sim::CategoryScope cat_scope{network()->simulator(), sim::Category::kLoadgen};
   call->retry_timer = network()->simulator().schedule_in(delay, [this, index] {
     Call* c = find(index);
     if (c == nullptr) return;
@@ -205,12 +228,14 @@ bool SipCaller::reroute_for_retry(Call& call) {
     const std::string* host = dispatcher_->repick(call.pbx_host);
     if (host == nullptr) {
       ++dispatch_rejected_;
+      journey_instant(call, jn_reject_);
       call.pbx_host.clear();  // slot already released; finish() must not re-release
       finish(call.index, monitor::CallOutcome::kBlocked);
       return false;
     }
     if (*host != call.pbx_host) ++retries_rerouted_;
     call.pbx_host = *host;
+    journey_instant(call, jn_repick_, &call.pbx_host);
     return true;
   }
   if (pbx_hosts_.size() > 1) {
@@ -231,6 +256,13 @@ SipCaller::Call* SipCaller::find(std::uint64_t index) {
   return it == calls_.end() ? nullptr : it->second.get();
 }
 
+void SipCaller::journey_instant(Call& call, std::uint32_t name, const std::string* detail) {
+  if (tracer_ == nullptr || call.journey == 0) return;
+  tracer_->instant(name, call.journey, network()->simulator().now(),
+                   detail == nullptr ? telemetry::SpanTracer::kNoDetail
+                                     : tracer_->name_id(*detail));
+}
+
 void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
   Call* call = find(index);
   if (call == nullptr) return;
@@ -241,6 +273,10 @@ void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
     if (dispatcher_ != nullptr) dispatcher_->on_call_admitted(call->pbx_host);
     call->answered = true;
     call->answered_at = network()->simulator().now();
+    if (tracer_ != nullptr && call->setup_span != 0) {
+      tracer_->end(call->setup_span, call->answered_at);
+      call->setup_span = 0;
+    }
     call->dialog = sip::Dialog::from_uac(call->invite, resp);
     send_stateless_to(call->dialog.make_ack(), call->pbx_host);
     if (const auto answer = Sdp::parse(resp.body())) {
@@ -248,6 +284,7 @@ void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
       if (call->remote_ssrc != 0) by_remote_ssrc_[call->remote_ssrc] = call;
     }
     start_media(*call);
+    const sim::CategoryScope cat_scope{network()->simulator(), sim::Category::kLoadgen};
     call->bye_timer =
         network()->simulator().schedule_in(call->hold, [this, index] { send_bye(index); });
     return;
@@ -263,7 +300,10 @@ void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
     }
     // Feed the dispatcher's per-backend backoff state: a Retry-After-bearing
     // 503 benches this backend so the next arrivals steer around it.
-    if (dispatcher_ != nullptr) dispatcher_->on_reject_503(call->pbx_host, retry_after);
+    if (dispatcher_ != nullptr) {
+      dispatcher_->on_reject_503(call->pbx_host, retry_after);
+      journey_instant(*call, jn_bench_, &call->pbx_host);
+    }
   }
 
   // 503 with retry budget left: back off exponentially and re-attempt,
@@ -291,6 +331,7 @@ void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
 void SipCaller::on_invite_timeout(std::uint64_t index) {
   Call* call = find(index);
   if (call == nullptr) return;
+  journey_instant(*call, jn_timeout_, call->pbx_host.empty() ? nullptr : &call->pbx_host);
   if (dispatcher_ != nullptr && !call->pbx_host.empty()) {
     // Strong down-signal: Timer B fired with no response at all. Tell the
     // circuit breaker, then fail the attempt over to a surviving backend —
@@ -307,6 +348,7 @@ void SipCaller::on_invite_timeout(std::uint64_t index) {
         if (*host != call->pbx_host) ++retries_rerouted_;
         if (tm_retried_ != nullptr) tm_retried_->add();
         call->pbx_host = *host;
+        journey_instant(*call, jn_failover_, &call->pbx_host);
         send_invite(*call);
         return;
       }
@@ -330,6 +372,7 @@ void SipCaller::start_media(Call& call) {
         send(std::move(pkt));
       });
   call.sender->set_packet_counter(tm_rtp_sent_);
+  if (tracer_ != nullptr && call.journey != 0) call.sender->set_tracer(tracer_, call.journey);
   if (fluid_engine_ != nullptr) {
     call.sender->set_fluid(
         fluid_engine_,
@@ -397,6 +440,10 @@ void SipCaller::finish(std::uint64_t index, monitor::CallOutcome outcome) {
   const auto it = calls_.find(index);
   if (it == calls_.end()) return;
   Call& call = *it->second;
+  if (tracer_ != nullptr && call.setup_span != 0) {
+    tracer_->end(call.setup_span, network()->simulator().now());
+    call.setup_span = 0;
+  }
 
   switch (outcome) {
     case monitor::CallOutcome::kCompleted:

@@ -21,6 +21,7 @@
 #include "sip/dialog.hpp"
 #include "sip/endpoint.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/span.hpp"
 
 namespace pbxcap::dispatch {
 class Dispatcher;
@@ -107,6 +108,8 @@ class SipCaller final : public sip::SipEndpoint {
     std::uint32_t attempt{1};        // INVITEs sent for this call so far
     sim::EventId retry_timer{0};     // pending 503 backoff, 0 when none
     std::uint32_t population_user{0};  // finite mode: which user placed it
+    std::uint64_t journey{0};        // span track for this call's journey
+    telemetry::SpanTracer::SpanId setup_span{0};
   };
 
   void schedule_next_arrival();
@@ -150,7 +153,18 @@ class SipCaller final : public sip::SipEndpoint {
   bool started_{false};
   bool window_closed_{false};
 
+  /// Records an instant on `call`'s journey track; no-op without tracing.
+  void journey_instant(Call& call, std::uint32_t name, const std::string* detail = nullptr);
+
   // Telemetry handles; null when telemetry is absent or disabled.
+  telemetry::SpanTracer* tracer_{nullptr};
+  std::uint32_t jn_pick_{0};
+  std::uint32_t jn_repick_{0};
+  std::uint32_t jn_reject_{0};
+  std::uint32_t jn_bench_{0};
+  std::uint32_t jn_timeout_{0};
+  std::uint32_t jn_failover_{0};
+  std::uint32_t jn_setup_{0};
   telemetry::Counter* tm_offered_{nullptr};
   telemetry::Counter* tm_completed_{nullptr};
   telemetry::Counter* tm_blocked_{nullptr};

@@ -1,6 +1,7 @@
 #include "loadgen/receiver.hpp"
 
 #include "media/emodel.hpp"
+#include "sim/profile.hpp"
 #include "rtp/fluid.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -49,6 +50,7 @@ void SipReceiver::handle_invite(const Message& req, sip::ServerTransaction& txn)
   txn.respond(ringing);
   if (scenario_.answer_delay > Duration::zero()) {
     // Keep the assigned tag so 180 and 200 agree.
+    const sim::CategoryScope cat_scope{network()->simulator(), sim::Category::kLoadgen};
     network()->simulator().schedule_in(
         scenario_.answer_delay,
         [this, req, &txn, tag = ringing.to().tag]() mutable {
@@ -113,7 +115,9 @@ void SipReceiver::answer(const Message& invite, sip::ServerTransaction& txn) {
 void SipReceiver::set_telemetry(telemetry::Telemetry* tel) {
   sip::SipEndpoint::set_telemetry(tel);
   tm_answered_ = tm_rtp_sent_ = nullptr;
+  tracer_ = nullptr;
   if (tel == nullptr || !tel->enabled()) return;
+  tracer_ = tel->tracer();
   auto& reg = tel->registry();
   tm_answered_ = &reg.counter("pbxcap_receiver_calls_answered_total", {},
                               "Calls answered by the receiver host");
@@ -141,6 +145,13 @@ void SipReceiver::start_media(Session& session) {
         send(std::move(pkt));
       });
   session.sender->set_packet_counter(tm_rtp_sent_);
+  if (tracer_ != nullptr) {
+    // Same track key as the caller side: in single-process runs both media
+    // directions stack on the call's journey row.
+    session.sender->set_tracer(
+        tracer_, tracer_->track_id(util::format(
+                     "call-%llu", static_cast<unsigned long long>(session.call_index))));
+  }
   if (fluid_engine_ != nullptr) {
     session.sender->set_fluid(
         fluid_engine_,

@@ -96,6 +96,7 @@ class SipReceiver final : public sip::SipEndpoint {
   sim::Random rtcp_rng_{0xACE5};
 
   // Telemetry handles; null when telemetry is absent or disabled.
+  telemetry::SpanTracer* tracer_{nullptr};
   telemetry::Counter* tm_answered_{nullptr};
   telemetry::Counter* tm_rtp_sent_{nullptr};
 };

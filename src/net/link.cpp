@@ -4,8 +4,24 @@
 #include <stdexcept>
 
 #include "net/network.hpp"
+#include "sim/profile.hpp"
 
 namespace pbxcap::net {
+namespace {
+
+/// Profiling category for a packet's wire events: signalling vs media.
+/// kOther keeps the scheduler's inherited category.
+std::uint8_t wire_category(const Packet& pkt, const sim::Simulator& sim) noexcept {
+  switch (pkt.kind) {
+    case PacketKind::kSip: return sim::category_id(sim::Category::kSip);
+    case PacketKind::kRtp:
+    case PacketKind::kRtcp: return sim::category_id(sim::Category::kRtpPacket);
+    case PacketKind::kOther: break;
+  }
+  return sim.category();
+}
+
+}  // namespace
 
 Link::Link(Network& network, NodeId a, NodeId b, const LinkConfig& config)
     : network_{network}, a_{a}, b_{b}, config_{config} {
@@ -141,6 +157,10 @@ void Link::transmit(NodeId from, Packet pkt) {
   }
 
   const TimePoint delivery = serialized + config_.propagation + extra;
+  // Wire events (backlog drain + delivery) are attributed by packet kind, so
+  // the profiler splits link traffic into signalling vs media regardless of
+  // which subsystem's callback sent the packet.
+  const sim::Simulator::CategoryScope cat_scope{sim, wire_category(pkt, sim)};
   auto drain = [this, from] { --direction_from(from).backlog; };
   static_assert(sim::Callback::stores_inline<decltype(drain)>(),
                 "backlog drain closure must stay on the allocation-free SBO path");

@@ -4,6 +4,7 @@
 
 #include "net/link.hpp"
 #include "net/network.hpp"
+#include "sim/profile.hpp"
 
 namespace pbxcap::net {
 
@@ -75,6 +76,11 @@ void WifiCell::on_receive(const Packet& pkt) {
   const bool lost = config_.frame_error_rate > 0.0 &&
                     network()->impairment_rng().chance(config_.frame_error_rate);
 
+  // Radio occupancy events are attributed like wire events: by packet kind.
+  const sim::Simulator::CategoryScope cat_scope{
+      sim, pkt.kind == PacketKind::kSip ? sim::category_id(sim::Category::kSip)
+           : pkt.kind == PacketKind::kOther ? sim.category()
+                                            : sim::category_id(sim::Category::kRtpPacket)};
   sim.schedule_at(medium_busy_until_, [this, out, pkt, lost] {
     if (backlog_ > 0) --backlog_;
     if (lost) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/profile.hpp"
+
 #include "rtp/packet.hpp"
 #include "rtp/rtcp.hpp"
 #include "util/log.hpp"
@@ -90,6 +92,7 @@ void AsteriskPbx::on_receive(const net::Packet& pkt) {
       auto deferred = [this, pkt] { on_receive(pkt); };
       static_assert(sim::Callback::stores_inline<decltype(deferred)>(),
                     "stall deferral closure must stay on the allocation-free SBO path");
+      const sim::CategoryScope cat_scope{network()->simulator(), sim::Category::kPbx};
       network()->simulator().schedule_at(stall_until_, std::move(deferred));
     } else {
       rtp_dropped_stall_ += pkt.batch;  // the relay thread is wedged; media overruns
@@ -169,6 +172,7 @@ void AsteriskPbx::enqueue_sip(const net::Packet& pkt) {
   };
   static_assert(sim::Callback::stores_inline<decltype(service)>(),
                 "SIP service closure must stay on the allocation-free SBO path");
+  const sim::CategoryScope cat_scope{sim, sim::Category::kPbx};
   sim.schedule_at(sip_busy_until_, std::move(service));
 }
 
@@ -285,6 +289,7 @@ void AsteriskPbx::handle_invite(const Message& req, sip::ServerTransaction& txn)
     admit_invite(req, txn);
   };
   if (config_.auth_lookup_latency && directory_.lookup_latency() > Duration::zero()) {
+    const sim::CategoryScope cat_scope{network()->simulator(), sim::Category::kPbx};
     network()->simulator().schedule_in(directory_.lookup_latency(), proceed);
   } else {
     proceed();
@@ -479,6 +484,7 @@ void AsteriskPbx::enqueue_call(const Message& req, sip::ServerTransaction& txn,
   txn.respond(queued_resp);
 
   QueuedCall* raw = queued.get();
+  const sim::CategoryScope cat_scope{network()->simulator(), sim::Category::kPbx};
   queued->timeout_event =
       network()->simulator().schedule_in(config_.queue_timeout, [this, raw] {
         if (!raw->live) return;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/profile.hpp"
+
 #include "rtp/stream.hpp"
 
 namespace pbxcap::rtp {
@@ -30,6 +32,7 @@ void FluidEngine::stop() {
 
 void FluidEngine::arm_segment() {
   if (!config_.enabled || config_.max_segment <= Duration::zero()) return;
+  const sim::CategoryScope cat_scope{simulator_, sim::Category::kRtpFluidFlush};
   segment_event_ = simulator_.schedule_in(config_.max_segment, [this] {
     flush_all();
     arm_segment();
@@ -45,6 +48,7 @@ void FluidEngine::arm_boundary() {
   const std::int64_t k = (simulator_.now().ns() + guard) / period + 1;
   const TimePoint fire = TimePoint::at(Duration::nanos(k * period - guard));
   const TimePoint boundary = TimePoint::at(Duration::nanos(k * period));
+  const sim::CategoryScope cat_scope{simulator_, sim::Category::kRtpFluidFlush};
   boundary_event_ = simulator_.schedule_at(fire, [this, boundary] {
     suspend_until(boundary);
     arm_boundary();

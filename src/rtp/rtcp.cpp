@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/profile.hpp"
+
 namespace pbxcap::rtp {
 
 std::uint32_t rtcp_wire_bytes(bool has_report_block) noexcept {
@@ -44,6 +46,7 @@ void RtcpSession::schedule_next() {
   if (config_.randomize) factor = rng_.uniform(0.5, 1.5);
   const Duration gap =
       Duration::from_seconds(config_.min_interval.to_seconds() * factor);
+  const sim::CategoryScope cat_scope{simulator_, sim::Category::kRtpPacket};
   timer_ = simulator_.schedule_in(gap, [this] {
     emit_report();
     schedule_next();

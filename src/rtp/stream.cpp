@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "rtp/fluid.hpp"
+#include "sim/profile.hpp"
 
 namespace pbxcap::rtp {
 
@@ -15,6 +16,7 @@ RtpSender::~RtpSender() { stop(); }
 void RtpSender::start() {
   if (running_) return;
   running_ = true;
+  begin_segment(/*fluid=*/false);
   emit_one(/*first=*/true);
 }
 
@@ -32,11 +34,33 @@ void RtpSender::stop() {
     simulator_.cancel(next_event_);
     next_event_ = 0;
   }
+  end_segment();
 }
 
 void RtpSender::set_fluid(FluidEngine* engine, BatchEmitFn batch_emit) {
   fluid_ = engine;
   batch_emit_ = std::move(batch_emit);
+}
+
+void RtpSender::set_tracer(telemetry::SpanTracer* tracer, std::uint64_t track) {
+  tracer_ = tracer;
+  trace_track_ = track;
+  if (tracer_ != nullptr) {
+    seg_packet_name_ = tracer_->name_id("media.packet");
+    seg_fluid_name_ = tracer_->name_id("media.fluid");
+  }
+}
+
+void RtpSender::begin_segment(bool fluid) {
+  if (tracer_ == nullptr) return;
+  seg_span_ = tracer_->begin(fluid ? seg_fluid_name_ : seg_packet_name_, trace_track_,
+                             simulator_.now());
+}
+
+void RtpSender::end_segment() {
+  if (tracer_ == nullptr || seg_span_ == 0) return;
+  tracer_->end(seg_span_, simulator_.now());
+  seg_span_ = 0;
 }
 
 void RtpSender::emit_one(bool first) {
@@ -59,6 +83,10 @@ void RtpSender::emit_one(bool first) {
     fluid_active_ = true;
     next_due_ = simulator_.now() + codec_.packet_interval();
     next_event_ = 0;
+    if (tracer_ != nullptr) {
+      end_segment();
+      begin_segment(/*fluid=*/true);
+    }
     return;
   }
   auto tick = [this] { emit_one(false); };
@@ -66,6 +94,7 @@ void RtpSender::emit_one(bool first) {
   // (~3M events per operating point); it must never touch the allocator.
   static_assert(sim::Callback::stores_inline<decltype(tick)>(),
                 "RTP pacing tick must stay on the allocation-free SBO path");
+  const sim::CategoryScope cat_scope{simulator_, sim::Category::kRtpPacket};
   next_event_ = simulator_.schedule_in(codec_.packet_interval(), std::move(tick));
 }
 
@@ -100,9 +129,14 @@ void RtpSender::exit_fluid() {
   if (!fluid_active_) return;
   fluid_active_ = false;
   if (!running_) return;
+  if (tracer_ != nullptr) {
+    end_segment();
+    begin_segment(/*fluid=*/false);
+  }
   auto tick = [this] { emit_one(false); };
   static_assert(sim::Callback::stores_inline<decltype(tick)>(),
                 "RTP pacing tick must stay on the allocation-free SBO path");
+  const sim::CategoryScope cat_scope{simulator_, sim::Category::kRtpPacket};
   next_event_ = simulator_.schedule_at(next_due_, std::move(tick));
 }
 

@@ -15,6 +15,7 @@
 #include "rtp/packet.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/time.hpp"
 
 namespace pbxcap::rtp {
@@ -54,6 +55,11 @@ class RtpSender {
   /// emitter; the engine decides per-tick whether the stream may coast.
   void set_fluid(FluidEngine* engine, BatchEmitFn batch_emit);
 
+  /// Optional call-journey tracing: per-packet and fluid media segments are
+  /// recorded as distinct slices ("media.packet" / "media.fluid") on
+  /// `track`. Set before start(); nullptr (the default) records nothing.
+  void set_tracer(telemetry::SpanTracer* tracer, std::uint64_t track);
+
   /// True while the stream is coasting (no pacing ticks scheduled).
   [[nodiscard]] bool fluid_active() const noexcept { return fluid_active_; }
   /// Departure time of the next pending packet while coasting.
@@ -76,6 +82,8 @@ class RtpSender {
 
  private:
   void emit_one(bool first);
+  void begin_segment(bool fluid);
+  void end_segment();
 
   sim::Simulator& simulator_;
   Codec codec_;
@@ -92,6 +100,11 @@ class RtpSender {
   TimePoint hold_until_{};
   sim::EventId next_event_{0};
   telemetry::Counter* packet_counter_{nullptr};
+  telemetry::SpanTracer* tracer_{nullptr};
+  std::uint64_t trace_track_{0};
+  std::uint32_t seg_packet_name_{0};
+  std::uint32_t seg_fluid_name_{0};
+  telemetry::SpanTracer::SpanId seg_span_{0};
 };
 
 /// Per-stream receiver statistics (RFC 3550 §6.4.1 / A.8).

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "sim/profile.hpp"
 
 namespace pbxcap::sim {
 
@@ -163,6 +166,24 @@ bool Simulator::fire_next_general(std::int64_t horizon_ns) {
   }
   finish_fire(at, idx);
   return true;
+}
+
+void Simulator::invoke_profiled(Node& node) {
+  ExecProfile& prof = *profile_;
+  static_assert((ExecProfile::kMaxCategories & (ExecProfile::kMaxCategories - 1)) == 0,
+                "category mask below requires a power-of-two table");
+  const auto cat = static_cast<std::uint8_t>(node.cat & (ExecProfile::kMaxCategories - 1));
+  current_cat_ = cat;  // events the callback schedules inherit its category
+  const std::uint64_t fired = ++prof.counts[cat];
+  if ((fired & prof.sample_mask) != 0) [[likely]] {
+    node.cb.invoke_and_reset();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  node.cb.invoke_and_reset();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  prof.record_sample(cat, ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
 }
 
 const Simulator::WheelItem* Simulator::wheel_peek() {

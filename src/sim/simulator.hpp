@@ -48,6 +48,8 @@
 
 namespace pbxcap::sim {
 
+struct ExecProfile;  // sim/profile.hpp; the kernel only holds a pointer
+
 /// Opaque handle for cancelling a scheduled event. Zero is never issued.
 /// Encodes (generation << 32 | node index); stale handles — fired, cancelled,
 /// or from a recycled slot — are recognized and rejected by cancel().
@@ -129,6 +131,40 @@ class Simulator {
   /// Requests the loop to stop after the currently executing event.
   void stop() noexcept { stopped_ = true; }
 
+  // --- event-category profiling (see sim/profile.hpp) -----------------------
+  //
+  // Every scheduled event carries a one-byte category id stamped from
+  // `current_cat_` at scheduling time, so events scheduled from inside a
+  // firing callback inherit that event's category; subsystem roots override
+  // it with CategoryScope around their schedule calls. With no profile
+  // attached the fire path pays one predictable branch and categories are
+  // stamped but never read.
+
+  /// Attaches (or detaches, with nullptr) the profile fires are counted into.
+  void set_profile(ExecProfile* profile) noexcept { profile_ = profile; }
+  [[nodiscard]] ExecProfile* profile() const noexcept { return profile_; }
+
+  /// Category stamped onto subsequently scheduled events. Prefer
+  /// CategoryScope; the raw setter exists for the scope and for tests.
+  void set_category(std::uint8_t cat) noexcept { current_cat_ = cat; }
+  [[nodiscard]] std::uint8_t category() const noexcept { return current_cat_; }
+
+  /// RAII category override around a group of schedule calls.
+  class CategoryScope {
+   public:
+    CategoryScope(Simulator& simulator, std::uint8_t cat) noexcept
+        : sim_{simulator}, prev_{simulator.category()} {
+      sim_.set_category(cat);
+    }
+    CategoryScope(const CategoryScope&) = delete;
+    CategoryScope& operator=(const CategoryScope&) = delete;
+    ~CategoryScope() { sim_.set_category(prev_); }
+
+   private:
+    Simulator& sim_;
+    std::uint8_t prev_;
+  };
+
  private:
   // Where a live node currently resides.
   enum class Loc : std::uint8_t {
@@ -144,6 +180,7 @@ class Simulator {
     std::uint32_t gen{1};  // bumped on every free; validates EventIds
     Loc loc{Loc::kFree};
     std::uint8_t slot{0};  // wheel slot (physical) for kWheel0/kWheel1
+    std::uint8_t cat{0};   // profiling category (sim/profile.hpp); fits padding
     std::uint32_t pos{0};  // index within heap_ or the wheel slot vector
   };
 
@@ -197,6 +234,9 @@ class Simulator {
   bool fire_next_general(std::int64_t horizon_ns);
   /// Pop bookkeeping done: runs the node's callback at time `at`.
   void finish_fire(std::int64_t at, std::uint32_t idx);
+  /// finish_fire's callback invocation with a profile attached: counts the
+  /// category and brackets every sample_period-th callback with clock reads.
+  void invoke_profiled(Node& node);
 
   /// Slow scheduling path: level-1 placement, window resync, far-future heap.
   EventId schedule_far(std::int64_t at_ns, std::uint64_t seq, std::uint32_t idx);
@@ -272,6 +312,8 @@ class Simulator {
   std::int64_t next1_{1};
 
   TimePoint now_{};
+  ExecProfile* profile_{nullptr};
+  std::uint8_t current_cat_{0};
   std::uint64_t next_seq_{1};
   std::uint64_t scheduled_{0};
   std::uint64_t processed_{0};
@@ -343,6 +385,7 @@ inline EventId Simulator::place(std::int64_t at_ns, std::uint32_t idx) {
   const std::uint64_t seq = next_seq_++;
   ++scheduled_;
   Node& node = node_at(idx);
+  node.cat = current_cat_;  // category inheritance: one store into a hot line
   const EventId id = (static_cast<EventId>(node.gen) << 32) | idx;
 
   const std::int64_t abs0 = at_ns >> kSlotBits0;
@@ -380,7 +423,11 @@ inline void Simulator::finish_fire(std::int64_t at, std::uint32_t idx) {
   // Chunk storage is stable, so the callback runs where it lives; the node
   // rejoins the free list only after it returns, so events it schedules
   // cannot claim the slot out from under it.
-  node.cb.invoke_and_reset();
+  if (profile_ == nullptr) [[likely]] {
+    node.cb.invoke_and_reset();
+  } else {
+    invoke_profiled(node);
+  }
   push_free(idx);
 }
 

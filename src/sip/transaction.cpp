@@ -1,6 +1,8 @@
 #include "sip/transaction.hpp"
 
 #include <algorithm>
+
+#include "sim/profile.hpp"
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -161,6 +163,7 @@ void ClientTransaction::start() {
   // timer-wheel fast path (T1 = 500 ms sits inside the level-1 window).
   static_assert(sim::Callback::stores_inline<decltype(rearm)>(),
                 "SIP timer closures must stay on the allocation-free SBO path");
+  const sim::CategoryScope cat_scope{sim, sim::Category::kSip};
   retransmit_timer_ = sim.schedule_in(retransmit_interval_, std::move(rearm));
   const Duration overall =
       method() == Method::kInvite ? layer_.timers().timer_b() : layer_.timers().timer_f();
@@ -188,6 +191,7 @@ void ClientTransaction::retransmit() {
     // Timer E doubles capped at T2.
     retransmit_interval_ = std::min(retransmit_interval_ * 2, layer_.timers().t2);
   }
+  const sim::CategoryScope cat_scope{layer_.simulator(), sim::Category::kSip};
   retransmit_timer_ = layer_.simulator().schedule_in(retransmit_interval_, [this] { retransmit(); });
 }
 
@@ -251,6 +255,7 @@ void ClientTransaction::handle_response(const Message& response) {
     state_ = State::kCompleted;
     layer_.simulator().cancel(retransmit_timer_);
     layer_.simulator().cancel(timeout_timer_);
+    const sim::CategoryScope cat_scope{layer_.simulator(), sim::Category::kSip};
     timeout_timer_ =
         layer_.simulator().schedule_in(layer_.timers().timer_d(), [this] { terminate(); });
     return;
@@ -260,6 +265,7 @@ void ClientTransaction::handle_response(const Message& response) {
     state_ = State::kCompleted;
     layer_.simulator().cancel(retransmit_timer_);
     layer_.simulator().cancel(timeout_timer_);
+    const sim::CategoryScope cat_scope{layer_.simulator(), sim::Category::kSip};
     timeout_timer_ = layer_.simulator().schedule_in(layer_.timers().t4, [this] { terminate(); });
     return;
   }
@@ -275,6 +281,7 @@ void ClientTransaction::terminate() {
   const std::string key = TransactionLayer::client_key(branch_, method());
   // Deferred removal: destroying *this synchronously would free the frame
   // the caller is still executing in.
+  const sim::CategoryScope cat_scope{layer_.simulator(), sim::Category::kSip};
   layer_.simulator().schedule_in(Duration::zero(), [&layer = layer_, key] {
     layer.remove_client(key);
   });
@@ -321,6 +328,7 @@ void ServerTransaction::respond(const Message& response) {
     }
     // Non-2xx final: timer G retransmits until ACK; timer H gives up.
     state_ = State::kCompleted;
+    const sim::CategoryScope cat_scope{layer_.simulator(), sim::Category::kSip};
     retransmit_timer_ =
         layer_.simulator().schedule_in(retransmit_interval_, [this] { retransmit_response(); });
     timeout_timer_ =
@@ -329,8 +337,11 @@ void ServerTransaction::respond(const Message& response) {
   }
   // Non-INVITE final: timer J absorbs request retransmissions.
   state_ = State::kCompleted;
-  timeout_timer_ =
-      layer_.simulator().schedule_in(layer_.timers().timer_f(), [this] { terminate(); });
+  {
+    const sim::CategoryScope cat_scope{layer_.simulator(), sim::Category::kSip};
+    timeout_timer_ =
+        layer_.simulator().schedule_in(layer_.timers().timer_f(), [this] { terminate(); });
+  }
 }
 
 void ServerTransaction::retransmit_response() {
@@ -339,6 +350,7 @@ void ServerTransaction::retransmit_response() {
   layer_.transport().send_sip(*last_response_, peer_);
   retransmit_interval_ = retransmit_interval_ * 2;
   if (retransmit_interval_ > layer_.timers().t2) retransmit_interval_ = layer_.timers().t2;
+  const sim::CategoryScope cat_scope{layer_.simulator(), sim::Category::kSip};
   retransmit_timer_ =
       layer_.simulator().schedule_in(retransmit_interval_, [this] { retransmit_response(); });
 }
@@ -357,6 +369,7 @@ void ServerTransaction::handle_ack() {
   state_ = State::kConfirmed;
   layer_.simulator().cancel(retransmit_timer_);
   layer_.simulator().cancel(timeout_timer_);
+  const sim::CategoryScope cat_scope{layer_.simulator(), sim::Category::kSip};
   timeout_timer_ = layer_.simulator().schedule_in(layer_.timers().t4, [this] { terminate(); });
 }
 
@@ -366,6 +379,7 @@ void ServerTransaction::terminate() {
   layer_.simulator().cancel(retransmit_timer_);
   layer_.simulator().cancel(timeout_timer_);
   const std::string key = branch_ + ":" + std::string{to_string(method_)};
+  const sim::CategoryScope cat_scope{layer_.simulator(), sim::Category::kSip};
   layer_.simulator().schedule_in(Duration::zero(), [&layer = layer_, key] {
     layer.remove_server(key);
   });

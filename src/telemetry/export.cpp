@@ -166,22 +166,66 @@ std::string to_json(const MetricsRegistry& registry) {
   return out;
 }
 
-std::string to_chrome_trace(const SpanTracer& tracer) {
-  std::string out{"{\"traceEvents\":[\n"};
-  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"pbxcap\"}}";
+namespace {
+
+/// Appends one process's metadata + span events. `first` tracks whether a
+/// leading comma is needed (the caller opened the traceEvents array).
+void append_process_events(std::string& out, const SpanTracer& tracer, unsigned pid,
+                           const std::string& process_name, bool& first) {
+  const auto sep = [&]() -> const char* { return first ? (first = false, "") : ",\n"; };
+  out += sep();
+  out += util::format("{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+                      "\"args\":{\"name\":\"%s\"}}",
+                      pid, escaped(process_name).c_str());
   const auto& tracks = tracer.track_keys();
   for (std::size_t i = 0; i < tracks.size(); ++i) {
-    out += util::format(",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,\"name\":\"thread_name\","
+    out += util::format(",\n{\"ph\":\"M\",\"pid\":%u,\"tid\":%llu,\"name\":\"thread_name\","
                         "\"args\":{\"name\":\"%s\"}}",
-                        static_cast<unsigned long long>(i + 1), escaped(tracks[i]).c_str());
+                        pid, static_cast<unsigned long long>(i + 1),
+                        escaped(tracks[i]).c_str());
   }
   for (const auto& span : tracer.spans()) {
     if (span.end_ns < span.start_ns) continue;  // never ended; not exportable
-    out += util::format(
-        ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
-        static_cast<unsigned long long>(span.track),
-        escaped(tracer.name_of(span.name)).c_str(), static_cast<double>(span.start_ns) / 1e3,
-        static_cast<double>(span.end_ns - span.start_ns) / 1e3);
+    if (span.kind == SpanTracer::Kind::kInstant) {
+      out += util::format(",\n{\"ph\":\"i\",\"pid\":%u,\"tid\":%llu,\"name\":\"%s\","
+                          "\"ts\":%.3f,\"s\":\"t\"",
+                          pid, static_cast<unsigned long long>(span.track),
+                          escaped(tracer.name_of(span.name)).c_str(),
+                          static_cast<double>(span.start_ns) / 1e3);
+    } else {
+      out += util::format(",\n{\"ph\":\"X\",\"pid\":%u,\"tid\":%llu,\"name\":\"%s\","
+                          "\"ts\":%.3f,\"dur\":%.3f",
+                          pid, static_cast<unsigned long long>(span.track),
+                          escaped(tracer.name_of(span.name)).c_str(),
+                          static_cast<double>(span.start_ns) / 1e3,
+                          static_cast<double>(span.end_ns - span.start_ns) / 1e3);
+    }
+    if (span.detail != SpanTracer::kNoDetail) {
+      out += util::format(",\"args\":{\"detail\":\"%s\"}",
+                          escaped(tracer.name_of(span.detail)).c_str());
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const SpanTracer& tracer) {
+  std::string out{"{\"traceEvents\":[\n"};
+  bool first = true;
+  append_process_events(out, tracer, 1, "pbxcap", first);
+  out += "\n]}\n";
+  return out;
+}
+
+std::string to_chrome_trace_merged(const std::vector<TraceProcess>& processes) {
+  std::string out{"{\"traceEvents\":[\n"};
+  bool first = true;
+  unsigned pid = 0;
+  for (const TraceProcess& process : processes) {
+    ++pid;
+    if (process.tracer == nullptr) continue;
+    append_process_events(out, *process.tracer, pid, process.name, first);
   }
   out += "\n]}\n";
   return out;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
@@ -24,8 +25,21 @@ namespace pbxcap::telemetry {
 /// {"metrics":[{"name":...,"kind":...,"labels":{...},"value":...}]}
 [[nodiscard]] std::string to_json(const MetricsRegistry& registry);
 
-/// Chrome trace-event JSON: "X" complete events (ph/ts/dur/pid/tid/name)
-/// plus process/thread name metadata. Open-ended spans are omitted.
+/// Chrome trace-event JSON: "X" complete events (ph/ts/dur/pid/tid/name) and
+/// "i" instants, plus process/thread name metadata. Spans with an interned
+/// detail string carry it as an args entry. Open-ended spans are omitted.
 [[nodiscard]] std::string to_chrome_trace(const SpanTracer& tracer);
+
+/// One Perfetto process of a merged multi-shard trace.
+struct TraceProcess {
+  std::string name;          // process_name metadata (e.g. "hub", "pbx-3")
+  const SpanTracer* tracer;  // may be null: the process is skipped
+};
+
+/// Merged Chrome trace: one Perfetto process per entry (pid = index + 1),
+/// each with its own thread (track) namespace. Processes are emitted in the
+/// given order, so passing shards in shard order yields byte-identical
+/// output for any worker count.
+[[nodiscard]] std::string to_chrome_trace_merged(const std::vector<TraceProcess>& processes);
 
 }  // namespace pbxcap::telemetry

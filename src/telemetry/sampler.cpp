@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/profile.hpp"
+
 #include "util/strings.hpp"
 
 namespace pbxcap::telemetry {
@@ -26,6 +28,7 @@ void TimeSeriesSampler::start(sim::Simulator& simulator, Duration period) {
   for (auto& column : columns_) {
     if (column.rate) column.last = column.probe();
   }
+  const sim::CategoryScope cat_scope{*simulator_, sim::Category::kTimerWheel};
   tick_event_ = simulator_->schedule_in(period_, [this] { tick(); });
 }
 
@@ -47,6 +50,7 @@ void TimeSeriesSampler::tick() {
       column.values.push_back(v);
     }
   }
+  const sim::CategoryScope cat_scope{*simulator_, sim::Category::kTimerWheel};
   tick_event_ = simulator_->schedule_in(period_, [this] { tick(); });
 }
 

@@ -25,15 +25,31 @@ std::uint64_t SpanTracer::track_id(std::string_view key) {
   return id;
 }
 
-SpanTracer::SpanId SpanTracer::begin(std::uint32_t name, std::uint64_t track, TimePoint at) {
+SpanTracer::SpanId SpanTracer::begin(std::uint32_t name, std::uint64_t track, TimePoint at,
+                                     std::uint32_t detail) {
   Span& slot = ring_[seq_ % ring_.size()];
   slot.name = name;
+  slot.detail = detail;
   slot.track = track;
   slot.start_ns = at.ns();
   slot.end_ns = -1;
   slot.seq = seq_;
+  slot.kind = Kind::kSlice;
   ++seq_;
   return seq_;  // id = seq of this span + 1, never 0
+}
+
+void SpanTracer::instant(std::uint32_t name, std::uint64_t track, TimePoint at,
+                         std::uint32_t detail) {
+  Span& slot = ring_[seq_ % ring_.size()];
+  slot.name = name;
+  slot.detail = detail;
+  slot.track = track;
+  slot.start_ns = at.ns();
+  slot.end_ns = at.ns();  // closed at birth: always exportable
+  slot.seq = seq_;
+  slot.kind = Kind::kInstant;
+  ++seq_;
 }
 
 void SpanTracer::end(SpanId id, TimePoint at) {

@@ -24,12 +24,22 @@ class SpanTracer {
   /// so call sites need no branching when tracing never began a span.
   using SpanId = std::uint64_t;
 
+  /// Sentinel for "no detail string" (0 is a valid interned name id).
+  static constexpr std::uint32_t kNoDetail = 0xffffffffu;
+
+  enum class Kind : std::uint8_t {
+    kSlice,    // duration span: Perfetto "X" complete event
+    kInstant,  // zero-duration marker: Perfetto "i" instant event
+  };
+
   struct Span {
     std::uint32_t name{0};       // interned name id
+    std::uint32_t detail{kNoDetail};  // interned arg string, or kNoDetail
     std::uint64_t track{0};      // interned track id (1-based)
     std::int64_t start_ns{0};
     std::int64_t end_ns{-1};     // -1 while open; unended spans are not exported
     std::uint64_t seq{0};        // global sequence; validates SpanIds after wrap
+    Kind kind{Kind::kSlice};
   };
 
   explicit SpanTracer(std::size_t capacity = 1u << 16);
@@ -40,8 +50,14 @@ class SpanTracer {
   /// thread name. Ids are assigned sequentially from 1 in first-seen order.
   [[nodiscard]] std::uint64_t track_id(std::string_view key);
 
-  [[nodiscard]] SpanId begin(std::uint32_t name, std::uint64_t track, TimePoint at);
+  [[nodiscard]] SpanId begin(std::uint32_t name, std::uint64_t track, TimePoint at,
+                             std::uint32_t detail = kNoDetail);
   void end(SpanId id, TimePoint at);
+
+  /// Records a zero-duration marker (dispatcher pick, fault firing). The
+  /// optional detail is an interned string surfaced as a trace-event arg.
+  void instant(std::uint32_t name, std::uint64_t track, TimePoint at,
+               std::uint32_t detail = kNoDetail);
 
   /// Total spans begun, including overwritten ones.
   [[nodiscard]] std::uint64_t recorded() const noexcept { return seq_; }

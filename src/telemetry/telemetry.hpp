@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/span.hpp"
 #include "util/time.hpp"
@@ -22,8 +23,13 @@ struct Config {
   bool enabled{true};
   /// Span tracing can be switched off independently (the ring costs memory).
   bool tracing{true};
+  /// Event-engine profiling (per-category counts + sampled latency) is off
+  /// by default: even one increment per fire is measurable at 50M ev/s.
+  bool profiling{false};
   Duration sample_period{Duration::seconds(1)};
   std::size_t trace_capacity{1u << 16};
+  // Wall-clock every Nth fire of a category (rounded up to a power of two).
+  std::uint32_t profile_sample_period{sim::ExecProfile::kDefaultSamplePeriod};
 };
 
 class Telemetry {
@@ -32,7 +38,10 @@ class Telemetry {
       : config_{config},
         tracer_{config.enabled && config.tracing
                     ? std::make_unique<SpanTracer>(config.trace_capacity)
-                    : nullptr} {}
+                    : nullptr},
+        profiler_{config.enabled && config.profiling
+                      ? std::make_unique<Profiler>(config.profile_sample_period)
+                      : nullptr} {}
 
   [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -43,12 +52,16 @@ class Telemetry {
   /// Null when tracing (or telemetry entirely) is disabled.
   [[nodiscard]] SpanTracer* tracer() noexcept { return tracer_.get(); }
   [[nodiscard]] const SpanTracer* tracer() const noexcept { return tracer_.get(); }
+  /// Null when profiling (or telemetry entirely) is disabled.
+  [[nodiscard]] Profiler* profiler() noexcept { return profiler_.get(); }
+  [[nodiscard]] const Profiler* profiler() const noexcept { return profiler_.get(); }
 
  private:
   Config config_;
   MetricsRegistry registry_;
   TimeSeriesSampler sampler_;
   std::unique_ptr<SpanTracer> tracer_;
+  std::unique_ptr<Profiler> profiler_;
 };
 
 }  // namespace pbxcap::telemetry

@@ -95,12 +95,16 @@ fi
 
 # Sharded-executor scaling: same-seed runs at 1/2/4/8 worker threads
 # (determinism gate — a divergence fails this script), wall time / speedup
-# per worker count, plus the 50-backend dispatcher fleet point. Speedup is a
-# property of the host: single-core CI runners record an honest <= 1x.
+# per worker count, plus the 50-backend dispatcher fleet point run with the
+# event-engine profiler at every worker count. The fleet's per-shard
+# attribution JSON (byte-identical across worker counts; the hub-share
+# evidence) is archived alongside. Speedup is a property of the host:
+# single-core CI runners record an honest <= 1x.
 ss_bench="${build_dir}/bench/bench_cluster_scaling"
 ss_out="BENCH_shard_scaling.json"
+ss_attr_out="BENCH_shard_attribution.json"
 if [[ -x "${ss_bench}" ]]; then
-  "${ss_bench}" --shards --fast --json "${ss_out}" > /dev/null
+  "${ss_bench}" --shards --fast --json "${ss_out}" --attr-json "${ss_attr_out}" > /dev/null
   echo "wrote ${ss_out}"
 else
   echo "warning: ${ss_bench} not built; skipping shard scaling" >&2

@@ -11,10 +11,13 @@
 //   pbxcap dimension <calls/h> <min> <Pb>      busy-hour channel plan
 //   pbxcap mos <loss%> <delay_ms> [codec]      E-model MOS estimate
 //   pbxcap simulate <A> [options]              packet-level testbed run
+//   pbxcap profile [A] [options]               event-engine profile of a run
 //
 // simulate options: --channels N, --seed S, --window S, --hold S, --wifi,
 //                   --codec NAME, --rtcp, --metrics-out F, --series-out F,
 //                   --trace-out F
+// profile options:  --channels N, --seed S, --window S, --top N, --timing,
+//                   --json-out F, --counters-out F
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +34,7 @@
 #include "media/emodel.hpp"
 #include "rtp/codec.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -51,7 +55,10 @@ int usage() {
                "  pbxcap simulate <A> [--channels N] [--seed S] [--window S] "
                "[--hold S] [--codec NAME] [--wifi] [--rtcp]\n"
                "                      [--metrics-out F(.prom|.json)] [--series-out F.csv] "
-               "[--trace-out F.json]\n");
+               "[--trace-out F.json]\n"
+               "  pbxcap profile [A] [--channels N] [--seed S] [--window S] [--top N] "
+               "[--timing]\n"
+               "                     [--json-out F.json] [--counters-out F.json]\n");
   return 2;
 }
 
@@ -259,6 +266,73 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_profile(const std::vector<std::string>& args) {
+  exp::TestbedConfig config;
+  std::size_t first_flag = 0;
+  double offered = 100.0;
+  if (!args.empty() && args[0][0] != '-') {
+    offered = std::atof(args[0].c_str());
+    first_flag = 1;
+  }
+  config.scenario = loadgen::CallScenario::for_offered_load(offered);
+  std::size_t top_n = 10;
+  bool timing = false;
+  std::string json_out, counters_out;
+  for (std::size_t i = first_flag; i < args.size(); ++i) {
+    const auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (args[i] == "--channels") {
+      config.pbx.max_channels = static_cast<std::uint32_t>(std::atoi(next("--channels").c_str()));
+    } else if (args[i] == "--seed") {
+      config.seed = static_cast<std::uint64_t>(std::atoll(next("--seed").c_str()));
+    } else if (args[i] == "--window") {
+      config.scenario.placement_window =
+          Duration::from_seconds(std::atof(next("--window").c_str()));
+    } else if (args[i] == "--top") {
+      top_n = static_cast<std::size_t>(std::atoi(next("--top").c_str()));
+    } else if (args[i] == "--timing") {
+      timing = true;
+    } else if (args[i] == "--json-out") {
+      json_out = next("--json-out");
+    } else if (args[i] == "--counters-out") {
+      counters_out = next("--counters-out");
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+
+  telemetry::Config tel_config;
+  tel_config.tracing = false;
+  tel_config.profiling = true;
+  telemetry::Telemetry tel{tel_config};
+  config.telemetry = &tel;
+
+  std::printf("profiling A = %.1f E (window %.0f s, N = %u, seed %llu)...\n",
+              config.scenario.offered_erlangs(),
+              config.scenario.placement_window.to_seconds(), config.pbx.max_channels,
+              (unsigned long long)config.seed);
+  (void)exp::run_testbed(config);
+
+  const telemetry::ProfileData data = tel.profiler()->snapshot();
+  std::printf("%s", telemetry::top_table(data, top_n).c_str());
+  bool exports_ok = true;
+  if (!json_out.empty()) {
+    exports_ok = write_file(json_out, telemetry::to_json(data, timing)) && exports_ok;
+  }
+  if (!counters_out.empty()) {
+    exports_ok =
+        write_file(counters_out, telemetry::to_chrome_counter_trace(*tel.profiler())) &&
+        exports_ok;
+  }
+  return exports_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,5 +346,6 @@ int main(int argc, char** argv) {
   if (cmd == "dimension") return cmd_dimension(args);
   if (cmd == "mos") return cmd_mos(args);
   if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "profile") return cmd_profile(args);
   return usage();
 }
