@@ -1,0 +1,77 @@
+#include "core/erlang_a.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pbxcap::erlang {
+
+ErlangAResult erlang_a(Erlangs a, std::uint32_t n, Duration mean_hold, Duration mean_patience) {
+  const double load = a.value();
+  if (load < 0.0 || !std::isfinite(load)) {
+    throw std::invalid_argument{"erlang_a: offered traffic must be finite and non-negative"};
+  }
+  if (n == 0) throw std::invalid_argument{"erlang_a: need at least one agent"};
+  const double h = mean_hold.to_seconds();
+  const double p = mean_patience.to_seconds();
+  if (h <= 0.0 || p <= 0.0) {
+    throw std::invalid_argument{"erlang_a: mean hold and patience must be positive"};
+  }
+  ErlangAResult result;
+  if (load == 0.0) return result;
+
+  // Rates. Absolute time scale cancels out of every probability, so work in
+  // units of mu = 1: lambda = a, theta = h / p.
+  const double lambda = load;
+  const double theta = h / p;
+  const double nn = static_cast<double>(n);
+
+  // Unnormalised stationary weights x_j, renormalised on the fly whenever
+  // they grow large so heavy overloads (big pre-n ramp) cannot overflow.
+  double x = 1.0;            // x_j for the current j
+  double norm = 0.0;         // sum of x_j so far
+  double busy_weighted = 0.0;  // sum of min(j, n) x_j  -> mean busy agents
+  double wait_weight = 0.0;  // sum over j >= n of x_j
+  double queue_weighted = 0.0;  // sum over j > n of (j - n) x_j
+
+  const auto rescale = [&](double by) {
+    x /= by;
+    norm /= by;
+    busy_weighted /= by;
+    wait_weight /= by;
+    queue_weighted /= by;
+  };
+
+  std::uint64_t j = 0;
+  while (true) {
+    norm += x;
+    busy_weighted += std::min(static_cast<double>(j), nn) * x;
+    if (j >= n) {
+      wait_weight += x;
+      queue_weighted += static_cast<double>(j - n) * x;
+    }
+    // Past the agent boundary the death rate n + (j - n) theta grows without
+    // bound while the birth rate is fixed, so the tail decays faster than
+    // geometrically: stop once it cannot move any accumulator.
+    if (j >= n && x < norm * 1e-16) break;
+    const double down = std::min(static_cast<double>(j) + 1.0, nn) +
+                        std::max(static_cast<double>(j) + 1.0 - nn, 0.0) * theta;
+    x *= lambda / down;
+    ++j;
+    if (x > 1e250) rescale(1e250);
+    if (j > 100'000'000) {
+      throw std::runtime_error{"erlang_a: stationary distribution did not converge"};
+    }
+  }
+
+  const double p_wait = wait_weight / norm;
+  const double mean_queue = queue_weighted / norm;
+  result.wait_probability = p_wait;
+  result.mean_queue_length = mean_queue;
+  result.abandon_probability = std::min(1.0, theta * mean_queue / lambda);
+  // E[W] in mu = 1 units is E[Q] / lambda holds; scale back to seconds.
+  result.mean_wait = Duration::from_seconds(mean_queue / lambda * h);
+  result.agent_occupancy = busy_weighted / norm / nn;
+  return result;
+}
+
+}  // namespace pbxcap::erlang

@@ -1,0 +1,42 @@
+// Erlang-A abandonment model (Palm's M/M/N+M queue).
+//
+// Extends the Erlang-C delay system with exponentially impatient callers:
+// each waiting caller abandons after an Exp(theta) patience, theta = 1 /
+// mean_patience. Unlike Erlang-C the system is stable for any offered load
+// (abandonment self-limits the queue), which is exactly what makes it the
+// right analytic bracket for the ACD sweep's rho > 1 points.
+//
+// Solved exactly from the birth-death stationary distribution:
+//   up-rate    lambda                     (Poisson arrivals)
+//   down-rate  min(j, n) * mu + max(j - n, 0) * theta
+// with the standard steady-state identities
+//   P(wait)    = sum_{j >= n} pi_j                    (PASTA)
+//   E[Q]       = sum_{j > n} (j - n) pi_j
+//   P(abandon) = theta * E[Q] / lambda                (flow balance)
+//   E[W]       = E[Q] / lambda                        (Little, all arrivals)
+#pragma once
+
+#include <cstdint>
+
+#include "core/traffic.hpp"
+#include "util/time.hpp"
+
+namespace pbxcap::erlang {
+
+/// Steady-state quantities of the M/M/N+M system.
+struct ErlangAResult {
+  double wait_probability{0.0};     // arriving call finds all N agents busy
+  double abandon_probability{0.0};  // arriving call reneges before service
+  Duration mean_wait{};             // E[W] over ALL arrivals (served + abandoned)
+  double mean_queue_length{0.0};    // E[Q], callers waiting (excl. in service)
+  double agent_occupancy{0.0};      // mean busy agents / N
+};
+
+/// Evaluates the Erlang-A model for offered load `a` = lambda * mean_hold on
+/// `n` agents with exponential patience of the given mean. Throws
+/// std::invalid_argument for non-finite/negative load, n == 0, or
+/// non-positive hold/patience (use erlang_c for infinitely patient callers).
+[[nodiscard]] ErlangAResult erlang_a(Erlangs a, std::uint32_t n, Duration mean_hold,
+                                     Duration mean_patience);
+
+}  // namespace pbxcap::erlang

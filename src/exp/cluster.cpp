@@ -51,6 +51,9 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     pbx_config.max_channels = fleet[i].channels;
     pbx_config.sip_service = config.sip_service;
     pbx_config.overload = config.overload;
+    pbx_config.acd = config.acd;
+    // Independent patience streams per backend, deterministic in i only.
+    pbx_config.acd.seed = config.acd.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
     pbxs.push_back(std::make_unique<pbx::AsteriskPbx>(pbx_config, simulator, resolver));
     pbx_hosts.push_back(pbx_config.host);
     backend_configs.push_back(
@@ -74,6 +77,7 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     pbx_links.push_back(&network.connect(*pbx, lan_switch, {}));
     pbx->bind();
     pbx->dialplan().add("recv-", receiver.sip_host());
+    pbx->dialplan().add("queue-", receiver.sip_host());
   }
 
   rtp::FluidEngine fluid_engine{simulator, config.fluid};

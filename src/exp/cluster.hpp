@@ -64,6 +64,12 @@ struct ClusterConfig {
   pbx::SipServiceConfig sip_service{};
   pbx::OverloadControlConfig overload{};
 
+  /// ACD queues, replicated on every backend (each backend runs its own
+  /// agent pool; the patience RNG seed is re-mixed per backend so shards
+  /// stay deterministic at any worker count). Pair with scenario.acd to
+  /// route a fraction of the offered calls at the queues.
+  pbx::AcdConfig acd{};
+
   /// Hybrid fluid/packet media engine (off by default: exact per-packet
   /// simulation). Enables the 100k+ concurrent-call scaling points in
   /// bench_cluster_scaling.

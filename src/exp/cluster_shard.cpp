@@ -235,11 +235,16 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
     pbx_config.max_channels = fleet[i].channels;
     pbx_config.sip_service = config.sip_service;
     pbx_config.overload = config.overload;
+    pbx_config.acd = config.acd;
+    // Same per-backend seed mix as the monolithic run: shard results must be
+    // byte-identical to it (and to themselves at any worker count).
+    pbx_config.acd.seed = config.acd.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
     be.pbx = std::make_unique<pbx::AsteriskPbx>(pbx_config, be.sim, be.resolver);
     be.net.attach(*be.pbx);
     be.uplink = &be.net.connect(*be.pbx, be.to_switch, cross_cfg);
     be.pbx->bind();
     be.pbx->dialplan().add("recv-", hub.receiver->sip_host());
+    be.pbx->dialplan().add("queue-", hub.receiver->sip_host());
 
     be.sip_capture = std::make_unique<monitor::SipCapture>(be.pbx->id());
     be.rtp_capture = std::make_unique<monitor::RtpCapture>(be.pbx->id());

@@ -75,6 +75,26 @@ monitor::ExperimentReport build_report(const loadgen::CallScenario& scenario, st
       report.sip_retransmissions += pbx.transactions().total_retransmissions();
       report.overload_rejections += pbx.overload_rejections();
       report.sip_queue_dropped += pbx.sip_queue_dropped();
+      const pbx::AcdSubsystem& acd = pbx.acd();
+      if (acd.enabled()) {
+        for (std::size_t qi = 0; qi < acd.queue_count(); ++qi) {
+          const pbx::AcdQueueStats& qs = acd.stats(qi);
+          report.acd.offered += qs.offered;
+          report.acd.queued += qs.queued;
+          report.acd.served += qs.served;
+          report.acd.abandoned += qs.abandoned;
+          report.acd.timed_out += qs.timed_out;
+          report.acd.voicemail += qs.voicemail;
+          report.acd.blocked_full += qs.blocked_full;
+          report.acd.announcements += qs.announcements;
+          report.acd.serve_retries += qs.serve_retries;
+          report.acd.serve_failures += qs.serve_failures;
+          report.acd.wait_s.merge(qs.wait_s);
+          report.acd.wait_served_s.merge(qs.wait_served_s);
+          report.acd.busy_agent_s += qs.busy_agent_s;
+          report.acd.agents += static_cast<std::uint32_t>(acd.agent_count(qi));
+        }
+      }
     }
     if (backend.sip != nullptr) {
       const monitor::SipCapture& sip = *backend.sip;

@@ -66,8 +66,10 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
     receiver.set_fluid_engine(&fluid_engine);
   }
 
-  // Dialplan: every recv-* extension terminates on the SIP server host.
+  // Dialplan: every recv-* extension terminates on the SIP server host, and
+  // so do the agent legs of ACD calls (the receiver plays every agent).
   pbx.dialplan().add("recv-", receiver.sip_host());
+  pbx.dialplan().add("queue-", receiver.sip_host());
   pbx.directory().allow_prefix("caller-");
 
   monitor::SipCapture sip_capture{pbx.id()};
@@ -114,6 +116,10 @@ monitor::ExperimentReport run_testbed(const TestbedConfig& config, WifiObservati
     if (config.pbx.sip_service.enabled) {
       sampler.add_gauge("sip_queue_depth",
                         [&pbx] { return static_cast<double>(pbx.sip_backlog()); });
+    }
+    if (config.pbx.acd.enabled) {
+      sampler.add_gauge("acd_queue_depth",
+                        [&pbx] { return static_cast<double>(pbx.acd().total_depth()); });
     }
     if (fluid_on) {
       // Streams leave fluid mode `boundary_guard` before each tick so the

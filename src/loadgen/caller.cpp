@@ -137,6 +137,13 @@ void SipCaller::place_call() {
   call->hold = draw_hold_time(rng_, scenario_.hold_model, scenario_.hold_time, scenario_.hold_cv);
   call->codec = scenario_.codec;
   call->local_ssrc = ssrcs_.allocate();
+  // ACD traffic class. Draw only when mixing (fraction in (0,1)): default
+  // single-class runs must consume the exact same RNG sequence as before.
+  if (scenario_.acd.fraction >= 1.0) {
+    call->acd = true;
+  } else if (scenario_.acd.fraction > 0.0) {
+    call->acd = rng_.chance(scenario_.acd.fraction);
+  }
   call->rx = rtp::RtpReceiverStats{scenario_.codec.sample_rate_hz};
   call->jbuf = rtp::JitterBuffer{scenario_.codec, scenario_.jitter_buffer};
   if (tracer_ != nullptr) {
@@ -174,7 +181,8 @@ void SipCaller::send_invite(Call& call) {
   const std::string caller_user =
       util::format("caller-%llu", static_cast<unsigned long long>(index));
   const std::string callee_user =
-      util::format("recv-%llu", static_cast<unsigned long long>(index));
+      call.acd ? "queue-" + scenario_.acd.queue
+               : util::format("recv-%llu", static_cast<unsigned long long>(index));
 
   Message invite = Message::request(Method::kInvite, sip::Uri{callee_user, call.pbx_host});
   invite.from() = sip::NameAddr{sip::Uri{caller_user, sip_host()}, new_tag()};

@@ -104,6 +104,7 @@ class SipCaller final : public sip::SipEndpoint {
     rtp::JitterBuffer jbuf{rtp::g711_ulaw(), {}};  // re-made per call codec
     stats::Summary transit_s;
     bool answered{false};
+    bool acd{false};  // dials "queue-<name>" instead of its paired receiver
     sim::EventId bye_timer{0};
     std::uint32_t attempt{1};        // INVITEs sent for this call so far
     sim::EventId retry_timer{0};     // pending 503 backoff, 0 when none

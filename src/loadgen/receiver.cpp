@@ -79,8 +79,10 @@ void SipReceiver::answer(const Message& invite, sip::ServerTransaction& txn) {
     return;
   }
 
+  const auto call_index = call_index_of_user(invite.request_uri().user());
   auto session = std::make_unique<Session>(Session{
-      .call_index = call_index_of_user(invite.request_uri().user()).value_or(0),
+      .call_index = call_index.value_or(0),
+      .report_quality = call_index.has_value(),
       .dialog = {},
       .codec = *codec,
       .local_ssrc = ssrcs_.allocate(),
@@ -217,7 +219,7 @@ void SipReceiver::handle_bye(const Message& req, sip::ServerTransaction& txn) {
   Session& session = *it->second;
   if (session.sender != nullptr) session.sender->stop();
   if (session.rtcp != nullptr) session.rtcp->stop();
-  finished_[session.call_index] = summarize(session);
+  if (session.report_quality) finished_[session.call_index] = summarize(session);
   if (session.remote_ssrc != 0) by_remote_ssrc_.erase(session.remote_ssrc);
   sessions_.erase(it);
 }

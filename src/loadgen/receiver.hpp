@@ -66,6 +66,9 @@ class SipReceiver final : public sip::SipEndpoint {
  private:
   struct Session {
     std::uint64_t call_index{0};
+    /// False for destinations with no caller-side index (ACD agent legs,
+    /// "queue-*" users): their quality must not land in finished_[0].
+    bool report_quality{true};
     sip::Dialog dialog;
     rtp::Codec codec;
     std::uint32_t local_ssrc{0};

@@ -58,6 +58,14 @@ struct CallScenario {
   /// 503 backoff-and-retry behaviour (off by default: Table-I callers take
   /// the blocking at face value, as the paper's SIPp scenario does).
   RetryPolicy retry{};
+  /// Second traffic class: a fraction of calls dial an ACD queue
+  /// ("queue-<name>") instead of a plain receiver. 0 keeps the classic
+  /// single-class scenario (and draws no extra random numbers).
+  struct AcdTraffic {
+    double fraction{0.0};          // probability a call targets the queue
+    std::string queue{"support"};  // AcdQueueConfig::name to dial
+  };
+  AcdTraffic acd{};
 
   [[nodiscard]] double offered_erlangs() const noexcept {
     return arrival_rate_per_s * hold_time.to_seconds();

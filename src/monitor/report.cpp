@@ -86,6 +86,9 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
   double impairment_dropped = 0.0;
   out.calls_retried = 0;
   out.retries_rerouted = 0;
+  const std::uint32_t acd_agents = out.acd.agents;  // config, not an observation
+  out.acd = {};
+  out.acd.agents = acd_agents;
 
   for (const auto& r : runs) {
     out.calls_attempted += r.calls_attempted;
@@ -117,6 +120,19 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
     impairment_dropped += static_cast<double>(r.link_dropped_impairment);
     out.calls_retried += r.calls_retried;  // call-scale count: sums like outcomes
     out.retries_rerouted += r.retries_rerouted;
+    out.acd.offered += r.acd.offered;  // ACD events are call outcomes: they sum
+    out.acd.queued += r.acd.queued;
+    out.acd.served += r.acd.served;
+    out.acd.abandoned += r.acd.abandoned;
+    out.acd.timed_out += r.acd.timed_out;
+    out.acd.voicemail += r.acd.voicemail;
+    out.acd.blocked_full += r.acd.blocked_full;
+    out.acd.announcements += r.acd.announcements;
+    out.acd.serve_retries += r.acd.serve_retries;
+    out.acd.serve_failures += r.acd.serve_failures;
+    out.acd.wait_s.merge(r.acd.wait_s);
+    out.acd.wait_served_s.merge(r.acd.wait_served_s);
+    out.acd.busy_agent_s += r.acd.busy_agent_s;
     events += static_cast<double>(r.events_processed);
   }
 

@@ -55,6 +55,26 @@ struct ExperimentReport {
   std::uint64_t sip_errors{0};
   std::uint64_t sip_retransmissions{0};
 
+  /// ACD observations, summed over backends and queues (all zero when the
+  /// ACD subsystem is disabled).
+  struct AcdReport {
+    std::uint64_t offered{0};        // calls routed to an ACD queue
+    std::uint64_t queued{0};         // entered the wait line (no agent free)
+    std::uint64_t served{0};         // bridged to an agent
+    std::uint64_t abandoned{0};      // reneged before service
+    std::uint64_t timed_out{0};      // max-wait expiries rejected
+    std::uint64_t voicemail{0};      // overflowed to the voicemail leg
+    std::uint64_t blocked_full{0};   // rejected with the queue at capacity
+    std::uint64_t announcements{0};  // 182 position updates sent
+    std::uint64_t serve_retries{0};  // dispatches re-queued: no channel free
+    std::uint64_t serve_failures{0}; // dispatches the PBX failed to bridge
+    stats::Summary wait_s;           // waiting time, every call leaving a queue
+    stats::Summary wait_served_s;    // waiting time of served calls only
+    double busy_agent_s{0.0};        // agent talk seconds (occupancy numerator)
+    std::uint32_t agents{0};         // configured agents across queues/backends
+  };
+  AcdReport acd;
+
   // Fault / overload-control observations (zero without faults or overload
   // control; see FAULTS.md).
   std::uint64_t overload_rejections{0};   // 503s from the PBX's overload gate

@@ -21,11 +21,36 @@ AsteriskPbx::AsteriskPbx(PbxConfig config, sim::Simulator& simulator,
       config_{std::move(config)},
       channels_{config_.max_channels},
       cpu_{config_.cpu},
-      cac_{config_.cac} {
+      cac_{config_.cac},
+      media_ports_{config_.rtp_port_min, config_.rtp_port_max},
+      acd_{config_.acd, simulator} {
   transactions().on_request = [this](const Message& req, sip::ServerTransaction& txn) {
     handle_request(req, txn);
   };
   transactions().on_ack = [](const Message&) { /* leg A established; nothing to do */ };
+
+  acd_.set_hooks(AcdSubsystem::Hooks{
+      .serve = [this](const Message& req, sip::ServerTransaction& txn, std::size_t cdr,
+                      std::size_t qi, std::uint32_t agent) {
+        return acd_serve(req, txn, cdr, qi, agent);
+      },
+      .reject = [this](const Message& req, sip::ServerTransaction& txn, std::size_t cdr,
+                       int status, Disposition disposition) {
+        cdrs_.close(cdr, disposition, network()->simulator().now());
+        reject(req, txn, status);
+      },
+      .voicemail = [this](const Message& req, sip::ServerTransaction& txn, std::size_t cdr,
+                          std::size_t qi) { return start_voicemail(req, txn, cdr, qi); },
+      .announce = [this](const Message& req, sip::ServerTransaction& txn,
+                         std::size_t position) {
+        // 182 Queued with the caller's position; keeps the INVITE transaction
+        // in Proceeding (no Timer B pressure) for as long as they wait.
+        Message update = Message::response_to(req, 182);
+        update.to().tag = new_tag();
+        update.add_header("X-Queue-Position", std::to_string(position));
+        txn.respond(update);
+      },
+  });
 }
 
 void AsteriskPbx::set_telemetry(telemetry::Telemetry* tel) {
@@ -36,6 +61,7 @@ void AsteriskPbx::set_telemetry(telemetry::Telemetry* tel) {
               tm_sip_queue_dropped_ = nullptr;
   tm_active_channels_ = nullptr;
   tracer_ = nullptr;
+  acd_.set_telemetry(tel);  // nulls its own handles on a disabled registry
   if (tel == nullptr || !tel->enabled()) return;
   auto& reg = tel->registry();
   tm_invites_ = &reg.counter("pbxcap_pbx_invites_total", {},
@@ -211,14 +237,13 @@ void AsteriskPbx::crash_restart(Duration dead_for) {
 
   // Channel-state loss: every waiting and bridged call is simply gone.
   // No SIP goes out — a dead process cannot send BYEs or finals; the far
-  // ends discover via their own timers.
-  for (auto& queued : queue_) {
-    if (!queued->live) continue;
-    queued->live = false;
-    network()->simulator().cancel(queued->timeout_event);
-    cdrs_.close(queued->cdr, Disposition::kFailed, now);
-  }
-  queue_.clear();
+  // ends discover via their own timers. The ACD is reset first so the
+  // bridge-close notifications below find idle agents and empty queues.
+  acd_.crash([this, now](std::size_t cdr) { cdrs_.close(cdr, Disposition::kFailed, now); });
+  queue_.drain([this, now](AcdWaitQueue::Entry& entry) {
+    if (entry.max_wait_event != 0) network()->simulator().cancel(entry.max_wait_event);
+    cdrs_.close(entry.cdr, Disposition::kFailed, now);
+  });
   for (std::size_t idx = 0; idx < bridges_.size(); ++idx) {
     if (bridges_[idx]->state == Bridge::State::kClosed) continue;
     bridges_[idx]->invite_txn_a = nullptr;  // transaction state is lost too
@@ -339,6 +364,16 @@ void AsteriskPbx::admit_invite(const Message& req, sip::ServerTransaction& txn) 
     }
   }
 
+  // ACD traffic class: "queue-<name>" destinations are admitted by the named
+  // queue's agent pool (and the channel pool at serve time), not by the plain
+  // blocked-calls-cleared path below.
+  if (acd_.enabled()) {
+    if (const auto qi = acd_.queue_for_user(req.request_uri().user())) {
+      acd_.offer(*qi, req, txn, cdr);
+      return;
+    }
+  }
+
   // Predictive CAC (reference [8]): reject while the measured offered load
   // predicts blocking above target, before the pool is exhausted.
   if (config_.admission == AdmissionPolicy::kErlangPredictive &&
@@ -405,7 +440,23 @@ void AsteriskPbx::start_bridge(const Message& req, sip::ServerTransaction& txn,
     return;
   }
 
+  // One anchor port per leg, held for the bridge's lifetime. Exhaustion is a
+  // hard, explicit rejection — the old wrapping counter silently reissued
+  // live ports once ~5,000 calls were bridged concurrently.
+  const std::uint16_t port_a = media_ports_.allocate();
+  const std::uint16_t port_b = media_ports_.allocate();
+  if (port_a == 0 || port_b == 0) {
+    if (port_a != 0) media_ports_.release(port_a);
+    if (port_b != 0) media_ports_.release(port_b);
+    channels_.release();
+    cdrs_.close(cdr, Disposition::kCongestion, now);
+    reject(req, txn, sip::status::kServiceUnavailable, blocked_retry_after());
+    return;
+  }
+
   auto bridge = std::make_unique<Bridge>();
+  bridge->port_a = port_a;
+  bridge->port_b = port_b;
   bridge->call_id_a = req.call_id();
   bridge->caller_user = caller_user;
   ++active_calls_by_user_[caller_user];
@@ -432,7 +483,7 @@ void AsteriskPbx::start_bridge(const Message& req, sip::ServerTransaction& txn,
   invite_b.set_call_id(bridge->call_id_b);
   invite_b.set_cseq({1, Method::kInvite});
   invite_b.set_contact(sip::Uri{"asterisk", sip_host()});
-  invite_b.set_body(anchored_sdp(filtered).to_string(), "application/sdp");
+  invite_b.set_body(anchored_sdp(filtered, bridge->port_b).to_string(), "application/sdp");
   bridge->invite_b = invite_b;
 
   bridges_.push_back(std::move(bridge));
@@ -458,11 +509,7 @@ void AsteriskPbx::start_bridge(const Message& req, sip::ServerTransaction& txn,
 void AsteriskPbx::enqueue_call(const Message& req, sip::ServerTransaction& txn,
                                std::size_t cdr) {
   const TimePoint now = network()->simulator().now();
-  std::size_t live = 0;
-  for (const auto& qc : queue_) {
-    if (qc->live) ++live;
-  }
-  if (live >= config_.max_queue_length) {
+  if (queue_.live_count() >= config_.max_queue_length) {
     if (tm_blocked_queue_full_ != nullptr) tm_blocked_queue_full_->add();
     cdrs_.close(cdr, Disposition::kCongestion, now);
     reject(req, txn, sip::status::kServiceUnavailable, blocked_retry_after());
@@ -471,11 +518,12 @@ void AsteriskPbx::enqueue_call(const Message& req, sip::ServerTransaction& txn,
 
   ++queued_total_;
   if (tm_queued_ != nullptr) tm_queued_->add();
-  auto queued = std::make_unique<QueuedCall>();
+  auto queued = std::make_unique<AcdWaitQueue::Entry>();
   queued->invite = req;
   queued->txn = &txn;
   queued->cdr = cdr;
   queued->enqueued_at = now;
+  AcdWaitQueue::Entry& entry = queue_.push_back(std::move(queued));
 
   // 182 Queued keeps the caller's INVITE transaction in Proceeding while it
   // waits (no Timer B pressure per RFC 3261 §17.1.1.2).
@@ -483,50 +531,120 @@ void AsteriskPbx::enqueue_call(const Message& req, sip::ServerTransaction& txn,
   queued_resp.to().tag = new_tag();
   txn.respond(queued_resp);
 
-  QueuedCall* raw = queued.get();
+  AcdWaitQueue::Entry* raw = &entry;
   const sim::CategoryScope cat_scope{network()->simulator(), sim::Category::kPbx};
-  queued->timeout_event =
+  raw->max_wait_event =
       network()->simulator().schedule_in(config_.queue_timeout, [this, raw] {
-        if (!raw->live) return;
-        raw->live = false;
+        raw->max_wait_event = 0;
         ++queue_timeouts_;
         if (tm_queue_timeouts_ != nullptr) tm_queue_timeouts_->add();
         queue_wait_s_.add(config_.queue_timeout.to_seconds());
         cdrs_.close(raw->cdr, Disposition::kCongestion, network()->simulator().now());
         reject(raw->invite, *raw->txn, sip::status::kServiceUnavailable);
+        queue_.mark_dead(*raw);  // may compact and free the entry — last use
       });
-  queue_.push_back(std::move(queued));
 }
 
 void AsteriskPbx::serve_queue() {
-  while (!queue_.empty() && !queue_.front()->live) queue_.pop_front();
-  if (queue_.empty() || channels_.available() == 0) return;
-  auto queued = std::move(queue_.front());
-  queue_.pop_front();
-  queued->live = false;
-  network()->simulator().cancel(queued->timeout_event);
-  if (!channels_.try_acquire()) return;  // raced away; caller times out later
-  ++queue_served_;
-  if (tm_queue_served_ != nullptr) tm_queue_served_->add();
-  queue_wait_s_.add((network()->simulator().now() - queued->enqueued_at).to_seconds());
-  start_bridge(queued->invite, *queued->txn, queued->cdr);
-}
-
-std::size_t AsteriskPbx::queue_depth() const noexcept {
-  std::size_t live = 0;
-  for (const auto& qc : queue_) {
-    if (qc->live) ++live;
+  while (queue_.live_count() > 0 && channels_.available() > 0) {
+    auto queued = queue_.pop_front_live();
+    if (queued == nullptr) return;
+    if (!channels_.try_acquire()) {
+      // The channel raced away between the availability check and the
+      // acquire. The caller keeps their place — and their renege timer — at
+      // the head of the line instead of being silently dropped with a
+      // cancelled timeout (the old behaviour lost the call entirely).
+      queue_.push_front(std::move(queued));
+      return;
+    }
+    network()->simulator().cancel(queued->max_wait_event);
+    queued->max_wait_event = 0;
+    ++queue_served_;
+    if (tm_queue_served_ != nullptr) tm_queue_served_->add();
+    queue_wait_s_.add((network()->simulator().now() - queued->enqueued_at).to_seconds());
+    start_bridge(queued->invite, *queued->txn, queued->cdr);
   }
-  return live;
 }
 
-sip::Sdp AsteriskPbx::anchored_sdp(const Sdp& original) {
+std::size_t AsteriskPbx::queue_depth() const noexcept { return queue_.live_count(); }
+
+AcdSubsystem::ServeOutcome AsteriskPbx::acd_serve(const Message& req,
+                                                  sip::ServerTransaction& txn, std::size_t cdr,
+                                                  std::size_t queue_index,
+                                                  std::uint32_t agent_id) {
+  if (!channels_.try_acquire()) return AcdSubsystem::ServeOutcome::kNoChannel;
+  start_bridge(req, txn, cdr);
+  // start_bridge's failure paths (no route, bad SDP, port exhaustion) reject
+  // and release the channel without creating a bridge — detect that by
+  // whether this call's bridge exists.
+  const auto it = by_call_id_a_.find(req.call_id());
+  if (it == by_call_id_a_.end() || bridges_[it->second]->cdr != cdr ||
+      bridges_[it->second]->state == Bridge::State::kClosed) {
+    return AcdSubsystem::ServeOutcome::kFailed;
+  }
+  Bridge& bridge = *bridges_[it->second];
+  bridge.acd_tracked = true;
+  bridge.acd_queue = queue_index;
+  bridge.acd_agent = agent_id;
+  return AcdSubsystem::ServeOutcome::kBridged;
+}
+
+bool AsteriskPbx::start_voicemail(const Message& req, sip::ServerTransaction& txn,
+                                  std::size_t cdr, std::size_t /*queue_index*/) {
+  const TimePoint now = network()->simulator().now();
+  const auto offer = Sdp::parse(req.body());
+  if (!offer) return false;
+  if (!channels_.try_acquire()) return false;
+  const std::uint16_t port = media_ports_.allocate();
+  if (port == 0) {
+    channels_.release();
+    return false;
+  }
+
+  auto bridge = std::make_unique<Bridge>();
+  bridge->call_id_a = req.call_id();
+  bridge->caller_user = req.from().uri.user();
+  ++active_calls_by_user_[bridge->caller_user];
+  bridge->caller_host = req.from().uri.host();
+  bridge->invite_a = req;
+  bridge->to_tag_a = new_tag();
+  bridge->ssrc_a = offer->audio.ssrc;
+  bridge->caller_node = resolver().resolve(bridge->caller_host);
+  bridge->cdr = cdr;
+  bridge->channel_held = true;
+  bridge->voicemail = true;
+  bridge->port_a = port;
+  bridge->state = Bridge::State::kAnswered;
+
+  // Answer straight into the "recording": one-way media, no leg B. The
+  // answer advertises no SSRC — nothing will ever flow back to the caller.
+  Message ok = Message::response_to(req, sip::status::kOk);
+  ok.to().tag = bridge->to_tag_a;
+  ok.set_contact(sip::Uri{"asterisk", sip_host()});
+  Sdp answer = anchored_sdp(*offer, port);
+  answer.audio.ssrc = 0;
+  ok.set_body(answer.to_string(), "application/sdp");
+  txn.respond(ok);
+  bridge->dialog_a = sip::Dialog::from_uas(req, ok);
+
+  bridges_.push_back(std::move(bridge));
+  const std::size_t idx = bridges_.size() - 1;
+  ++active_bridges_;
+  by_call_id_a_.emplace(bridges_[idx]->call_id_a, idx);
+  if (bridges_[idx]->ssrc_a != 0) by_ssrc_[bridges_[idx]->ssrc_a] = idx;
+  cdrs_.mark_answered(cdr, now);
+  ++voicemail_calls_;
+  if (tm_answered_ != nullptr) tm_answered_->add();
+  if (tm_active_channels_ != nullptr) {
+    tm_active_channels_->set(static_cast<double>(channels_.in_use()));
+  }
+  return true;
+}
+
+sip::Sdp AsteriskPbx::anchored_sdp(const Sdp& original, std::uint16_t port) {
   Sdp anchored = original;
   anchored.connection_host = sip_host();
-  // A fresh PBX-side port per call leg, as Asterisk allocates RTP ports.
-  anchored.audio.rtp_port = next_media_port_;
-  next_media_port_ =
-      static_cast<std::uint16_t>(next_media_port_ >= 19'998 ? 10'000 : next_media_port_ + 2);
+  anchored.audio.rtp_port = port;
   return anchored;
 }
 
@@ -556,7 +674,9 @@ void AsteriskPbx::on_leg_b_response(std::size_t bridge_idx, const Message& resp)
     Message ok = Message::response_to(bridge.invite_a, sip::status::kOk);
     ok.to().tag = bridge.to_tag_a;
     ok.set_contact(sip::Uri{"asterisk", sip_host()});
-    if (answer) ok.set_body(anchored_sdp(*answer).to_string(), "application/sdp");
+    if (answer) {
+      ok.set_body(anchored_sdp(*answer, bridge.port_a).to_string(), "application/sdp");
+    }
     if (bridge.invite_txn_a != nullptr) {
       bridge.invite_txn_a->respond(ok);
       bridge.invite_txn_a = nullptr;  // 2xx terminates the transaction
@@ -624,6 +744,14 @@ void AsteriskPbx::handle_bye(const Message& req, sip::ServerTransaction& txn) {
   const std::size_t idx = is_leg_a ? by_call_id_a_.at(req.call_id())
                                    : by_call_id_b_.at(req.call_id());
   bridge->state = Bridge::State::kTearingDown;
+
+  // Voicemail legs have no leg B: answer the BYE and fold.
+  if (bridge->voicemail) {
+    Message vm_ok = Message::response_to(req, sip::status::kOk);
+    txn.respond(vm_ok);
+    close_bridge(idx, Disposition::kAnswered);
+    return;
+  }
 
   // Answer the BYE at once (Asterisk does not hold the teardown of one leg
   // hostage to the other), forward it on the opposite leg, and fold the
@@ -707,6 +835,12 @@ void AsteriskPbx::relay_rtp(const net::Packet& pkt) {
     drop();
     return;
   }
+  if (bridge.voicemail) {
+    // Terminating leg: the "recording" absorbs the caller's media at the
+    // PBX (CPU cost already accrued above); nothing is relayed back.
+    voicemail_rtp_absorbed_ += pkt.batch;
+    return;
+  }
   const bool from_caller = ssrc == bridge.ssrc_a;
   const net::NodeId dst = from_caller ? bridge.callee_node : bridge.caller_node;
   if (dst == net::kInvalidNode) {
@@ -732,6 +866,14 @@ void AsteriskPbx::close_bridge(std::size_t idx, Disposition disposition) {
   if (bridge.channel_held) {
     channels_.release();
     bridge.channel_held = false;
+  }
+  if (bridge.port_a != 0) {
+    media_ports_.release(bridge.port_a);
+    bridge.port_a = 0;
+  }
+  if (bridge.port_b != 0) {
+    media_ports_.release(bridge.port_b);
+    bridge.port_b = 0;
   }
   if (tm_active_channels_ != nullptr) {
     tm_active_channels_->set(static_cast<double>(channels_.in_use()));
@@ -761,6 +903,14 @@ void AsteriskPbx::close_bridge(std::size_t idx, Disposition disposition) {
   }
   if (active_bridges_ > 0) --active_bridges_;
   if (config_.admission == AdmissionPolicy::kQueueWhenBusy) serve_queue();
+  // ACD last: dispatching may re-enter start_bridge (bridges_ can grow, but
+  // unique_ptr storage keeps `bridge` valid — nothing touches it after this).
+  if (bridge.acd_tracked) {
+    bridge.acd_tracked = false;
+    acd_.on_agent_released(bridge.acd_queue, bridge.acd_agent);
+  } else if (acd_.enabled()) {
+    acd_.on_channel_available();
+  }
 }
 
 }  // namespace pbxcap::pbx

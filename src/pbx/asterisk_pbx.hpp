@@ -25,8 +25,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "pbx/acd.hpp"
 #include "pbx/admission.hpp"
 #include "pbx/cdr.hpp"
+#include "pbx/media_ports.hpp"
 #include "pbx/channel_pool.hpp"
 #include "pbx/cpu_model.hpp"
 #include "pbx/dialplan.hpp"
@@ -85,6 +87,11 @@ struct PbxConfig {
   /// kQueueWhenBusy parameters.
   std::uint32_t max_queue_length{64};
   Duration queue_timeout{Duration::seconds(60)};  // caller reneges after this
+  /// ACD queues (callers dialing "queue-<name>" are routed here).
+  AcdConfig acd{};
+  /// PBX-side RTP anchor port range (even ports, tracked while in use).
+  std::uint16_t rtp_port_min{10'000};
+  std::uint16_t rtp_port_max{65'534};
   SipServiceConfig sip_service{};
   OverloadControlConfig overload{};
 };
@@ -111,6 +118,9 @@ class AsteriskPbx final : public sip::SipEndpoint {
   [[nodiscard]] Directory& directory() noexcept { return directory_; }
   [[nodiscard]] Registrar& registrar() noexcept { return registrar_; }
   [[nodiscard]] const PbxConfig& config() const noexcept { return config_; }
+  [[nodiscard]] AcdSubsystem& acd() noexcept { return acd_; }
+  [[nodiscard]] const AcdSubsystem& acd() const noexcept { return acd_; }
+  [[nodiscard]] const MediaPortAllocator& media_ports() const noexcept { return media_ports_; }
 
   [[nodiscard]] std::uint64_t rtp_relayed() const noexcept { return rtp_relayed_; }
   [[nodiscard]] std::uint64_t rtp_dropped_unknown_ssrc() const noexcept {
@@ -130,6 +140,12 @@ class AsteriskPbx final : public sip::SipEndpoint {
   /// Waiting time (seconds) of calls that left the queue, served or not.
   [[nodiscard]] const stats::Summary& queue_wait_s() const noexcept { return queue_wait_s_; }
   [[nodiscard]] std::size_t queue_depth() const noexcept;
+
+  /// Callers answered by the one-way-RTP voicemail leg (ACD overflow).
+  [[nodiscard]] std::uint64_t voicemail_calls() const noexcept { return voicemail_calls_; }
+  [[nodiscard]] std::uint64_t voicemail_rtp_absorbed() const noexcept {
+    return voicemail_rtp_absorbed_;
+  }
 
   // ---- fault injection: degradation modes ----
 
@@ -178,6 +194,15 @@ class AsteriskPbx final : public sip::SipEndpoint {
     net::NodeId callee_node{net::kInvalidNode};
     std::size_t cdr{0};
     bool channel_held{false};
+    /// Terminating voicemail leg: leg A only, inbound RTP absorbed.
+    bool voicemail{false};
+    /// Set when the callee side is an ACD agent (close notifies the ACD).
+    bool acd_tracked{false};
+    std::size_t acd_queue{0};
+    std::uint32_t acd_agent{0};
+    /// PBX anchor ports advertised to each leg (released on close; 0 = none).
+    std::uint16_t port_a{0};
+    std::uint16_t port_b{0};
     // Call-lifecycle tracing (0 = no span open / tracing disabled).
     std::uint64_t span_track{0};
     telemetry::SpanTracer::SpanId setup_span{0};
@@ -209,8 +234,18 @@ class AsteriskPbx final : public sip::SipEndpoint {
   void register_media(Bridge& bridge);
   void close_bridge(std::size_t idx, Disposition disposition);
 
+  /// ACD serve hook: acquires a channel and launches the bridge toward the
+  /// picked agent's queue destination.
+  AcdSubsystem::ServeOutcome acd_serve(const sip::Message& req, sip::ServerTransaction& txn,
+                                       std::size_t cdr, std::size_t queue_index,
+                                       std::uint32_t agent_id);
+  /// ACD overflow hook: answers the caller into a terminating voicemail leg
+  /// (one-way RTP, absorbed at the PBX). False when out of channels/ports.
+  bool start_voicemail(const sip::Message& req, sip::ServerTransaction& txn, std::size_t cdr,
+                       std::size_t queue_index);
+
   [[nodiscard]] Bridge* bridge_by_call_id(const std::string& call_id, bool& is_leg_a);
-  [[nodiscard]] sip::Sdp anchored_sdp(const sip::Sdp& original);
+  [[nodiscard]] sip::Sdp anchored_sdp(const sip::Sdp& original, std::uint16_t port);
 
   PbxConfig config_;
   ChannelPool channels_;
@@ -230,20 +265,17 @@ class AsteriskPbx final : public sip::SipEndpoint {
   std::uint64_t policy_rejections_{0};
   std::uint64_t b2b_counter_{0};
 
-  struct QueuedCall {
-    sip::Message invite;
-    sip::ServerTransaction* txn{nullptr};
-    std::size_t cdr{0};
-    TimePoint enqueued_at{};
-    sim::EventId timeout_event{0};
-    bool live{true};
-  };
-  std::deque<std::unique_ptr<QueuedCall>> queue_;
+  /// kQueueWhenBusy wait line (shares the ACD's race-safe queue type; the
+  /// entries' max_wait_event doubles as the renege timer).
+  AcdWaitQueue queue_;
   std::uint64_t queued_total_{0};
   std::uint64_t queue_served_{0};
   std::uint64_t queue_timeouts_{0};
   stats::Summary queue_wait_s_;
-  std::uint16_t next_media_port_{10'000};
+  MediaPortAllocator media_ports_;
+  AcdSubsystem acd_;
+  std::uint64_t voicemail_calls_{0};
+  std::uint64_t voicemail_rtp_absorbed_{0};
   std::uint64_t rtp_relayed_{0};
   std::uint64_t rtp_dropped_no_session_{0};
   std::size_t active_bridges_{0};

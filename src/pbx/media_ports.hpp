@@ -1,0 +1,66 @@
+// PBX-side RTP port allocator.
+//
+// Replaces the old wrapping counter in AsteriskPbx::anchored_sdp(), which
+// reissued ports 10000..19998 every ~5,000 allocations and silently handed
+// the same port to two live calls at bench_cluster_scaling --mega scale.
+// Ports are even (RTP convention; the odd sibling is implicitly RTCP),
+// tracked while in use, and exhaustion is an explicit, countable failure
+// (allocate() returns 0) instead of a silent collision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+namespace pbxcap::pbx {
+
+class MediaPortAllocator {
+ public:
+  static constexpr std::uint16_t kDefaultMin = 10'000;
+  static constexpr std::uint16_t kDefaultMax = 65'534;
+
+  explicit MediaPortAllocator(std::uint16_t min_port = kDefaultMin,
+                              std::uint16_t max_port = kDefaultMax) noexcept
+      : min_port_{static_cast<std::uint16_t>(min_port & ~1u)},
+        max_port_{static_cast<std::uint16_t>(max_port & ~1u)},
+        cursor_{min_port_} {
+    if (max_port_ < min_port_) max_port_ = min_port_;
+  }
+
+  /// Even ports in [min, max], each held until release(). Returns 0 when
+  /// every port is in use (the caller surfaces that as an explicit error).
+  [[nodiscard]] std::uint16_t allocate() {
+    if (in_use_.size() >= capacity()) {
+      ++exhausted_;
+      return 0;
+    }
+    // The cursor walks the range so sequential calls get sequential ports
+    // (cheap, and keeps SDP bodies readable); the in-use set turns the old
+    // blind wraparound into a skip.
+    for (std::size_t probes = capacity(); probes > 0; --probes) {
+      const std::uint16_t candidate = cursor_;
+      cursor_ = candidate >= max_port_ ? min_port_ : static_cast<std::uint16_t>(candidate + 2);
+      if (in_use_.insert(candidate).second) return candidate;
+    }
+    ++exhausted_;  // unreachable given the size guard, but keep it honest
+    return 0;
+  }
+
+  void release(std::uint16_t port) { in_use_.erase(port); }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return static_cast<std::size_t>((max_port_ - min_port_) / 2) + 1;
+  }
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_.size(); }
+  /// Allocation attempts that found no free port.
+  [[nodiscard]] std::uint64_t exhausted() const noexcept { return exhausted_; }
+
+ private:
+  std::uint16_t min_port_;
+  std::uint16_t max_port_;
+  std::uint16_t cursor_;
+  std::unordered_set<std::uint16_t> in_use_;
+  std::uint64_t exhausted_{0};
+};
+
+}  // namespace pbxcap::pbx

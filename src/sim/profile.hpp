@@ -41,9 +41,10 @@ enum class Category : std::uint8_t {
   kTimerWheel,        // periodic bookkeeping: telemetry sampler, profiler tick
   kShardMailbox,      // cross-shard messages drained into a shard's simulator
   kLoadgen,           // caller arrival process, retry backoff, hold timers
+  kAcd,               // ACD queue timers: patience, max-wait, announce, wrapup
 };
 
-inline constexpr std::size_t kCategoryCount = 10;
+inline constexpr std::size_t kCategoryCount = 11;
 
 inline constexpr std::uint8_t category_id(Category cat) noexcept {
   return static_cast<std::uint8_t>(cat);
@@ -62,6 +63,7 @@ inline const char* category_name(std::uint8_t cat) noexcept {
   static constexpr const char* kNames[kCategoryCount] = {
       "unattributed", "sip",   "rtp-packet", "rtp-fluid-flush", "pbx",
       "dispatch",     "fault", "timer-wheel", "shard-mailbox",  "loadgen",
+      "acd",
   };
   return cat < kCategoryCount ? kNames[cat] : "unknown";
 }

@@ -5,6 +5,7 @@
 
 #include "core/dimensioning.hpp"
 #include "core/engset.hpp"
+#include "core/erlang_a.hpp"
 #include "core/erlang_b.hpp"
 #include "core/erlang_c.hpp"
 #include "core/traffic.hpp"
@@ -247,6 +248,62 @@ TEST(Dimensioning, MaxCallsPerHourRoundTrips) {
 
 TEST(Dimensioning, RejectsBadFraction) {
   EXPECT_THROW((void)erlang::evaluate_population({8000, 1.5, Duration::minutes(2), 165}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Erlang-A
+
+TEST(ErlangA, ConvergesToErlangCForNearInfinitePatience) {
+  // As patience -> infinity nobody abandons and M/M/N+M degenerates to
+  // M/M/N: wait probability and mean wait must match Erlang-C.
+  const Erlangs a{7.0};
+  const Duration hold = Duration::seconds(20);
+  const auto ea = erlang::erlang_a(a, 10, hold, Duration::seconds(2'000'000));
+  EXPECT_NEAR(ea.wait_probability, erlang::erlang_c(a, 10), 1e-3);
+  EXPECT_NEAR(ea.mean_wait.to_seconds(),
+              erlang::erlang_c_mean_wait(a, 10, hold).to_seconds(), 1e-2);
+  EXPECT_LT(ea.abandon_probability, 1e-4);
+}
+
+TEST(ErlangA, OverloadAbandonmentAbsorbsTheExcessLoad) {
+  // rho > 1 with finite patience is stable: in steady state the abandoned
+  // fraction must carry at least the excess 1 - 1/rho (agents cannot serve
+  // more than N Erlangs), and occupancy must approach 1.
+  const auto ea = erlang::erlang_a(Erlangs{15.0}, 10, Duration::seconds(20),
+                                   Duration::seconds(30));
+  EXPECT_GE(ea.abandon_probability, 1.0 - 10.0 / 15.0 - 1e-9);
+  EXPECT_GT(ea.agent_occupancy, 0.95);
+  EXPECT_LE(ea.agent_occupancy, 1.0 + 1e-12);
+}
+
+TEST(ErlangA, LittleLawTiesWaitToAbandonment) {
+  // P(abandon) = theta * E[Q] / lambda and E[W] = E[Q] / lambda imply
+  // P(abandon) = E[W] / mean_patience — an internal consistency identity.
+  const Duration patience = Duration::seconds(30);
+  const auto ea = erlang::erlang_a(Erlangs{9.0}, 8, Duration::seconds(20), patience);
+  EXPECT_NEAR(ea.abandon_probability, ea.mean_wait.to_seconds() / patience.to_seconds(),
+              1e-9);
+}
+
+TEST(ErlangA, MoreAgentsMonotonicallyImproveService) {
+  double last_abandon = 1.0;
+  for (std::uint32_t n = 4; n <= 16; n += 2) {
+    const auto ea = erlang::erlang_a(Erlangs{8.0}, n, Duration::seconds(20),
+                                     Duration::seconds(30));
+    EXPECT_LT(ea.abandon_probability, last_abandon);
+    last_abandon = ea.abandon_probability;
+  }
+  EXPECT_LT(last_abandon, 0.01);
+}
+
+TEST(ErlangA, RejectsBadArguments) {
+  const Duration h = Duration::seconds(20);
+  const Duration p = Duration::seconds(30);
+  EXPECT_THROW((void)erlang::erlang_a(Erlangs{-1.0}, 10, h, p), std::invalid_argument);
+  EXPECT_THROW((void)erlang::erlang_a(Erlangs{5.0}, 0, h, p), std::invalid_argument);
+  EXPECT_THROW((void)erlang::erlang_a(Erlangs{5.0}, 10, Duration::zero(), p),
+               std::invalid_argument);
+  EXPECT_THROW((void)erlang::erlang_a(Erlangs{5.0}, 10, h, Duration::zero()),
                std::invalid_argument);
 }
 

@@ -67,4 +67,28 @@ TEST(QueueMode, QueueCapStillBlocks) {
   EXPECT_GT(r.blocking_probability, 0.4);
 }
 
+TEST(QueueMode, EveryAttemptIsAccountedForUnderChurn) {
+  // Regression guard for the lost-caller class of bug: with queue timeouts
+  // and serves interleaving heavily (rho = 2, 60 s renege), every attempted
+  // call must still end in exactly one bucket — completed, blocked, or
+  // failed. The old serve path could drop a popped caller on the floor,
+  // leaving them in none.
+  const auto r = exp::run_testbed(queue_config(20.0, 10));
+  EXPECT_GT(r.calls_blocked, 0u);  // renege fires under this overload
+  EXPECT_EQ(r.calls_attempted, r.calls_completed + r.calls_blocked + r.calls_failed);
+}
+
+TEST(QueueMode, TimeoutAndServeInterleavingKeepsDepthConsistent) {
+  // Timeouts kill entries mid-queue while serves pop the head. If dead
+  // entries were double-counted (or live ones lost), the run would either
+  // deadlock channels or block far more than the cap explains. The post-fix
+  // invariant: with a 512-deep queue at moderate overload, blocking comes
+  // only from reneges, and completions still dominate.
+  auto config = queue_config(15.0, 10);
+  config.scenario.placement_window = Duration::seconds(240);
+  const auto r = exp::run_testbed(config);
+  EXPECT_EQ(r.calls_attempted, r.calls_completed + r.calls_blocked + r.calls_failed);
+  EXPECT_GT(r.calls_completed, r.calls_blocked);
+}
+
 }  // namespace

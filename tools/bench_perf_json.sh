@@ -82,6 +82,19 @@ else
   echo "warning: ${fa_bench} not built; skipping fluid ablation" >&2
 fi
 
+# Erlang-C/A validation sweep (ACD queue vs the analytic delay/abandonment
+# models, gated) so a drift in the queueing subsystem fails this script and
+# the measured-vs-analytic rows are archived next to the perf numbers.
+ca_bench="${build_dir}/bench/bench_erlang_c_queue"
+ca_out="BENCH_erlang_ca.json"
+[[ "${build_type}" == "Release" || "${build_type}" == "RelWithDebInfo" ]] || ca_out="${ca_out%.json}.non-release.json"
+if [[ -x "${ca_bench}" ]]; then
+  "${ca_bench}" --fast --json "${ca_out}" > /dev/null
+  echo "wrote ${ca_out}"
+else
+  echo "warning: ${ca_bench} not built; skipping Erlang-C/A validation" >&2
+fi
+
 # Cluster-dispatch sustained-goodput-under-crash figures (per routing policy)
 # so regressions in the failover path show up as a diff here.
 cd_bench="${build_dir}/bench/bench_cluster_dispatch"

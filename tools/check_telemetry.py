@@ -206,6 +206,7 @@ BUILTIN_CATEGORIES = [
     "timer-wheel",
     "shard-mailbox",
     "loadgen",
+    "acd",
 ]
 
 
