@@ -51,6 +51,9 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     pbx_config.max_channels = fleet[i].channels;
     pbx_config.sip_service = config.sip_service;
     pbx_config.overload = config.overload;
+    if (!config.allowed_payload_types.empty()) {
+      pbx_config.allowed_payload_types = config.allowed_payload_types;
+    }
     pbx_config.acd = config.acd;
     // Independent patience streams per backend, deterministic in i only.
     pbx_config.acd.seed = config.acd.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
@@ -71,10 +74,12 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   net::Link& server_link = network.connect(receiver, lan_switch, {});
   caller.bind();
   receiver.bind();
+  net::LinkConfig uplink_cfg{};
+  uplink_cfg.trunk_window = config.trunk_window;
   std::vector<net::Link*> pbx_links;
   for (auto& pbx : pbxs) {
     network.attach(*pbx);
-    pbx_links.push_back(&network.connect(*pbx, lan_switch, {}));
+    pbx_links.push_back(&network.connect(*pbx, lan_switch, uplink_cfg));
     pbx->bind();
     pbx->dialplan().add("recv-", receiver.sip_host());
     pbx->dialplan().add("queue-", receiver.sip_host());
@@ -196,6 +201,12 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   ClusterResult result;
   result.report =
       build_report(config.scenario, config.seed, caller, receiver, sources, links, simulator);
+  for (const net::Link* link : pbx_links) {
+    for (const net::NodeId end : {link->endpoint_a(), link->endpoint_b()}) {
+      result.uplink_bytes += link->stats_from(end).bytes_sent;
+      result.uplink_packets += link->stats_from(end).packets_sent;
+    }
+  }
 
   // The CPU steady-interval used by build_report (duplicated here only for
   // the per-backend summaries; the merge lives in the shared helper).

@@ -64,6 +64,11 @@ struct ClusterConfig {
   pbx::SipServiceConfig sip_service{};
   pbx::OverloadControlConfig overload{};
 
+  /// Codec policy applied to every backend: when non-empty, overrides the
+  /// PbxConfig default allowed payload-type set (e.g. {18} for a G.729-only
+  /// fleet — the configuration where IAX2-style trunking pays most).
+  std::vector<std::uint8_t> allowed_payload_types;
+
   /// ACD queues, replicated on every backend (each backend runs its own
   /// agent pool; the patience RNG seed is re-mixed per backend so shards
   /// stay deterministic at any worker count). Pair with scenario.acd to
@@ -74,6 +79,16 @@ struct ClusterConfig {
   /// simulation). Enables the 100k+ concurrent-call scaling points in
   /// bench_cluster_scaling.
   rtp::FluidConfig fluid;
+
+  /// IAX2-style trunk aggregation window for the inter-PBX uplinks (zero =
+  /// off). All concurrent calls' media crossing an uplink within one window
+  /// share a single trunk frame (net/trunk.hpp): one meta header plus a
+  /// 4-byte mini-frame per packet instead of full per-packet
+  /// Ethernet/IP/UDP/RTP encapsulation — the classic IAX2 answer to G.729's
+  /// 20-byte payloads drowning in 58 bytes of headers. Applies to the pbx
+  /// uplinks in both monolithic and sharded runs; 20 ms (one ptime) is the
+  /// natural setting.
+  Duration trunk_window{Duration::zero()};
 
   /// Optional fault schedule. Link targets resolve to: client = the caller
   /// bank's access link, server = the receiver's, pbx = backend
@@ -124,6 +139,12 @@ struct ClusterResult {
   std::vector<BackendObservation> backends;
   std::vector<std::uint32_t> peak_channels_per_server;
   std::vector<std::uint64_t> congestion_per_server;  // CDR CONGESTION counts
+
+  /// Wire traffic offered onto the inter-PBX uplinks (all backends, both
+  /// directions): the trunk ablation's denominators. With trunking on,
+  /// packets count trunk shells, not the media frames inside them.
+  std::uint64_t uplink_bytes{0};
+  std::uint64_t uplink_packets{0};
 
   // Dispatcher totals (zero in DNS mode).
   std::uint64_t failovers{0};          // timed-out INVITEs rescued elsewhere

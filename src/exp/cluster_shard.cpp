@@ -41,6 +41,7 @@
 #include "net/network.hpp"
 #include "net/portal.hpp"
 #include "net/switch_node.hpp"
+#include "net/trunk.hpp"
 #include "rtp/fluid.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/export.hpp"
@@ -172,6 +173,7 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
   // synchronization contract).
   net::LinkConfig cross_cfg{};
   cross_cfg.propagation = max_duration(cross_cfg.propagation, config.shard.lookahead);
+  cross_cfg.trunk_window = config.trunk_window;
 
   // ---- hub topology ----
   hub.net.attach(hub.lan_switch);
@@ -235,6 +237,9 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
     pbx_config.max_channels = fleet[i].channels;
     pbx_config.sip_service = config.sip_service;
     pbx_config.overload = config.overload;
+    if (!config.allowed_payload_types.empty()) {
+      pbx_config.allowed_payload_types = config.allowed_payload_types;
+    }
     pbx_config.acd = config.acd;
     // Same per-backend seed mix as the monolithic run: shard results must be
     // byte-identical to it (and to themselves at any worker count).
@@ -343,8 +348,20 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
         map.hub_portal,
         [&exec, map, backend_shard, net = &be.net](net::Packet&& pkt, net::NodeId /*from*/,
                                                    TimePoint deliver_at) {
-          pkt.src = map.to_backend(pkt.src);
-          pkt.dst = map.be_pbx;
+          if (pkt.kind == net::PacketKind::kTrunk) {
+            // Trunk shell off the hub half of the uplink: translate every
+            // aggregated frame like a bare delivery; the shell itself is
+            // link-local framing and just needs backend-valid endpoints.
+            net::remap_trunk_frames(pkt, [&map](net::Packet& inner) {
+              inner.src = map.to_backend(inner.src);
+              inner.dst = map.be_pbx;
+            });
+            pkt.src = map.be_portal;
+            pkt.dst = map.be_pbx;
+          } else {
+            pkt.src = map.to_backend(pkt.src);
+            pkt.dst = map.be_pbx;
+          }
           exec.post(0, backend_shard, deliver_at.ns(),
                     [net, p = std::move(pkt), from = map.be_portal] {
                       net->deliver(p, from, p.dst);
@@ -362,7 +379,17 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
             throw std::logic_error{"cluster_shard: unexpected backend egress source"};
           }
           pkt.src = map.hub_portal;
-          pkt.dst = map.to_hub(pkt.dst);
+          if (pkt.kind == net::PacketKind::kTrunk) {
+            // The shell is unwrapped at the hub switch; each aggregated
+            // frame then re-routes by its own translated dst.
+            net::remap_trunk_frames(pkt, [&map](net::Packet& inner) {
+              inner.src = map.hub_portal;
+              inner.dst = map.to_hub(inner.dst);
+            });
+            pkt.dst = map.hub_switch;
+          } else {
+            pkt.dst = map.to_hub(pkt.dst);
+          }
           exec.post(backend_shard, 0, deliver_at.ns(),
                     [net, p = std::move(pkt), from = map.hub_portal, to = map.hub_switch] {
                       net->deliver(p, from, to);
@@ -409,6 +436,17 @@ ClusterResult run_cluster_sharded(const ClusterConfig& config) {
   ClusterResult result;
   result.report = build_report(config.scenario, config.seed, *hub.caller, *hub.receiver,
                                sources, links, exec.total_events());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    // Each uplink half transmits one direction; summing both endpoints of
+    // both halves counts each direction exactly once.
+    for (const net::Link* link : {static_cast<const net::Link*>(hub.portal_links[i]),
+                                  static_cast<const net::Link*>(backends[i]->uplink)}) {
+      for (const net::NodeId end : {link->endpoint_a(), link->endpoint_b()}) {
+        result.uplink_bytes += link->stats_from(end).bytes_sent;
+        result.uplink_packets += link->stats_from(end).packets_sent;
+      }
+    }
+  }
 
   Duration cpu_from_d =
       std::min(config.scenario.hold_time, config.scenario.placement_window);

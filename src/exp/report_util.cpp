@@ -72,6 +72,8 @@ monitor::ExperimentReport build_report(const loadgen::CallScenario& scenario, st
       report.channels_peak += pbx.channels().peak();
       report.cpu_utilization.merge(pbx.cpu().utilization(cpu_from, cpu_to));
       report.rtp_relayed += pbx.rtp_relayed();
+      report.transcoded_bridges += pbx.transcoded_bridges();
+      report.transcoded_rtp += pbx.transcoded_rtp();
       report.sip_retransmissions += pbx.transactions().total_retransmissions();
       report.overload_rejections += pbx.overload_rejections();
       report.sip_queue_dropped += pbx.sip_queue_dropped();
@@ -117,10 +119,15 @@ monitor::ExperimentReport build_report(const loadgen::CallScenario& scenario, st
 
   report.calls_retried = caller.retries();
   report.retries_rerouted = caller.retries_rerouted();
+  report.codec_rejections_488 = receiver.rejected_488();
   for (const net::Link* link : links) {
     if (link == nullptr) continue;
-    report.link_dropped_impairment += link->stats_from(link->endpoint_a()).dropped_impairment +
-                                      link->stats_from(link->endpoint_b()).dropped_impairment;
+    for (const net::NodeId end : {link->endpoint_a(), link->endpoint_b()}) {
+      const net::LinkDirectionStats& stats = link->stats_from(end);
+      report.link_dropped_impairment += stats.dropped_impairment;
+      report.trunk_frames += stats.trunk_frames;
+      report.trunk_mini_frames += stats.trunk_mini_frames;
+    }
   }
 
   report.events_processed = events_processed;

@@ -135,7 +135,7 @@ void SipCaller::place_call() {
   call->index = index;
   call->offered_at = network()->simulator().now();
   call->hold = draw_hold_time(rng_, scenario_.hold_model, scenario_.hold_time, scenario_.hold_cv);
-  call->codec = scenario_.codec;
+  call->codec = draw_codec();
   call->local_ssrc = ssrcs_.allocate();
   // ACD traffic class. Draw only when mixing (fraction in (0,1)): default
   // single-class runs must consume the exact same RNG sequence as before.
@@ -144,8 +144,8 @@ void SipCaller::place_call() {
   } else if (scenario_.acd.fraction > 0.0) {
     call->acd = rng_.chance(scenario_.acd.fraction);
   }
-  call->rx = rtp::RtpReceiverStats{scenario_.codec.sample_rate_hz};
-  call->jbuf = rtp::JitterBuffer{scenario_.codec, scenario_.jitter_buffer};
+  call->rx = rtp::RtpReceiverStats{call->codec.sample_rate_hz};
+  call->jbuf = rtp::JitterBuffer{call->codec, scenario_.jitter_buffer};
   if (tracer_ != nullptr) {
     // One track per call: every routing decision, attempt, and media
     // segment of this call's journey lands on the same Perfetto row.
@@ -201,7 +201,16 @@ void SipCaller::send_invite(Call& call) {
   Sdp offer;
   offer.connection_host = sip_host();
   offer.audio.rtp_port = static_cast<std::uint16_t>(30'000 + (index * 2) % 20'000);
-  offer.audio.payload_types = {scenario_.codec.payload_type};
+  // Preference list: the call's drawn codec leads, the rest of the mix
+  // follows in declared order as fallbacks (RFC 3264 preference semantics).
+  offer.audio.payload_types = {call.codec.payload_type};
+  for (const auto& share : scenario_.codec_mix) {
+    const std::uint8_t pt = share.codec.payload_type;
+    if (std::find(offer.audio.payload_types.begin(), offer.audio.payload_types.end(), pt) ==
+        offer.audio.payload_types.end()) {
+      offer.audio.payload_types.push_back(pt);
+    }
+  }
   offer.audio.ssrc = call.local_ssrc;
   invite.set_body(offer.to_string(), "application/sdp");
 
@@ -264,6 +273,20 @@ SipCaller::Call* SipCaller::find(std::uint64_t index) {
   return it == calls_.end() ? nullptr : it->second.get();
 }
 
+rtp::Codec SipCaller::draw_codec() {
+  if (scenario_.codec_mix.empty()) return scenario_.codec;
+  if (scenario_.codec_mix.size() == 1) return scenario_.codec_mix.front().codec;
+  double total = 0.0;
+  for (const auto& share : scenario_.codec_mix) total += std::max(0.0, share.weight);
+  if (total <= 0.0) return scenario_.codec_mix.front().codec;
+  double u = rng_.uniform() * total;
+  for (const auto& share : scenario_.codec_mix) {
+    u -= std::max(0.0, share.weight);
+    if (u < 0.0) return share.codec;
+  }
+  return scenario_.codec_mix.back().codec;
+}
+
 void SipCaller::journey_instant(Call& call, std::uint32_t name, const std::string* detail) {
   if (tracer_ == nullptr || call.journey == 0) return;
   tracer_->instant(name, call.journey, network()->simulator().now(),
@@ -290,6 +313,19 @@ void SipCaller::on_invite_response(std::uint64_t index, const Message& resp) {
     if (const auto answer = Sdp::parse(resp.body())) {
       call->remote_ssrc = answer->audio.ssrc;
       if (call->remote_ssrc != 0) by_remote_ssrc_[call->remote_ssrc] = call;
+      // Adopt the answered codec before any media flows: the negotiated
+      // payload type — not the offer's first preference — drives this leg's
+      // packetization, jitter-buffer sizing, and E-model Ie/Bpl.
+      if (!answer->audio.payload_types.empty()) {
+        const std::uint8_t pt = answer->audio.payload_types.front();
+        if (pt != call->codec.payload_type) {
+          if (const auto negotiated = rtp::codec_by_payload_type(pt)) {
+            call->codec = *negotiated;
+            call->rx = rtp::RtpReceiverStats{negotiated->sample_rate_hz};
+            call->jbuf = rtp::JitterBuffer{*negotiated, scenario_.jitter_buffer};
+          }
+        }
+      }
     }
     start_media(*call);
     const sim::CategoryScope cat_scope{network()->simulator(), sim::Category::kLoadgen};

@@ -128,6 +128,10 @@ class SipCaller final : public sip::SipEndpoint {
   void finish(std::uint64_t index, monitor::CallOutcome outcome);
   void handle_rtp(const net::Packet& pkt);
   [[nodiscard]] Call* find(std::uint64_t index);
+  /// Draws a call's preferred codec from the scenario mix. No RNG is
+  /// consumed when the mix is empty or has a single entry, so classic
+  /// single-codec runs keep their exact event sequence.
+  [[nodiscard]] rtp::Codec draw_codec();
 
   // Finite-population bookkeeping (Engset mode).
   void user_became_idle();

@@ -72,8 +72,24 @@ void SipReceiver::answer(const Message& invite, sip::ServerTransaction& txn) {
     txn.respond(resp);
     return;
   }
-  const auto codec = rtp::codec_by_payload_type(offer->audio.payload_types.front());
+  // Offer/answer (RFC 3264): pick the first offered payload type this
+  // endpoint supports — the offerer's preference order — instead of blindly
+  // taking the front of the list (which fails outright when the offer merely
+  // *leads* with a codec we lack). No overlap is 488 Not Acceptable Here.
+  Sdp supported;
+  if (scenario_.receiver_payload_types.empty()) {
+    for (const auto& entry : rtp::codec_catalog()) {
+      supported.audio.payload_types.push_back(entry.payload_type);
+    }
+  } else {
+    supported.audio.payload_types = scenario_.receiver_payload_types;
+  }
+  const auto negotiated_pt = Sdp::negotiate(*offer, supported);
+  std::optional<rtp::Codec> codec;
+  if (negotiated_pt) codec = rtp::codec_by_payload_type(*negotiated_pt);
   if (!codec) {
+    ++rejected_488_;
+    if (tm_rejected_488_ != nullptr) tm_rejected_488_->add();
     Message resp = Message::response_to(invite, 488);
     txn.respond(resp);
     return;
@@ -116,13 +132,15 @@ void SipReceiver::answer(const Message& invite, sip::ServerTransaction& txn) {
 
 void SipReceiver::set_telemetry(telemetry::Telemetry* tel) {
   sip::SipEndpoint::set_telemetry(tel);
-  tm_answered_ = tm_rtp_sent_ = nullptr;
+  tm_answered_ = tm_rejected_488_ = tm_rtp_sent_ = nullptr;
   tracer_ = nullptr;
   if (tel == nullptr || !tel->enabled()) return;
   tracer_ = tel->tracer();
   auto& reg = tel->registry();
   tm_answered_ = &reg.counter("pbxcap_receiver_calls_answered_total", {},
                               "Calls answered by the receiver host");
+  tm_rejected_488_ = &reg.counter("pbxcap_receiver_rejected_488_total", {},
+                                  "Offers rejected for lack of codec overlap");
   tm_rtp_sent_ = &reg.counter("pbxcap_rtp_packets_sent_total", {{"host", sip_host()}},
                               "RTP packets emitted by this endpoint's senders");
 }

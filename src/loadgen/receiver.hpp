@@ -58,6 +58,9 @@ class SipReceiver final : public sip::SipEndpoint {
   [[nodiscard]] const HeardQuality* finished(std::uint64_t call_index) const;
 
   [[nodiscard]] std::uint64_t calls_answered() const noexcept { return answered_; }
+  /// Offers rejected with 488 Not Acceptable Here (no codec overlap between
+  /// the offer and this endpoint's supported set).
+  [[nodiscard]] std::uint64_t rejected_488() const noexcept { return rejected_488_; }
   [[nodiscard]] std::uint64_t calls_finished() const noexcept {
     return static_cast<std::uint64_t>(finished_.size());
   }
@@ -96,11 +99,13 @@ class SipReceiver final : public sip::SipEndpoint {
   std::unordered_map<std::uint32_t, Session*> by_remote_ssrc_;
   std::unordered_map<std::uint64_t, HeardQuality> finished_;
   std::uint64_t answered_{0};
+  std::uint64_t rejected_488_{0};
   sim::Random rtcp_rng_{0xACE5};
 
   // Telemetry handles; null when telemetry is absent or disabled.
   telemetry::SpanTracer* tracer_{nullptr};
   telemetry::Counter* tm_answered_{nullptr};
+  telemetry::Counter* tm_rejected_488_{nullptr};
   telemetry::Counter* tm_rtp_sent_{nullptr};
 };
 

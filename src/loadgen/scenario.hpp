@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "rtp/codec.hpp"
 #include "rtp/jitter_buffer.hpp"
@@ -39,8 +40,29 @@ struct CallScenario {
   Duration hold_time{Duration::seconds(120)};
   sim::HoldTimeModel hold_model{sim::HoldTimeModel::kDeterministic};
   double hold_cv{1.0};  // lognormal only
-  /// Voice codec for the media streams (paper: G.711 ulaw).
+  /// Voice codec for the media streams (paper: G.711 ulaw). When
+  /// `codec_mix` is non-empty this is only the fallback for calls placed
+  /// before the mix was configured — see below.
   rtp::Codec codec{rtp::g711_ulaw()};
+  /// One entry of the weighted codec mix.
+  struct CodecShare {
+    rtp::Codec codec;
+    double weight{1.0};
+  };
+  /// Scenario-weighted codec preference mix (e.g. 60% PCMU / 30% G729 /
+  /// 10% iLBC). Each offered call draws its *preferred* codec from this
+  /// distribution and offers it first, followed by the remaining mix codecs
+  /// in declared order (its fallback list) — the SDP offer the PBX filters
+  /// and the receiver answers. Empty keeps the classic single-codec
+  /// scenario: every call offers `codec` alone and the arrival process
+  /// consumes the exact same RNG sequence as before.
+  std::vector<CodecShare> codec_mix{};
+  /// Payload types the receiver endpoint is willing to answer (its allow
+  /// list, matched against the offer via Sdp::negotiate). Empty = every
+  /// catalog codec. A no-overlap offer is rejected with 488 Not Acceptable
+  /// Here; restricting this set against a caller mix is how a run forces
+  /// the PBX into transcoded bridges.
+  std::vector<std::uint8_t> receiver_payload_types{};
   /// Callee behaviour: delay between 180 Ringing and 200 OK.
   Duration answer_delay{Duration::millis(200)};
   /// Receiver-side playout buffer.

@@ -71,6 +71,9 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
   out.jitter_ms = {};
   double rtp_at_pbx = 0.0;
   double rtp_relayed = 0.0;
+  double transcoded_rtp = 0.0;
+  double trunk_frames = 0.0;
+  double trunk_mini_frames = 0.0;
   double events = 0.0;
   double sip_total = 0.0;
   double sip_invite = 0.0;
@@ -86,6 +89,8 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
   double impairment_dropped = 0.0;
   out.calls_retried = 0;
   out.retries_rerouted = 0;
+  out.codec_rejections_488 = 0;
+  out.transcoded_bridges = 0;
   const std::uint32_t acd_agents = out.acd.agents;  // config, not an observation
   out.acd = {};
   out.acd.agents = acd_agents;
@@ -106,6 +111,9 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
     out.jitter_ms.merge(r.jitter_ms);
     rtp_at_pbx += static_cast<double>(r.rtp_packets_at_pbx);
     rtp_relayed += static_cast<double>(r.rtp_relayed);
+    transcoded_rtp += static_cast<double>(r.transcoded_rtp);
+    trunk_frames += static_cast<double>(r.trunk_frames);
+    trunk_mini_frames += static_cast<double>(r.trunk_mini_frames);
     sip_total += static_cast<double>(r.sip_total);
     sip_invite += static_cast<double>(r.sip_invite);
     sip_100 += static_cast<double>(r.sip_100);
@@ -120,6 +128,8 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
     impairment_dropped += static_cast<double>(r.link_dropped_impairment);
     out.calls_retried += r.calls_retried;  // call-scale count: sums like outcomes
     out.retries_rerouted += r.retries_rerouted;
+    out.codec_rejections_488 += r.codec_rejections_488;  // call outcomes: they sum
+    out.transcoded_bridges += r.transcoded_bridges;
     out.acd.offered += r.acd.offered;  // ACD events are call outcomes: they sum
     out.acd.queued += r.acd.queued;
     out.acd.served += r.acd.served;
@@ -150,6 +160,9 @@ ExperimentReport merge_replications(const std::vector<ExperimentReport>& runs) {
   };
   out.rtp_packets_at_pbx = mean_u64(rtp_at_pbx);
   out.rtp_relayed = mean_u64(rtp_relayed);
+  out.transcoded_rtp = mean_u64(transcoded_rtp);
+  out.trunk_frames = mean_u64(trunk_frames);
+  out.trunk_mini_frames = mean_u64(trunk_mini_frames);
   out.sip_total = mean_u64(sip_total);
   out.sip_invite = mean_u64(sip_invite);
   out.sip_100 = mean_u64(sip_100);

@@ -38,6 +38,14 @@ struct ExperimentReport {
   std::uint64_t rtp_packets_at_pbx{0};
   std::uint64_t rtp_relayed{0};
 
+  // Codec / transcoding / trunking tier (all zero for single-codec,
+  // untrunked runs).
+  std::uint64_t codec_rejections_488{0};  // offers with no codec overlap
+  std::uint64_t transcoded_bridges{0};    // bridges whose legs mismatched
+  std::uint64_t transcoded_rtp{0};        // media frames that paid transcode work
+  std::uint64_t trunk_frames{0};          // IAX2-style shells on the uplinks
+  std::uint64_t trunk_mini_frames{0};     // media packets carried inside them
+
   // Voice quality over completed calls.
   stats::Summary mos;
   stats::Summary setup_delay_ms;

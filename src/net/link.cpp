@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/network.hpp"
+#include "net/trunk.hpp"
 #include "sim/profile.hpp"
 
 namespace pbxcap::net {
@@ -15,7 +16,8 @@ std::uint8_t wire_category(const Packet& pkt, const sim::Simulator& sim) noexcep
   switch (pkt.kind) {
     case PacketKind::kSip: return sim::category_id(sim::Category::kSip);
     case PacketKind::kRtp:
-    case PacketKind::kRtcp: return sim::category_id(sim::Category::kRtpPacket);
+    case PacketKind::kRtcp:
+    case PacketKind::kTrunk: return sim::category_id(sim::Category::kRtpPacket);
     case PacketKind::kOther: break;
   }
   return sim.category();
@@ -116,6 +118,62 @@ void Link::transmit(NodeId from, Packet pkt) {
     transmit_batch(from, std::move(pkt));
     return;
   }
+  // IAX2-style trunking: hold per-packet media for the window flush. Only
+  // RTP rides the trunk (RFC 5456 mini-frames carry media; signalling and
+  // RTCP keep their own datagrams), and fluid batches were already diverted
+  // above — trunking aggregates the packet-mode residue of hybrid runs.
+  if (config_.trunk_window > Duration::zero() && pkt.kind == PacketKind::kRtp) {
+    enqueue_trunk(from, std::move(pkt));
+    return;
+  }
+  transmit_now(from, std::move(pkt));
+}
+
+void Link::enqueue_trunk(NodeId from, Packet pkt) {
+  Direction& dir = direction_from(from);
+  dir.trunk_pending.push_back(std::move(pkt));
+  if (dir.trunk_flush_scheduled) return;
+  dir.trunk_flush_scheduled = true;
+  auto& sim = network_.simulator();
+  // Flush on the next boundary of the absolute trunk-window grid, not
+  // now + window: the flush schedule then depends only on the clock, never
+  // on which packet happened to arrive first — the property that keeps
+  // sharded runs byte-identical at any worker count.
+  const std::int64_t window = config_.trunk_window.ns();
+  const TimePoint flush_at =
+      TimePoint::origin() + Duration::nanos(((sim.now().ns() / window) + 1) * window);
+  const sim::Simulator::CategoryScope cat_scope{
+      sim, sim::category_id(sim::Category::kRtpPacket)};
+  auto flush = [this, from] { flush_trunk(from); };
+  static_assert(sim::Callback::stores_inline<decltype(flush)>(),
+                "trunk flush closure must stay on the allocation-free SBO path");
+  sim.schedule_at(flush_at, std::move(flush));
+}
+
+void Link::flush_trunk(NodeId from) {
+  Direction& dir = direction_from(from);
+  dir.trunk_flush_scheduled = false;
+  if (dir.trunk_pending.empty()) return;
+  auto payload = std::make_shared<TrunkPayload>();
+  payload->frames = std::move(dir.trunk_pending);
+  dir.trunk_pending.clear();  // moved-from: restore a known-empty queue
+  dir.stats.trunk_frames += 1;
+  dir.stats.trunk_mini_frames += payload->frames.size();
+  Packet shell;
+  shell.id = network_.next_packet_id();
+  shell.src = from;
+  shell.dst = peer_of(from);
+  shell.kind = PacketKind::kTrunk;
+  shell.size_bytes = trunk_wire_size(payload->frames);
+  shell.sent_at = network_.simulator().now();
+  shell.payload = std::move(payload);
+  // The shell is one wire frame: it queues, serializes, and is lost or
+  // jittered as a unit (losing it loses every call's frame for this window,
+  // exactly like a real trunk datagram).
+  transmit_now(from, std::move(shell));
+}
+
+void Link::transmit_now(NodeId from, Packet pkt) {
   Direction& dir = direction_from(from);
   const NodeId to = peer_of(from);
   auto& sim = network_.simulator();

@@ -10,6 +10,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/random.hpp"
@@ -27,6 +28,14 @@ struct LinkConfig {
   double loss_probability{0.0};            // random loss (Wi-Fi segment model)
   Duration jitter_mean{Duration::zero()};  // extra stochastic delay, mean
   Duration jitter_stddev{Duration::zero()};
+  /// IAX2-style trunk aggregation window (net/trunk.hpp). When non-zero,
+  /// per-packet (non-fluid) RTP offered to the link is held and sent as one
+  /// trunk frame per window per direction, flushed on window boundaries of
+  /// the simulation clock grid (so the schedule is independent of arrival
+  /// phase — a requirement for byte-identical sharded runs at any worker
+  /// count). SIP, RTCP, and fluid batches bypass the trunk, as RFC 5456
+  /// trunking only carries media mini-frames. Zero disables trunking.
+  Duration trunk_window{Duration::zero()};
 };
 
 /// Partial overlay applied onto a live link's LinkConfig mid-run (fault
@@ -50,6 +59,8 @@ struct LinkDirectionStats {
   std::uint64_t dropped_queue_full{0};
   std::uint64_t dropped_random_loss{0};
   std::uint64_t dropped_impairment{0};  // injected blackout ate the packet
+  std::uint64_t trunk_frames{0};        // aggregation shells put on the wire
+  std::uint64_t trunk_mini_frames{0};   // media packets carried inside them
   Duration busy_time{Duration::zero()};  // cumulative serialization time
 
   [[nodiscard]] std::uint64_t dropped_total() const noexcept {
@@ -102,10 +113,17 @@ class Link {
     TimePoint busy_until{};
     std::uint32_t backlog{0};  // packets queued or in serialization
     LinkDirectionStats stats;
+    std::vector<Packet> trunk_pending;  // media awaiting the window flush
+    bool trunk_flush_scheduled{false};
   };
 
   Direction& direction_from(NodeId from);
   void transmit_batch(NodeId from, Packet pkt);
+  /// The pre-trunking per-packet path: queueing, serialization, loss,
+  /// jitter, delivery. Trunk shells re-enter here once assembled.
+  void transmit_now(NodeId from, Packet pkt);
+  void enqueue_trunk(NodeId from, Packet pkt);
+  void flush_trunk(NodeId from);
 
   Network& network_;
   NodeId a_;

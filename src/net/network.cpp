@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include "net/switch_node.hpp"
+#include "net/trunk.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -69,6 +70,19 @@ void Network::deliver_remote(Packet&& pkt, NodeId from, NodeId to, TimePoint del
 }
 
 void Network::deliver(const Packet& pkt, NodeId from, NodeId to) {
+  // Trunk shells are framing for one link hop, not application traffic:
+  // unwrap here and re-deliver the aggregated media individually, so the
+  // receiving node (endpoint, or a switch re-routing each frame by its own
+  // dst) and the kind-filtered captures see exactly the packets a
+  // non-trunked link would have delivered. Taps still observe the shell —
+  // that is what a wire sniffer on the trunked segment would record.
+  if (pkt.kind == PacketKind::kTrunk) {
+    if (const auto* trunk = pkt.payload_as<TrunkPayload>()) {
+      for (const auto& tap : taps_) tap(pkt, from, to);
+      for (const Packet& inner : trunk->frames) deliver(inner, from, to);
+      return;
+    }
+  }
   delivered_ += pkt.batch;
   for (const auto& tap : taps_) tap(pkt, from, to);
   node(to).on_receive(pkt);

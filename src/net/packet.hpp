@@ -17,13 +17,18 @@ namespace pbxcap::net {
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0xffffffff;
 
-enum class PacketKind : std::uint8_t { kSip, kRtp, kRtcp, kOther };
+/// kTrunk is an aggregation shell (net/trunk.hpp): one wire frame carrying
+/// many calls' media across an inter-PBX link, IAX2-trunk style. Captures
+/// that census application traffic filter on kSip/kRtp/kRtcp and therefore
+/// see the re-delivered inner frames, never the shell.
+enum class PacketKind : std::uint8_t { kSip, kRtp, kRtcp, kTrunk, kOther };
 
 [[nodiscard]] constexpr const char* to_string(PacketKind kind) noexcept {
   switch (kind) {
     case PacketKind::kSip: return "SIP";
     case PacketKind::kRtp: return "RTP";
     case PacketKind::kRtcp: return "RTCP";
+    case PacketKind::kTrunk: return "TRUNK";
     case PacketKind::kOther: return "OTHER";
   }
   return "?";

@@ -4,6 +4,7 @@
 
 #include "sim/profile.hpp"
 
+#include "rtp/codec.hpp"
 #include "rtp/packet.hpp"
 #include "rtp/rtcp.hpp"
 #include "util/log.hpp"
@@ -57,8 +58,8 @@ void AsteriskPbx::set_telemetry(telemetry::Telemetry* tel) {
   sip::SipEndpoint::set_telemetry(tel);
   tm_invites_ = tm_blocked_policy_ = tm_blocked_cac_ = tm_blocked_channels_ =
       tm_blocked_queue_full_ = tm_answered_ = tm_failed_ = tm_queued_ = tm_queue_served_ =
-          tm_queue_timeouts_ = tm_rtp_relayed_ = tm_rtp_dropped_ = tm_overload_503_ =
-              tm_sip_queue_dropped_ = nullptr;
+          tm_queue_timeouts_ = tm_rtp_relayed_ = tm_rtp_transcoded_ = tm_rtp_dropped_ =
+              tm_overload_503_ = tm_sip_queue_dropped_ = nullptr;
   tm_active_channels_ = nullptr;
   tracer_ = nullptr;
   acd_.set_telemetry(tel);  // nulls its own handles on a disabled registry
@@ -83,6 +84,8 @@ void AsteriskPbx::set_telemetry(telemetry::Telemetry* tel) {
   tm_queue_timeouts_ = &reg.counter("pbxcap_pbx_queue_events_total", {{"event", "timeout"}});
   tm_rtp_relayed_ = &reg.counter("pbxcap_pbx_rtp_relayed_total", {},
                                  "RTP/RTCP packets relayed between call legs");
+  tm_rtp_transcoded_ = &reg.counter("pbxcap_pbx_rtp_transcoded_total", {},
+                                    "Relayed media frames that paid transcode work");
   tm_rtp_dropped_ = &reg.counter("pbxcap_pbx_rtp_dropped_total", {},
                                  "RTP/RTCP packets dropped for lack of a session");
   tm_overload_503_ = &reg.counter("pbxcap_pbx_overload_rejections_total", {},
@@ -465,6 +468,7 @@ void AsteriskPbx::start_bridge(const Message& req, sip::ServerTransaction& txn,
   bridge->invite_txn_a = &txn;
   bridge->to_tag_a = new_tag();
   bridge->ssrc_a = offer->audio.ssrc;
+  bridge->pt_offer_a = filtered.audio.payload_types.front();
   bridge->caller_node = resolver().resolve(bridge->caller_host);
   bridge->callee_host = *route;
   bridge->cdr = cdr;
@@ -675,7 +679,29 @@ void AsteriskPbx::on_leg_b_response(std::size_t bridge_idx, const Message& resp)
     ok.to().tag = bridge.to_tag_a;
     ok.set_contact(sip::Uri{"asterisk", sip_host()});
     if (answer) {
-      ok.set_body(anchored_sdp(*answer, bridge.port_a).to_string(), "application/sdp");
+      Sdp answer_a = *answer;
+      // Asterisk's translator path: when the callee answered a codec other
+      // than the caller's preferred one, answer leg A with the caller's
+      // choice and transcode between the legs. Every relayed media frame on
+      // this bridge then pays decode+encode CPU and is re-framed to the
+      // out-leg codec's wire size. Single-codec offers always match, so
+      // classic scenarios never engage this path.
+      if (config_.transcode && !answer->audio.payload_types.empty()) {
+        const std::uint8_t pt_b = answer->audio.payload_types.front();
+        if (pt_b != bridge.pt_offer_a) {
+          const auto codec_a = rtp::codec_by_payload_type(bridge.pt_offer_a);
+          const auto codec_b = rtp::codec_by_payload_type(pt_b);
+          if (codec_a && codec_b) {
+            bridge.transcoded = true;
+            bridge.transcode_work = codec_a->transcode_cost + codec_b->transcode_cost;
+            bridge.rtp_bytes_to_caller = codec_a->wire_bytes();
+            bridge.rtp_bytes_to_callee = codec_b->wire_bytes();
+            answer_a.audio.payload_types = {bridge.pt_offer_a};
+            ++transcoded_bridges_;
+          }
+        }
+      }
+      ok.set_body(anchored_sdp(answer_a, bridge.port_a).to_string(), "application/sdp");
     }
     if (bridge.invite_txn_a != nullptr) {
       bridge.invite_txn_a->respond(ok);
@@ -801,35 +827,49 @@ void AsteriskPbx::relay_rtp(const net::Packet& pkt) {
   // Media and control share the SSRC routing table: RTCP for a stream
   // follows the same path as its RTP (RFC 3550 pairs the two flows).
   std::uint32_t ssrc = 0;
+  const rtp::RtpBatchPayload* batch = nullptr;
+  bool is_media = false;
   if (pkt.fluid) {
-    const auto* batch = pkt.payload_as<rtp::RtpBatchPayload>();
+    batch = pkt.payload_as<rtp::RtpBatchPayload>();
     if (batch == nullptr) {
       cpu_.on_rtp_packet(now);
       drop();
       return;
     }
-    // Deposit the relay cost at each packet's nominal arrival instant so
-    // per-second CPU buckets match per-packet mode bit for bit.
-    cpu_.on_rtp_packets(batch->first_departure + batch->path_latency, batch->spacing,
-                        pkt.batch);
     ssrc = batch->first.ssrc;
+    is_media = true;
   } else if (const auto* rtp = pkt.payload_as<rtp::RtpPayload>()) {
-    cpu_.on_rtp_packet(now);
     ssrc = rtp->header.ssrc;
+    is_media = true;
   } else if (const auto* rtcp = pkt.payload_as<rtp::RtcpPayload>()) {
-    cpu_.on_rtp_packet(now);
     ssrc = rtcp->routing_ssrc();
   } else {
     cpu_.on_rtp_packet(now);
     drop();
     return;
   }
+  // CPU must be deposited whether or not the packet finds a live bridge
+  // (the relay thread reads the header either way), but the transcode
+  // surcharge only applies to media frames on a codec-mismatched bridge —
+  // so resolve the bridge before metering.
   const auto it = by_ssrc_.find(ssrc);
-  if (it == by_ssrc_.end()) {
+  Bridge* routed = it != by_ssrc_.end() ? bridges_[it->second].get() : nullptr;
+  const Duration extra = (routed != nullptr && routed->transcoded && is_media)
+                             ? routed->transcode_work
+                             : Duration::zero();
+  if (batch != nullptr) {
+    // Deposit the relay cost at each packet's nominal arrival instant so
+    // per-second CPU buckets match per-packet mode bit for bit.
+    cpu_.on_rtp_packets(batch->first_departure + batch->path_latency, batch->spacing,
+                        pkt.batch, extra);
+  } else {
+    cpu_.on_rtp_packet(now, extra);
+  }
+  if (routed == nullptr) {
     drop();
     return;
   }
-  Bridge& bridge = *bridges_[it->second];
+  Bridge& bridge = *routed;
   if (bridge.state != Bridge::State::kAnswered &&
       bridge.state != Bridge::State::kTearingDown) {
     drop();
@@ -855,6 +895,13 @@ void AsteriskPbx::relay_rtp(const net::Packet& pkt) {
   out.fluid = pkt.fluid;
   out.batch = pkt.batch;
   out.size_bytes = pkt.size_bytes;
+  if (bridge.transcoded && is_media) {
+    // Re-framed into the out-leg codec: the relayed copy leaves at that
+    // codec's wire size, not the size it arrived with.
+    out.size_bytes = from_caller ? bridge.rtp_bytes_to_callee : bridge.rtp_bytes_to_caller;
+    transcoded_rtp_ += pkt.batch;
+    if (tm_rtp_transcoded_ != nullptr) tm_rtp_transcoded_->add(pkt.batch);
+  }
   out.payload = pkt.payload;
   send(std::move(out));
 }

@@ -80,6 +80,13 @@ struct PbxConfig {
   bool require_auth{false};          // LDAP-style lookup before admitting
   bool auth_lookup_latency{true};    // apply Directory latency when checking
   std::vector<std::uint8_t> allowed_payload_types{0, 8};  // PCMU, PCMA
+  /// Answer leg A with the caller's first allowed codec even when the callee
+  /// answered a different one, transcoding between the legs (Asterisk's
+  /// translator path). Each relayed frame on a mismatched bridge then pays
+  /// the two codecs' per-frame transcode_cost per direction in the CPU
+  /// model. When false the callee's answer is relayed verbatim and the
+  /// caller re-negotiates itself (no transcoding, pre-codec-tier behaviour).
+  bool transcode{true};
   /// Admission strategy: hard channel pool (paper), predictive Erlang CAC
   /// (paper reference [8]), or queue-when-busy (the Erlang-C system).
   AdmissionPolicy admission{AdmissionPolicy::kChannelPool};
@@ -123,6 +130,12 @@ class AsteriskPbx final : public sip::SipEndpoint {
   [[nodiscard]] const MediaPortAllocator& media_ports() const noexcept { return media_ports_; }
 
   [[nodiscard]] std::uint64_t rtp_relayed() const noexcept { return rtp_relayed_; }
+  /// Bridges whose legs negotiated different codecs (translator engaged).
+  [[nodiscard]] std::uint64_t transcoded_bridges() const noexcept {
+    return transcoded_bridges_;
+  }
+  /// Media frames that paid per-frame transcode work while being relayed.
+  [[nodiscard]] std::uint64_t transcoded_rtp() const noexcept { return transcoded_rtp_; }
   [[nodiscard]] std::uint64_t rtp_dropped_unknown_ssrc() const noexcept {
     return rtp_dropped_no_session_;
   }
@@ -203,6 +216,16 @@ class AsteriskPbx final : public sip::SipEndpoint {
     /// PBX anchor ports advertised to each leg (released on close; 0 = none).
     std::uint16_t port_a{0};
     std::uint16_t port_b{0};
+    /// Caller's preferred payload type among the PBX-allowed set (front of
+    /// the filtered offer) — what leg A is answered with under transcoding.
+    std::uint8_t pt_offer_a{0};
+    /// Codec-mismatched legs: every relayed media frame pays
+    /// `transcode_work` (decode + encode) per direction on top of the base
+    /// relay cost, and is re-framed to the out-leg codec's wire size.
+    bool transcoded{false};
+    Duration transcode_work{Duration::zero()};
+    std::uint32_t rtp_bytes_to_caller{0};  // out-leg wire size toward leg A
+    std::uint32_t rtp_bytes_to_callee{0};  // out-leg wire size toward leg B
     // Call-lifecycle tracing (0 = no span open / tracing disabled).
     std::uint64_t span_track{0};
     telemetry::SpanTracer::SpanId setup_span{0};
@@ -277,6 +300,8 @@ class AsteriskPbx final : public sip::SipEndpoint {
   std::uint64_t voicemail_calls_{0};
   std::uint64_t voicemail_rtp_absorbed_{0};
   std::uint64_t rtp_relayed_{0};
+  std::uint64_t transcoded_bridges_{0};
+  std::uint64_t transcoded_rtp_{0};
   std::uint64_t rtp_dropped_no_session_{0};
   std::size_t active_bridges_{0};
 
@@ -315,6 +340,7 @@ class AsteriskPbx final : public sip::SipEndpoint {
   telemetry::Counter* tm_queue_served_{nullptr};
   telemetry::Counter* tm_queue_timeouts_{nullptr};
   telemetry::Counter* tm_rtp_relayed_{nullptr};
+  telemetry::Counter* tm_rtp_transcoded_{nullptr};
   telemetry::Counter* tm_rtp_dropped_{nullptr};
   telemetry::Counter* tm_overload_503_{nullptr};
   telemetry::Counter* tm_sip_queue_dropped_{nullptr};

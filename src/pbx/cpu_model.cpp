@@ -28,10 +28,12 @@ void CpuModel::deposit(TimePoint at, Duration work) {
   total_work_ += work;
 }
 
-void CpuModel::on_rtp_packets(TimePoint first, Duration spacing, std::uint32_t count) {
+void CpuModel::on_rtp_packets(TimePoint first, Duration spacing, std::uint32_t count,
+                              Duration extra) {
   if (count == 0) return;
+  const Duration per_packet = config_.cost_per_rtp_packet + extra;
   if (spacing <= Duration::zero()) {
-    for (std::uint32_t i = 0; i < count; ++i) deposit(first, config_.cost_per_rtp_packet);
+    for (std::uint32_t i = 0; i < count; ++i) deposit(first, per_packet);
     return;
   }
   const bool overload_mode =
@@ -45,7 +47,7 @@ void CpuModel::on_rtp_packets(TimePoint first, Duration spacing, std::uint32_t c
       // deposit can push the bucket further past the threshold), so the
       // closed form no longer applies. The fluid engine avoids entering
       // fluid mode near saturation; this path is a correctness backstop.
-      deposit(t, config_.cost_per_rtp_packet);
+      deposit(t, per_packet);
       ++done;
       t = t + spacing;
       continue;
@@ -55,7 +57,7 @@ void CpuModel::on_rtp_packets(TimePoint first, Duration spacing, std::uint32_t c
     const std::int64_t bucket_end_ns = static_cast<std::int64_t>(idx + 1) * bucket_width_.ns();
     std::int64_t in_bucket = (bucket_end_ns - 1 - t.ns()) / spacing.ns() + 1;
     in_bucket = std::min<std::int64_t>(in_bucket, count - done);
-    const Duration work = config_.cost_per_rtp_packet * in_bucket;
+    const Duration work = per_packet * in_bucket;
     if (idx >= buckets_.size()) buckets_.resize(idx + 1, Duration::zero());
     buckets_[idx] += work;
     total_work_ += work;

@@ -38,14 +38,21 @@ class CpuModel {
 
   void on_sip_message(TimePoint at) { deposit(at, config_.cost_per_sip_message); }
   void on_rtp_packet(TimePoint at) { deposit(at, config_.cost_per_rtp_packet); }
+  /// Relay cost plus a per-packet surcharge (per-direction transcoding work
+  /// on a codec-mismatched bridge). Zero extra is exactly on_rtp_packet.
+  void on_rtp_packet(TimePoint at, Duration extra) {
+    deposit(at, config_.cost_per_rtp_packet + extra);
+  }
   void on_error_event(TimePoint at) { deposit(at, config_.cost_per_error_event); }
 
-  /// Deposits the relay cost of `count` RTP packets arriving at
-  /// `first + i * spacing` in closed form per bucket — the fluid fast path.
-  /// Bucket sums are bit-identical to `count` on_rtp_packet calls while the
-  /// overload regime is not engaged (it falls back to per-packet deposits
-  /// once the current bucket crosses the overload threshold).
-  void on_rtp_packets(TimePoint first, Duration spacing, std::uint32_t count);
+  /// Deposits the relay cost (plus the optional per-packet transcode
+  /// surcharge) of `count` RTP packets arriving at `first + i * spacing` in
+  /// closed form per bucket — the fluid fast path. Bucket sums are
+  /// bit-identical to `count` on_rtp_packet calls while the overload regime
+  /// is not engaged (it falls back to per-packet deposits once the current
+  /// bucket crosses the overload threshold).
+  void on_rtp_packets(TimePoint first, Duration spacing, std::uint32_t count,
+                      Duration extra = Duration::zero());
 
   /// Utilization summary over [from, to): one sample per bucket, each
   /// clamped to 1.0 (a real core cannot exceed 100 %).

@@ -16,14 +16,25 @@ const std::vector<Codec>& codec_catalog() noexcept {
   // G.711 *with* packet-loss concealment, which is what Asterisk endpoints
   // and VoIPmonitor's scoring assume (bare G.711 would be Bpl = 4.3).
   // lookahead: algorithmic delay of the coder.
+  // transcode_cost: per-frame coding work on the paper's 2.67 GHz reference
+  // host, ordered as Asterisk's translator benchmarks order them (G.729's
+  // ACELP codebook search dominates, GSM RPE-LTP is mid-pack, G.711
+  // companding is a table lookup).
   static const std::vector<Codec> catalog = {
-      {"PCMU", payload_type::kPcmu, 8000, 64'000, 20, 0.0, 25.1, Duration::zero()},
-      {"PCMA", payload_type::kPcma, 8000, 64'000, 20, 0.0, 25.1, Duration::zero()},
-      {"G722", payload_type::kG722, 16000, 64'000, 20, 0.0, 25.1, Duration::zero()},
-      {"GSM", payload_type::kGsm, 8000, 13'200, 20, 20.0, 10.0, Duration::zero()},
-      {"G729", payload_type::kG729, 8000, 8'000, 20, 11.0, 19.0, Duration::millis(5)},
-      {"iLBC", payload_type::kIlbc, 8000, 15'200, 30, 11.0, 32.0, Duration::millis(10)},
-      {"OPUS-NB", payload_type::kOpusNb, 8000, 12'000, 20, 5.0, 15.0, Duration::millis(5)},
+      {"PCMU", payload_type::kPcmu, 8000, 64'000, 20, 0.0, 25.1, Duration::zero(),
+       Duration::zero()},
+      {"PCMA", payload_type::kPcma, 8000, 64'000, 20, 0.0, 25.1, Duration::zero(),
+       Duration::zero()},
+      {"G722", payload_type::kG722, 16000, 64'000, 20, 0.0, 25.1, Duration::zero(),
+       Duration::micros(6)},
+      {"GSM", payload_type::kGsm, 8000, 13'200, 20, 20.0, 10.0, Duration::zero(),
+       Duration::micros(15)},
+      {"G729", payload_type::kG729, 8000, 8'000, 20, 11.0, 19.0, Duration::millis(5),
+       Duration::micros(40)},
+      {"iLBC", payload_type::kIlbc, 8000, 13'333, 30, 11.0, 32.0, Duration::millis(10),
+       Duration::micros(30)},
+      {"OPUS-NB", payload_type::kOpusNb, 8000, 12'000, 20, 5.0, 15.0, Duration::millis(5),
+       Duration::micros(25)},
   };
   return catalog;
 }

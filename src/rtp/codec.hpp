@@ -25,13 +25,25 @@ struct Codec {
   double ie;                   // E-model equipment impairment factor
   double bpl;                  // E-model packet-loss robustness factor
   Duration lookahead{Duration::zero()};  // algorithmic delay beyond framing
+  /// CPU work to code one frame of this codec on the paper's reference host
+  /// (one side of a transcode: decode on ingress or encode on egress). A
+  /// transcoded bridge direction pays in.transcode_cost + out.transcode_cost
+  /// per relayed frame on top of the base relay cost; G.711 companding is
+  /// table-lookup cheap, so a G.711<->G.711 bridge stays a zero-surcharge
+  /// passthrough.
+  Duration transcode_cost{Duration::zero()};
 
   [[nodiscard]] constexpr double packets_per_second() const noexcept {
     return 1000.0 / static_cast<double>(ptime_ms);
   }
-  /// Codec payload bytes carried per RTP packet.
+  /// Codec payload bytes carried per RTP packet, rounded to nearest. The
+  /// scale-then-divide order matters: iLBC's 13,333 bps x 30 ms frame is
+  /// 399,990 bits, i.e. 49.99875 bytes -> 50 (the codec's real frame size),
+  /// whereas dividing first truncates to 49.
   [[nodiscard]] constexpr std::uint32_t payload_bytes() const noexcept {
-    return bitrate_bps / 8 * ptime_ms / 1000;
+    const std::uint64_t bits_x1000 =
+        static_cast<std::uint64_t>(bitrate_bps) * ptime_ms;
+    return static_cast<std::uint32_t>((bits_x1000 + 4000) / 8000);
   }
   /// RTP timestamp increment per packet.
   [[nodiscard]] constexpr std::uint32_t timestamp_step() const noexcept {

@@ -1,6 +1,7 @@
 #include "sip/sdp.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 
 #include "util/strings.hpp"
@@ -8,6 +9,11 @@
 namespace pbxcap::sip {
 
 std::string Sdp::to_string() const {
+  // RFC 4566 §5.14 requires at least one format on an m-line. Serializing an
+  // empty list would produce "m=audio N RTP/AVP" which parse() rejects, so
+  // refuse to build the asymmetric form at the source.
+  assert(!audio.payload_types.empty() &&
+         "SDP m-line requires at least one payload type");
   std::ostringstream os;
   os << "v=0\r\n";
   os << "o=" << origin_user << " 0 0 IN IP4 " << connection_host << "\r\n";
@@ -39,7 +45,11 @@ std::optional<Sdp> Sdp::parse(std::string_view text) {
     } else if (type == 'm') {
       // m=audio <port> RTP/AVP <pt...>
       const auto parts = util::split(value, ' ');
-      if (parts.size() < 4 || parts[0] != "audio") continue;
+      if (!parts.empty() && parts[0] != "audio") continue;  // ignore non-audio
+      // An audio m-line with no format list ("m=audio N RTP/AVP") violates
+      // RFC 4566 §5.14 — reject it instead of silently skipping, so
+      // parse(to_string(x)) can never drop media that was serialized.
+      if (parts.size() < 4) return std::nullopt;
       std::uint64_t port = 0;
       if (!util::parse_u64(parts[1], port) || port > 65535) return std::nullopt;
       sdp.audio.rtp_port = static_cast<std::uint16_t>(port);

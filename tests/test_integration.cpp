@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/testbed.hpp"
+#include "rtp/codec.hpp"
 
 namespace {
 
@@ -151,6 +152,82 @@ TEST(Integration, AuthRejectsUnknownCallers) {
   // Directory in run_testbed allows the "caller-" prefix, so calls pass...
   const auto allowed = exp::run_testbed(config);
   EXPECT_EQ(allowed.calls_completed, 1u);
+}
+
+TEST(CodecNegotiation, NoOverlapRejectedWith488) {
+  // Caller offers PCMU (the scenario default); the receiver only answers
+  // G.729. RFC 3264: no common codec means the call must fail with 488 Not
+  // Acceptable Here — and be counted as such, not as a generic failure.
+  auto config = single_call_config();
+  config.scenario.receiver_payload_types = {rtp::payload_type::kG729};
+  const auto r = exp::run_testbed(config);
+  EXPECT_EQ(r.calls_attempted, 1u);
+  EXPECT_EQ(r.calls_completed, 0u);
+  EXPECT_EQ(r.calls_failed, 1u);
+  EXPECT_EQ(r.codec_rejections_488, 1u);
+  EXPECT_GT(r.sip_errors, 0u);
+  EXPECT_EQ(r.rtp_packets_at_pbx, 0u);  // no media without a negotiated codec
+}
+
+TEST(CodecNegotiation, MixedOfferNegotiatesWithoutTranscoding) {
+  // A 60/30/10 PCMU/G.729/iLBC mix against a PBX and receiver that allow
+  // all three: every call negotiates its preferred codec end-to-end, so the
+  // translator never engages and nothing is rejected.
+  auto config = single_call_config();
+  config.scenario.max_calls = 30;
+  config.scenario.arrival_rate_per_s = 3.0;
+  config.scenario.placement_window = Duration::seconds(15);
+  config.scenario.codec_mix = {
+      {*rtp::codec_by_payload_type(rtp::payload_type::kPcmu), 0.6},
+      {*rtp::codec_by_payload_type(rtp::payload_type::kG729), 0.3},
+      {*rtp::codec_by_payload_type(rtp::payload_type::kIlbc), 0.1},
+  };
+  config.pbx.allowed_payload_types = {rtp::payload_type::kPcmu, rtp::payload_type::kG729,
+                                      rtp::payload_type::kIlbc};
+  const auto r = exp::run_testbed(config);
+  EXPECT_EQ(r.calls_attempted, 30u);
+  EXPECT_EQ(r.calls_completed, 30u);
+  EXPECT_EQ(r.codec_rejections_488, 0u);
+  EXPECT_EQ(r.transcoded_bridges, 0u);
+  EXPECT_EQ(r.transcoded_rtp, 0u);
+}
+
+exp::TestbedConfig capacity_config() {
+  exp::TestbedConfig config;
+  config.scenario = loadgen::CallScenario::for_offered_load(20.0, Duration::seconds(20));
+  config.scenario.placement_window = Duration::seconds(40);
+  config.pbx.max_channels = 60;
+  config.seed = 99;
+  return config;
+}
+
+TEST(CodecNegotiation, TranscodedBridgesCostCpuAndShrinkCapacity) {
+  // Same offered load twice: G.711 end-to-end vs GSM callers bridged to a
+  // PCMU-only receiver. The mismatched bridges must engage the translator
+  // (counted per bridge and per relayed frame), push mean CPU up — the
+  // capacity regression: at a fixed CPU budget the transcoded fleet fits
+  // fewer calls — and score worse MOS (GSM's Ie penalty).
+  const auto passthrough = exp::run_testbed(capacity_config());
+
+  auto config = capacity_config();
+  config.scenario.codec_mix = {
+      {*rtp::codec_by_payload_type(rtp::payload_type::kGsm), 1.0},
+      {rtp::g711_ulaw(), 0.0},  // fallback only: present in every offer, never preferred
+  };
+  config.scenario.receiver_payload_types = {rtp::payload_type::kPcmu};
+  config.pbx.allowed_payload_types = {rtp::payload_type::kGsm, rtp::payload_type::kPcmu};
+  const auto transcoded = exp::run_testbed(config);
+
+  EXPECT_EQ(passthrough.transcoded_bridges, 0u);
+  EXPECT_GT(transcoded.transcoded_bridges, 0u);
+  EXPECT_EQ(transcoded.transcoded_bridges,
+            transcoded.calls_completed);  // every bridge was mismatched
+  EXPECT_GT(transcoded.transcoded_rtp, 0u);
+  EXPECT_EQ(transcoded.codec_rejections_488, 0u);
+  // 15 us/frame GSM translator on every relayed frame: ~1.5 ms/s of extra
+  // CPU per call on top of the 2.4 ms/s relay cost — over 1.4x the load.
+  EXPECT_GT(transcoded.cpu_utilization.mean(), 1.2 * passthrough.cpu_utilization.mean());
+  EXPECT_LT(transcoded.mos.mean(), passthrough.mos.mean());
 }
 
 }  // namespace

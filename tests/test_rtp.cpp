@@ -1,6 +1,7 @@
 // Unit tests for RTP: codec catalog, pacing, receiver stats, jitter buffer.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "rtp/codec.hpp"
@@ -39,6 +40,57 @@ TEST(CodecCatalog, LowBitrateCodecsAreSmallerOnWire) {
   EXPECT_EQ(g729.payload_bytes(), 20u);  // 8 kbit/s * 20 ms
   EXPECT_LT(g729.wire_bytes(), rtp::g711_ulaw().wire_bytes());
   EXPECT_GT(g729.ie, 0.0);  // compression costs quality
+}
+
+TEST(CodecCatalog, WireSizesMatchRfc3551) {
+  // Frame-size goldens pinned to RFC 3551 §4.5 (and RFC 3951 for iLBC's
+  // 30 ms / 50-byte mode, the one Asterisk defaults to). The iLBC row is the
+  // regression for the truncation bug: 13,333 bit/s x 30 ms is 49.99875
+  // bytes, which flooring chopped to 49 — a wire size no iLBC frame has.
+  struct Golden {
+    const char* name;
+    std::uint32_t payload;
+  };
+  const std::vector<Golden> goldens = {
+      {"PCMU", 160}, {"PCMA", 160}, {"G722", 160}, {"GSM", 33},
+      {"G729", 20},  {"iLBC", 50},  {"OPUS-NB", 30},
+  };
+  ASSERT_EQ(rtp::codec_catalog().size(), goldens.size());
+  for (const Golden& g : goldens) {
+    const auto codec = rtp::codec_by_name(g.name);
+    ASSERT_TRUE(codec) << g.name;
+    EXPECT_EQ(codec->payload_bytes(), g.payload) << g.name;
+    // Wire size = payload + 12 RTP + 46 Ethernet/IP/UDP, for every codec.
+    EXPECT_EQ(codec->wire_bytes(), g.payload + 58u) << g.name;
+  }
+}
+
+TEST(CodecCatalog, PayloadBytesRoundsToNearest) {
+  // The formula contract: frame bytes are bitrate x ptime rounded to the
+  // nearest byte, not floored. Recomputed here from each codec's own fields
+  // so a future catalog entry with a fractional frame size can't silently
+  // reintroduce truncation.
+  for (const rtp::Codec& codec : rtp::codec_catalog()) {
+    const double exact =
+        static_cast<double>(codec.bitrate_bps) * codec.ptime_ms / 8000.0;
+    EXPECT_LE(std::abs(static_cast<double>(codec.payload_bytes()) - exact), 0.5)
+        << codec.name;
+  }
+}
+
+TEST(CodecCatalog, TranscodeCostsOrderLikeAsteriskTranslators) {
+  // G.711 companding is a table lookup (free); everything else costs real
+  // CPU, with G.729's ACELP search the most expensive. The transcoding
+  // capacity bench's G.711 > GSM > G.729 ordering rests on this.
+  const auto cost = [](const char* name) {
+    return rtp::codec_by_name(name)->transcode_cost;
+  };
+  EXPECT_EQ(cost("PCMU"), Duration::zero());
+  EXPECT_EQ(cost("PCMA"), Duration::zero());
+  EXPECT_GT(cost("G722"), Duration::zero());
+  EXPECT_GT(cost("GSM"), cost("G722"));
+  EXPECT_GT(cost("iLBC"), cost("GSM"));
+  EXPECT_GT(cost("G729"), cost("iLBC"));
 }
 
 TEST(SsrcAllocator, UniqueSequential) {

@@ -250,6 +250,68 @@ TEST(SdpTest, RejectsMissingMedia) {
   EXPECT_FALSE(sip::Sdp::parse(""));
 }
 
+TEST(SdpTest, RejectsEmptyFormatList) {
+  // RFC 4566 §5.14: an m-line carries at least one format. The parser used
+  // to accept the bare "m=audio N RTP/AVP" form, producing an Sdp whose
+  // to_string() round-trip then failed — reject it at the boundary instead.
+  EXPECT_FALSE(sip::Sdp::parse(
+      "v=0\r\no=x 0 0 IN IP4 a\r\ns=s\r\nc=IN IP4 a\r\nt=0 0\r\n"
+      "m=audio 30000 RTP/AVP\r\n"));
+}
+
+TEST(SdpTest, RoundTripPropertyRandomized) {
+  // parse(to_string(x)) == x for any well-formed Sdp: random hosts, ports,
+  // non-empty payload-type lists drawn from the catalog range, and optional
+  // SSRC lines must all survive the round trip field-for-field.
+  sim::Random rng{0xC0DEC};
+  for (int i = 0; i < 500; ++i) {
+    sip::Sdp sdp;
+    sdp.connection_host = "host" + std::to_string(rng.uniform_int(1000)) + ".unb.br";
+    sdp.audio.rtp_port = static_cast<std::uint16_t>(1024 + rng.uniform_int(60'000));
+    const auto n_pts = 1 + rng.uniform_int(5);
+    for (std::uint64_t p = 0; p < n_pts; ++p) {
+      sdp.audio.payload_types.push_back(static_cast<std::uint8_t>(rng.uniform_int(128)));
+    }
+    if (rng.uniform_int(2) == 1) {
+      sdp.audio.ssrc = static_cast<std::uint32_t>(1 + rng.uniform_int(0xFFFF'FFFE));
+    }
+    const auto parsed = sip::Sdp::parse(sdp.to_string());
+    ASSERT_TRUE(parsed) << sdp.to_string();
+    EXPECT_EQ(parsed->connection_host, sdp.connection_host);
+    EXPECT_EQ(parsed->audio.rtp_port, sdp.audio.rtp_port);
+    EXPECT_EQ(parsed->audio.payload_types, sdp.audio.payload_types);
+    EXPECT_EQ(parsed->audio.ssrc, sdp.audio.ssrc);
+  }
+}
+
+TEST(SdpTest, NegotiationTable) {
+  // RFC 3264 answer selection over the codec tier's interesting cases:
+  // offerer preference wins, answer order is irrelevant, disjoint sets fail.
+  struct Case {
+    std::vector<std::uint8_t> offer;
+    std::vector<std::uint8_t> answer;
+    std::optional<std::uint8_t> expect;
+  };
+  const std::vector<Case> cases = {
+      {{0}, {0}, 0},                // single common codec
+      {{0, 8, 18}, {18, 8}, 8},     // first offered pt the answerer supports
+      {{18, 0}, {0, 8}, 0},         // G.729 preferred but unsupported
+      {{3, 18, 0}, {0}, 0},         // fallback to the last offered pt
+      {{97, 3}, {3, 97}, 97},       // offer order beats answer order
+      {{0, 8}, {18}, std::nullopt}, // disjoint: 488 territory
+      {{18}, {}, std::nullopt},     // empty answer can accept nothing
+  };
+  for (const Case& c : cases) {
+    sip::Sdp offer;
+    offer.connection_host = "a";
+    offer.audio.payload_types = c.offer;
+    sip::Sdp answer;
+    answer.connection_host = "b";
+    answer.audio.payload_types = c.answer;
+    EXPECT_EQ(sip::Sdp::negotiate(offer, answer), c.expect);
+  }
+}
+
 TEST(SdpTest, NegotiatePrefersOfferOrder) {
   sip::Sdp offer;
   offer.connection_host = "a";

@@ -95,6 +95,20 @@ else
   echo "warning: ${ca_bench} not built; skipping Erlang-C/A validation" >&2
 fi
 
+# Codec tier: transcoded-bridge capacity ordering under the CPU budget plus
+# the IAX2 trunk ablation (gated), so a regression in the translator cost
+# model or the trunk framing fails this script and the capacity/bandwidth
+# rows are archived next to the perf numbers.
+cc_bench="${build_dir}/bench/bench_codec_capacity"
+cc_out="BENCH_codec_capacity.json"
+[[ "${build_type}" == "Release" || "${build_type}" == "RelWithDebInfo" ]] || cc_out="${cc_out%.json}.non-release.json"
+if [[ -x "${cc_bench}" ]]; then
+  "${cc_bench}" --fast --json "${cc_out}" > /dev/null
+  echo "wrote ${cc_out}"
+else
+  echo "warning: ${cc_bench} not built; skipping codec capacity" >&2
+fi
+
 # Cluster-dispatch sustained-goodput-under-crash figures (per routing policy)
 # so regressions in the failover path show up as a diff here.
 cd_bench="${build_dir}/bench/bench_cluster_dispatch"
